@@ -1,0 +1,80 @@
+"""Ablation — optimized vs arbitrary centroid-index assignment (Sec. 4.3).
+
+The optimized assignment (same-size k-means clustering of centroids into
+portions) exists to raise the per-portion minima of the minimum tables.
+This ablation measures its effect on lower-bound tightness and pruning
+power against the arbitrary training assignment.
+"""
+
+import numpy as np
+
+from repro import PQFastScanner
+from repro.bench import format_table, run_queries, save_report, summarize
+from repro.core.minimum_tables import minimum_table
+
+N_QUERIES = 8
+
+
+def _tightness(tables: np.ndarray, components) -> float:
+    """Mean gap between entries and their portion minimum (lower=tighter)."""
+    total = 0.0
+    for j in components:
+        mins = minimum_table(tables[j])
+        total += float((tables[j] - np.repeat(mins, 16)).mean())
+    return total / len(list(components))
+
+
+def test_ablation_centroid_assignment(benchmark, ctx, workload):
+    def experiment():
+        results = {}
+        for mode in ("optimized", "arbitrary"):
+            scanner = PQFastScanner(
+                workload.pq, keep=0.005, assignment=mode, seed=0
+            )
+            stats = run_queries(
+                ctx, scanner, query_indexes=range(N_QUERIES), topk=100,
+                arch="haswell",
+            )
+            assert all(s.exact_match for s in stats)
+            summary = summarize(stats)
+            # Tightness of the minimum tables under this assignment.
+            query = workload.queries[0]
+            pid = int(workload.query_partitions[0])
+            tables = workload.index.distance_tables_for(query, pid)
+            grouped = scanner.prepared(workload.index.partitions[pid])
+            remapped = scanner.assignment.remap_tables(tables)
+            summary["min_table_gap"] = _tightness(
+                remapped, range(grouped.c, 8)
+            )
+            results[mode] = summary
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [mode, r["pruned_mean"] * 100, r["speed_median_mvps"],
+         r["min_table_gap"]]
+        for mode, r in results.items()
+    ]
+    table = format_table(
+        ["assignment", "pruned [%]", "speed [M vecs/s]", "min-table gap"],
+        rows,
+        title="Ablation — centroid index assignment (keep=0.5%, topk=100)",
+    )
+    save_report("ablation_assignment", table, results)
+
+    # The mechanism must hold: the optimized assignment tightens the
+    # minimum tables (smaller entry-to-portion-minimum gap). Its effect
+    # on end-to-end pruning is data-dependent: on real SIFT the
+    # arbitrary assignment yields very low portion minima and the
+    # optimization is a clear win (the paper's motivation); on the
+    # synthetic workload the arbitrary minima are already usable, so
+    # pruning lands within a few points either way (see EXPERIMENTS.md).
+    assert (
+        results["optimized"]["min_table_gap"]
+        < results["arbitrary"]["min_table_gap"]
+    )
+    assert (
+        results["optimized"]["pruned_mean"]
+        >= results["arbitrary"]["pruned_mean"] - 0.05
+    )

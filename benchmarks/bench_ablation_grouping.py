@@ -1,0 +1,64 @@
+"""Ablation — number of grouped components c (Sections 4.2 and 5.6).
+
+More grouped components mean more exact (rather than minimum-table)
+entries in the lower bound — tighter bounds, more pruning — but
+exponentially more, hence smaller, groups: below ~50 vectors per group
+the per-group portion loads dominate and speed collapses. This ablation
+sweeps c and reports group statistics, pruning and modeled speed,
+reproducing the trade-off behind the paper's nmin(c) = 50 * 16^c rule.
+"""
+
+import numpy as np
+
+from repro import PQFastScanner
+from repro.bench import format_table, run_queries, save_report, summarize
+
+N_QUERIES = 6
+
+
+def test_ablation_group_components(benchmark, ctx, workload, partition0):
+    pid, partition = partition0
+
+    def experiment():
+        results = {}
+        for c in (1, 2, 3, 4):
+            scanner = PQFastScanner(
+                workload.pq, keep=0.005, group_components=c, seed=0
+            )
+            stats = run_queries(
+                ctx, scanner, query_indexes=range(N_QUERIES), topk=100,
+                arch="haswell", partition_override=pid,
+            )
+            assert all(s.exact_match for s in stats)
+            summary = summarize(stats)
+            grouped = scanner.prepared(partition)
+            gstats = grouped.group_stats()
+            summary["n_groups"] = gstats["n_groups"]
+            summary["mean_group_size"] = gstats["mean_size"]
+            summary["memory_saving"] = grouped.memory_saving
+            results[c] = summary
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [c, r["n_groups"], r["mean_group_size"], r["memory_saving"] * 100,
+         r["pruned_mean"] * 100, r["speed_median_mvps"]]
+        for c, r in results.items()
+    ]
+    table = format_table(
+        ["c", "groups", "mean group size", "memory saved [%]",
+         "pruned [%]", "speed [M vecs/s]"],
+        rows,
+        title=(
+            f"Ablation — grouped components (partition 0, "
+            f"{len(partition)} vectors)"
+        ),
+    )
+    save_report("ablation_grouping", table, {str(k): v for k, v in results.items()})
+
+    # More grouped components => tighter bounds => more pruning.
+    assert results[4]["pruned_mean"] >= results[1]["pruned_mean"] - 0.02
+    # Memory saving grows with c (c=4 reaches the paper's 25%).
+    assert results[4]["memory_saving"] > results[1]["memory_saving"]
+    assert results[4]["memory_saving"] == 0.25

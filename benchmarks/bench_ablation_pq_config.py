@@ -1,0 +1,66 @@
+"""Ablation — PQ configuration trade-off behind Table 1 (Section 3.1).
+
+"Smaller m values lead to less memory accesses and additions but imply
+higher k* values and thus larger distance tables, which are stored in
+higher cache levels." The paper concludes PQ 8×8 is the best trade-off:
+PQ 16×4 doubles the loads for no cache benefit, PQ 4×16 halves them but
+pays L3 latency on every table access. This ablation measures all three
+64-bit configurations with the naive scan kernel on the simulated
+Haswell, whose cache model places each table where Table 1 says.
+"""
+
+import numpy as np
+
+from repro import ProductQuantizer
+from repro.bench import format_table, save_report
+from repro.pq.distance_tables import distance_table_bytes
+from repro.simd import get_platform
+from repro.simd.kernels.scalar import naive_kernel
+
+_SAMPLE = 2048
+
+
+def test_ablation_pq_configuration(benchmark, workload):
+    rng = np.random.default_rng(17)
+    results = {}
+
+    def run_config(m, bits):
+        ksub = 1 << bits
+        # Synthetic tables/codes with the right shapes: the kernel's
+        # cost depends on m, k* and cache residency, not table values.
+        tables = rng.uniform(0, 100, size=(m, ksub))
+        codes = rng.integers(0, ksub, size=(_SAMPLE, m)).astype(np.uint16)
+        return naive_kernel("haswell", tables, codes)
+
+    for m, bits in ((16, 4), (8, 8), (4, 16)):
+        run = run_config(m, bits)
+        level = get_platform("haswell").cache.level_for_size(
+            distance_table_bytes(m, bits)
+        )
+        results[f"PQ {m}x{bits}"] = {
+            "cycles_per_vector": run.cycles_per_vector,
+            "l1_loads": run.counters.l1_loads / run.n_vectors,
+            "l3_loads": run.counters.l3_loads / run.n_vectors,
+            "table_level": level.name,
+        }
+
+    benchmark.pedantic(run_config, args=(8, 8), rounds=1, iterations=1)
+
+    rows = [
+        [name, r["table_level"], r["cycles_per_vector"], r["l1_loads"],
+         r["l3_loads"]]
+        for name, r in results.items()
+    ]
+    table = format_table(
+        ["configuration", "tables in", "cycles/v", "L1 loads/v", "L3 loads/v"],
+        rows,
+        title="Ablation — PQ configuration (naive scan, simulated Haswell)",
+    )
+    save_report("ablation_pq_config", table, results)
+
+    # Table 1's conclusion: PQ 8x8 is the best trade-off.
+    best = min(results, key=lambda k: results[k]["cycles_per_vector"])
+    assert best == "PQ 8x8"
+    # PQ 4x16 pays its loads at L3.
+    assert results["PQ 4x16"]["l3_loads"] > 3.9
+    assert results["PQ 8x8"]["l3_loads"] == 0

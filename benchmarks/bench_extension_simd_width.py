@@ -1,0 +1,88 @@
+"""Extension — wider SIMD and other ISAs (the paper's Section 6 outlook).
+
+Two forward-looking claims from the discussion section:
+
+1. *"SIMD shuffle instructions are also available on ARM processors,
+   with the Neon instruction set"* — the fast-scan kernel runs
+   unmodified on the Cortex-A72 model (TBL plays pshufb's role) and
+   retains its speedup over PQ Scan.
+2. *"The AVX-512 SIMD instruction set … will allow storing larger
+   tables in SIMD registers. This will allow for even better
+   performance"* — projected here by scaling the measured Haswell
+   instruction mix: every 128-bit SIMD instruction of the lower-bound
+   pipeline covers 4x the lanes in a 512-bit register, while the scalar
+   survivor path is unchanged.
+"""
+
+import numpy as np
+
+from repro import Partition, PQFastScanner
+from repro.bench import format_table, save_report
+from repro.simd import fastscan_kernel, simulate_pq_scan
+
+# Large enough that topk=10 stays selective (pruning ~95%).
+_SAMPLE = 65536
+_SIMD_OPS = ("vload_128", "pshufb", "paddsb", "pand", "psrlw", "pcmpgtb",
+             "pmovmskb", "vbroadcast_i8")
+
+
+def test_extension_neon_and_avx512(benchmark, workload, partition0):
+    pid, partition = partition0
+    query = workload.queries[0]
+    tables = workload.index.distance_tables_for(query, pid)
+    sample = Partition(partition.codes[:_SAMPLE], partition.ids[:_SAMPLE], pid)
+    scanner = PQFastScanner(workload.pq, keep=0.005, seed=0)
+    grouped = scanner.prepare(sample)
+    tables_r = scanner.assignment.remap_tables(tables)
+
+    # -- ARM NEON: run the actual kernel on the Cortex-A72 model.
+    neon_fast = benchmark.pedantic(
+        fastscan_kernel, args=("cortex-a72", tables_r, grouped),
+        kwargs=dict(topk=10, keep=0.005), rounds=1, iterations=1,
+    )
+    neon_libpq = simulate_pq_scan(
+        "libpq", "cortex-a72", tables, sample.codes[:4096]
+    )
+    neon_speedup = neon_libpq.cycles_per_vector / neon_fast.cycles_per_vector
+
+    # -- AVX-512 projection from the Haswell run's instruction mix.
+    hsw_fast = fastscan_kernel("haswell", tables_r, grouped, topk=10,
+                               keep=0.005)
+    per_op = hsw_fast.counters.per_op
+    simd_instr = sum(per_op.get(op, 0) for op in _SIMD_OPS)
+    other_instr = hsw_fast.counters.instructions - simd_instr
+    # 512-bit registers: 4x lanes per SIMD instruction; dispatch-bound
+    # pipeline => cycles scale with the µop stream.
+    projected_instr = simd_instr / 4 + other_instr
+    scale = projected_instr / hsw_fast.counters.instructions
+    projected_cpv = hsw_fast.cycles_per_vector * scale
+    hsw_libpq = simulate_pq_scan("libpq", "haswell", tables,
+                                 sample.codes[:4096])
+
+    rows = [
+        ["Haswell SSSE3 (measured)", hsw_fast.cycles_per_vector,
+         hsw_libpq.cycles_per_vector / hsw_fast.cycles_per_vector],
+        ["AVX-512 (projected)", projected_cpv,
+         hsw_libpq.cycles_per_vector / projected_cpv],
+        ["Cortex-A72 NEON (measured)", neon_fast.cycles_per_vector,
+         neon_speedup],
+    ]
+    table = format_table(
+        ["platform", "fastscan cycles/v", "speedup vs libpq (same arch)"],
+        rows,
+        title="Extension — PQ Fast Scan beyond SSSE3 (Section 6 outlook)",
+    )
+    save_report(
+        "extension_simd_width", table,
+        {
+            "neon_speedup": neon_speedup,
+            "haswell_cpv": hsw_fast.cycles_per_vector,
+            "avx512_projected_cpv": projected_cpv,
+        },
+    )
+
+    # NEON must preserve both exactness machinery and a solid speedup.
+    assert neon_fast.n_pruned > 0
+    assert neon_speedup > 2.0
+    # Wider registers can only help the SIMD-bound part.
+    assert projected_cpv < hsw_fast.cycles_per_vector

@@ -1,0 +1,66 @@
+"""Figure 14 + Table 4 — distribution of response times, libpq vs fastpq.
+
+For every query routed to partition 0 (keep=0.5%, topk=100), the
+response time of the libpq PQ Scan is modeled from its constant
+cycles/vector; PQ Fast Scan response times combine each query's measured
+pruning statistics with the simulation-calibrated unit costs, so the
+distribution's *spread* — the paper's point: fastpq response time varies
+with the query, libpq's does not — comes from real per-query pruning.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_queries, save_report
+
+
+def test_fig14_table4_response_time_distribution(
+    benchmark, ctx, fast_scanner, partition0_queries
+):
+    queries, pid = partition0_queries
+    stats = benchmark.pedantic(
+        run_queries,
+        kwargs=dict(
+            ctx=ctx, scanner=fast_scanner, query_indexes=queries,
+            topk=100, arch="haswell", partition_override=pid,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert all(s.exact_match for s in stats), "exactness violated"
+
+    model = ctx.cost_model("haswell", fast_scanner)
+    n = stats[0].partition_size
+    libpq_ms = model.libpq_time_ms(n)
+    fast_ms = np.array([s.modeled_time_ms for s in stats])
+
+    def pct(a, q):
+        return float(np.percentile(a, q))
+
+    rows = [
+        ["PQ Scan (libpq)", libpq_ms, libpq_ms, libpq_ms, libpq_ms, libpq_ms],
+        ["PQ Fast Scan", float(fast_ms.mean()), pct(fast_ms, 25),
+         pct(fast_ms, 50), pct(fast_ms, 75), pct(fast_ms, 95)],
+        ["Speedup", libpq_ms / fast_ms.mean(), libpq_ms / pct(fast_ms, 25),
+         libpq_ms / pct(fast_ms, 50), libpq_ms / pct(fast_ms, 75),
+         libpq_ms / pct(fast_ms, 95)],
+    ]
+    table = format_table(
+        ["", "mean [ms]", "25% [ms]", "median [ms]", "75% [ms]", "95% [ms]"],
+        rows,
+        title=(
+            f"Table 4 / Figure 14 — response times, partition 0 "
+            f"({n} vectors, keep=0.5%, topk=100)"
+        ),
+    )
+    data = {
+        "partition_size": n,
+        "libpq_ms": libpq_ms,
+        "fastpq_ms": fast_ms.tolist(),
+        "median_speedup": libpq_ms / pct(fast_ms, 50),
+        "pruned": [s.pruned_fraction for s in stats],
+    }
+    save_report("fig14_table4_response_times", table, data)
+
+    # Shape checks: fastpq is faster for the bulk of queries, and its
+    # distribution is dispersed while libpq's is constant.
+    assert libpq_ms / pct(fast_ms, 50) > 2.0
+    assert fast_ms.std() > 0

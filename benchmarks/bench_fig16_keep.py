@@ -1,0 +1,68 @@
+"""Figure 16 — impact of the keep parameter on pruning power and speed.
+
+Sweeps keep over 0.01%..10% for topk in {100, 1000}, over queries spread
+across all partitions. Reports the pruned fraction and the modeled scan
+speed. Expected shape (paper): pruning power rises moderately with keep;
+scan speed rises slightly then collapses at large keep where the slow
+PQ-Scan prefix dominates; topk=1000 prunes less than topk=100.
+"""
+
+import numpy as np
+
+from repro import PQFastScanner
+from repro.bench import format_table, run_queries, save_report, summarize
+
+KEEPS = (0.0001, 0.001, 0.005, 0.01, 0.05, 0.1)
+TOPKS = (100, 1000)
+N_QUERIES = 8
+
+
+def test_fig16_keep_sweep(benchmark, ctx, workload):
+    def sweep():
+        results = {}
+        for topk in TOPKS:
+            for keep in KEEPS:
+                scanner = PQFastScanner(workload.pq, keep=keep, seed=0)
+                stats = run_queries(
+                    ctx, scanner, query_indexes=range(N_QUERIES), topk=topk,
+                    arch="haswell",
+                )
+                assert all(s.exact_match for s in stats)
+                results[(topk, keep)] = summarize(stats)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (topk, keep), summary in results.items():
+        rows.append(
+            [topk, f"{keep * 100:g}%", summary["pruned_mean"] * 100,
+             summary["speed_median_mvps"]]
+        )
+    table = format_table(
+        ["topk", "keep", "pruned [%]", "scan speed [M vecs/s]"],
+        rows,
+        title="Figure 16 — impact of keep (all partitions)",
+    )
+    save_report(
+        "fig16_keep",
+        table,
+        {f"topk{t}_keep{k}": v for (t, k), v in results.items()},
+    )
+
+    # Shape assertions from the paper:
+    for topk in TOPKS:
+        # pruning power increases (weakly) with keep over the low range
+        low = results[(topk, 0.0001)]["pruned_mean"]
+        mid = results[(topk, 0.01)]["pruned_mean"]
+        assert mid >= low - 0.02
+    # topk=1000 prunes less than topk=100 at the paper's default keep.
+    assert (
+        results[(1000, 0.005)]["pruned_mean"]
+        <= results[(100, 0.005)]["pruned_mean"] + 1e-9
+    )
+    # Scan speed collapses at keep=10% versus the 0.5% default.
+    assert (
+        results[(100, 0.1)]["speed_median_mvps"]
+        < results[(100, 0.005)]["speed_median_mvps"]
+    )

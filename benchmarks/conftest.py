@@ -1,0 +1,53 @@
+"""Shared fixtures for the experiment benchmarks.
+
+One scaled SIFT100M-analogue workload (see DESIGN.md §4 for the scale
+note) is built once and cached on disk under ``.bench_cache/``; every
+``bench_*`` module draws partitions, queries and calibrated cost models
+from it. Scale is controlled by ``REPRO_BENCH_SCALE`` (default 100:
+1M base vectors, the paper's sizes divided by 100).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import PQFastScanner
+from repro.bench import HarnessContext, build_workload
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "100"))
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return build_workload("sift100m", scale=bench_scale(), n_queries=48, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ctx(workload):
+    return HarnessContext(workload)
+
+
+@pytest.fixture(scope="session")
+def fast_scanner(workload):
+    return PQFastScanner(workload.pq, keep=0.005, seed=0)
+
+
+@pytest.fixture(scope="session")
+def partition0(workload):
+    """The largest partition — the analogue of the paper's partition 0."""
+    pid = int(np.argmax(workload.index.partition_sizes()))
+    return pid, workload.index.partitions[pid]
+
+
+@pytest.fixture(scope="session")
+def partition0_queries(workload, partition0):
+    """Queries routed to partition 0 (at least 8, padding with others)."""
+    pid, _ = partition0
+    routed = list(workload.queries_for_partition(pid))
+    extra = [qi for qi in range(len(workload.queries)) if qi not in routed]
+    return (routed + extra)[:16], pid

@@ -1,0 +1,68 @@
+"""Small-table techniques beyond ANN: compressed-database analytics.
+
+Section 6 of the paper argues that register-resident lookup tables apply
+to query execution over dictionary-compressed columns. This example
+builds a compressed "product" fact table and runs:
+
+* an exact-result top-k scoring query accelerated by register-sized
+  **maximum tables** (upper bounds prune rows that cannot reach the
+  current k-th best score), and
+* approximate aggregates computed from 16-entry **mean tables** with an
+  a-priori error bound.
+
+Run:  python examples/compressed_analytics.py
+"""
+
+import numpy as np
+
+from repro.compressed import (
+    ApproximateAggregator,
+    DictionaryColumn,
+    TopKScoreScanner,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    n = 500_000
+    print(f"Compressing a {n}-row fact table to one byte per value ...")
+    revenue = rng.lognormal(4.5, 1.2, n)
+    margin = rng.beta(2, 5, n) * 80
+    popularity = rng.poisson(30, n).astype(float)
+    columns = [
+        DictionaryColumn.compress("revenue", revenue),
+        DictionaryColumn.compress("margin", margin),
+        DictionaryColumn.compress("popularity", popularity),
+    ]
+    raw_bytes = 8 * 3 * n
+    compressed_bytes = sum(c.nbytes for c in columns)
+    print(f"  {raw_bytes / 2**20:.1f} MiB of float64 -> "
+          f"{compressed_bytes / 2**20:.1f} MiB compressed "
+          f"({raw_bytes / compressed_bytes:.1f}x)")
+
+    print("\nTop-20 rows by score = revenue + 2*margin + 0.5*popularity")
+    scanner = TopKScoreScanner(columns, weights=np.array([1.0, 2.0, 0.5]))
+    exact = scanner.scan_exact(20)
+    fast = scanner.scan_fast(20)
+    assert fast.same_rows(exact), "pruned scan changed the result!"
+    print(f"  exact scan:  scored all {n} rows")
+    print(f"  fast scan:   pruned {fast.pruned_fraction:.1%} of rows with "
+          f"16-entry maximum tables — identical top-20")
+    print(f"  best rows: {fast.rows[:5].tolist()} "
+          f"(scores {np.round(fast.scores[:5], 1).tolist()})")
+
+    print("\nApproximate aggregates from 16-entry mean tables")
+    for col in columns:
+        agg = ApproximateAggregator(col)
+        est = agg.mean()
+        print(f"  mean({col.name:10s}) ~= {est.value:10.2f}   "
+              f"exact {est.exact:10.2f}   error {est.error:8.4f} "
+              f"(bound {est.max_error:7.2f})")
+    print("\nBoth techniques read only the high nibble of each code —")
+    print("half the index bits — and their tables fit one SIMD register,")
+    print("exactly the transformation PQ Fast Scan applies to distance")
+    print("tables.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: PQ Fast Scan end to end in ~30 seconds.
+
+Builds a synthetic SIFT-like database, trains a PQ 8x8 product
+quantizer, indexes the database with IVFADC, and answers nearest
+neighbor queries with PQ Fast Scan — verifying that the results are
+*exactly* those of plain PQ Scan while most distance computations are
+pruned.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    IVFADCIndex,
+    NaiveScanner,
+    PQFastScanner,
+    ProductQuantizer,
+    VectorDataset,
+)
+
+
+def main() -> None:
+    print("1. Generating a synthetic SIFT-like dataset ...")
+    dataset = VectorDataset.synthetic(
+        n_learn=20_000, n_base=200_000, n_query=5, seed=7
+    )
+    print(f"   {dataset.describe()}")
+
+    print("2. Training a PQ 8x8 product quantizer (64-bit codes) ...")
+    pq = ProductQuantizer(m=8, bits=8, max_iter=10, seed=0).fit(dataset.learn)
+    mse = pq.quantization_error(dataset.base[:2000])
+    print(f"   {pq.config_name()}: quantization MSE = {mse:.0f}")
+
+    print("3. Building the IVFADC index (2 partitions) ...")
+    index = IVFADCIndex(pq, n_partitions=2, seed=0).add(dataset.base)
+    print(f"   partition sizes: {index.partition_sizes().tolist()}")
+
+    print("4. Searching with PQ Fast Scan (keep=0.5%, topk=10) ...")
+    fast = PQFastScanner(pq, keep=0.005, seed=0)
+    reference = NaiveScanner()
+    for qi, query in enumerate(dataset.queries):
+        pid = index.route(query)[0]               # Step 1: route
+        tables = index.distance_tables_for(query, pid)  # Step 2: tables
+        partition = index.partitions[pid]
+
+        t0 = time.perf_counter()
+        result = fast.scan(tables, partition, topk=10)  # Step 3: scan
+        elapsed = time.perf_counter() - t0
+
+        exact = reference.scan(tables, partition, topk=10)
+        assert result.same_neighbors(exact), "exactness violated!"
+        print(
+            f"   query {qi}: partition {pid} ({len(partition)} vectors), "
+            f"pruned {result.pruned_fraction:.1%} of distance "
+            f"computations, nearest id {result.ids[0]} "
+            f"(d^2={result.distances[0]:.0f}), {elapsed * 1e3:.0f} ms, "
+            f"results identical to PQ Scan: "
+            f"{result.same_neighbors(exact)}"
+        )
+
+    print("\nDone. PQ Fast Scan returned byte-identical neighbors while")
+    print("skipping the exact distance computation for the vast majority")
+    print("of database vectors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Inspect the micro-architectural story with the cycle-level simulator.
+
+Reproduces the paper's core performance narrative interactively:
+
+1. the four PQ Scan implementations (naive, libpq, AVX, gather) and why
+   none of them beats the naive loop (Section 3 / Figure 3),
+2. PQ Fast Scan's counters and its 4-6x speedup (Figures 14-15),
+3. the speedup across four CPU generations (Figure 20 / Table 5).
+
+Run:  python examples/simulated_cpu_counters.py
+"""
+
+import numpy as np
+
+from repro import IVFADCIndex, Partition, PQFastScanner, ProductQuantizer, VectorDataset
+from repro.simd import SCAN_KERNELS, fastscan_kernel, simulate_pq_scan
+
+
+def main() -> None:
+    print("Preparing a workload sample ...")
+    dataset = VectorDataset.synthetic(15_000, 60_000, 1, seed=5)
+    pq = ProductQuantizer(m=8, bits=8, max_iter=8, seed=0).fit(dataset.learn)
+    index = IVFADCIndex(pq, n_partitions=2, seed=0).add(dataset.base)
+    query = dataset.queries[0]
+    pid = index.route(query)[0]
+    tables = index.distance_tables_for(query, pid)
+    partition = index.partitions[pid]
+    sample = Partition(partition.codes[:10_000], partition.ids[:10_000], pid)
+
+    print(f"\n--- PQ Scan implementations (simulated Haswell, "
+          f"{len(sample)} vectors) ---")
+    header = (f"{'impl':8s} {'cycles/v':>9s} {'instr/v':>8s} {'uops/v':>7s} "
+              f"{'L1/v':>6s} {'IPC':>5s}")
+    print(header)
+    runs = {}
+    for name in SCAN_KERNELS:
+        run = simulate_pq_scan(name, "haswell", tables, sample.codes)
+        runs[name] = run
+        pv = run.counters.per_vector(run.n_vectors)
+        print(f"{name:8s} {pv.cycles:9.1f} {pv.instructions:8.1f} "
+              f"{pv.uops:7.1f} {pv.l1_loads:6.1f} {pv.ipc:5.2f}")
+    print("-> despite 9 loads instead of 16, libpq is no faster; gather's")
+    print("   34 uops and 10-cycle throughput starve the pipeline.")
+
+    print("\n--- PQ Fast Scan (register-resident small tables) ---")
+    scanner = PQFastScanner(pq, keep=0.005, seed=0)
+    grouped = scanner.prepare(sample)
+    tables_r = scanner.assignment.remap_tables(tables)
+    fast = fastscan_kernel("haswell", tables_r, grouped, topk=100, keep=0.005)
+    pv = fast.counters.per_vector(fast.n_vectors)
+    print(f"{'fastpq':8s} {pv.cycles:9.2f} {pv.instructions:8.2f} "
+          f"{pv.uops:7.2f} {pv.l1_loads:6.2f} {pv.ipc:5.2f}")
+    print(f"   pruned {fast.n_pruned / fast.n_vectors:.1%} of vectors; "
+          f"speedup vs libpq = "
+          f"{runs['libpq'].cycles_per_vector / fast.cycles_per_vector:.1f}x")
+
+    print("\n--- Scan speed across CPU generations (Table 5) ---")
+    for letter, label in (("A", "Haswell 2014"), ("B", "Ivy Bridge 2013"),
+                          ("C", "Sandy Bridge 2012"), ("D", "Nehalem 2009")):
+        libpq = simulate_pq_scan("libpq", letter, tables, sample.codes[:4000])
+        fast = fastscan_kernel(letter, tables_r, grouped, topk=100, keep=0.005)
+        print(f"  {label:18s} libpq {libpq.scan_speed / 1e6:7.0f} M vecs/s   "
+              f"fastpq {fast.scan_speed / 1e6:7.0f} M vecs/s   "
+              f"({libpq.cycles_per_vector / fast.cycles_per_vector:.1f}x)")
+    print("\nPQ Fast Scan needs nothing newer than SSSE3 (2006), so the")
+    print("speedup holds on every generation — the paper's Figure 20.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro — reproduction of PQ Fast Scan (André et al., VLDB 2015).
+
+High-performance nearest neighbor search with Product Quantization Fast
+Scan: register-resident small lookup tables computing lower bounds that
+prune >95% of exact distance computations, returning exactly the same
+neighbors as plain PQ Scan.
+
+Public API highlights::
+
+    from repro import ProductQuantizer, IVFADCIndex, PQFastScanner
+
+    pq = ProductQuantizer(m=8, bits=8).fit(learn)
+    index = IVFADCIndex(pq, n_partitions=8).add(base)
+    scanner = PQFastScanner(pq, keep=0.005)
+    pid = index.route(query)[0]
+    tables = index.distance_tables_for(query, pid)
+    result = scanner.scan(tables, index.partitions[pid], topk=100)
+"""
+
+from .core import (
+    CentroidAssignment,
+    DistanceQuantizer,
+    FastScanResult,
+    GroupedPartition,
+    PQFastScanner,
+    QuantizationOnlyScanner,
+    SmallTables,
+    optimized_assignment,
+)
+from .data import SyntheticSIFT, VectorDataset, exact_neighbors, recall_at
+from .exceptions import (
+    ConfigurationError,
+    DatasetError,
+    DimensionMismatchError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+)
+from .ivf import IVFADCIndex, MultiIndex, Partition
+from .pq import (
+    KMeans,
+    OptimizedProductQuantizer,
+    ProductQuantizer,
+    SameSizeKMeans,
+    SymmetricDistance,
+    VectorQuantizer,
+    adc_distances,
+)
+from .scan import (
+    SCANNERS,
+    AVXScanner,
+    GatherScanner,
+    LibpqScanner,
+    NaiveScanner,
+    ScanResult,
+)
+from .persistence import load_index, load_quantizer, save_index, save_quantizer
+from .search import ANNSearcher, SearchResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANNSearcher",
+    "AVXScanner",
+    "CentroidAssignment",
+    "ConfigurationError",
+    "DatasetError",
+    "DimensionMismatchError",
+    "DistanceQuantizer",
+    "FastScanResult",
+    "GatherScanner",
+    "GroupedPartition",
+    "IVFADCIndex",
+    "KMeans",
+    "LibpqScanner",
+    "MultiIndex",
+    "NaiveScanner",
+    "NotFittedError",
+    "OptimizedProductQuantizer",
+    "PQFastScanner",
+    "Partition",
+    "ProductQuantizer",
+    "QuantizationOnlyScanner",
+    "ReproError",
+    "SCANNERS",
+    "SameSizeKMeans",
+    "ScanResult",
+    "SearchResult",
+    "SimulationError",
+    "SmallTables",
+    "SymmetricDistance",
+    "SyntheticSIFT",
+    "VectorDataset",
+    "VectorQuantizer",
+    "adc_distances",
+    "exact_neighbors",
+    "load_index",
+    "load_quantizer",
+    "optimized_assignment",
+    "recall_at",
+    "save_index",
+    "save_quantizer",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""Memory-bandwidth model for concurrent queries (Section 5.8).
+
+"PQ Fast Scan loads 6 bytes from memory for each lower bound
+computation. Thus, a scan speed of 1800 M vecs/s corresponds to a
+bandwidth use of 10.8 GB/s. The memory bandwidth of Intel server
+processors ranges from 40 GB/s to 70 GB/s. When answering 8 queries
+concurrently on an 8-core server processor, PQ Fast Scan is bound by
+the memory bandwidth."
+
+This module computes that analysis for any platform model: per-core
+bandwidth demand of each scanner, the aggregate throughput curve as
+query-per-core parallelism grows, and the core count where the memory
+wall bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simd.arch import CPUModel
+
+__all__ = ["BandwidthAnalysis", "analyze_concurrency"]
+
+#: Bytes streamed from memory per vector by PQ Fast Scan's compact
+#: layout (Section 5.8; 6 bytes for c=4, 7 for c=3/c=2).
+FASTSCAN_BYTES_PER_VECTOR = 6.0
+
+#: Bytes per vector for plain PQ Scan (the full 8-byte pqcode).
+PQSCAN_BYTES_PER_VECTOR = 8.0
+
+
+@dataclass(frozen=True)
+class BandwidthAnalysis:
+    """Concurrency scaling of one scanner on one platform."""
+
+    scanner: str
+    platform: str
+    single_core_speed_vps: float
+    bytes_per_vector: float
+    bandwidth_gbs: float
+    #: Aggregate scan speed (vecs/s) at 1..n_cores concurrent queries.
+    scaling: tuple[float, ...]
+
+    @property
+    def single_core_bandwidth_gbs(self) -> float:
+        """Bandwidth demand of one core running this scanner flat out."""
+        return self.single_core_speed_vps * self.bytes_per_vector / 1e9
+
+    @property
+    def saturation_cores(self) -> float:
+        """Cores needed to saturate memory bandwidth (may exceed n_cores)."""
+        demand = self.single_core_bandwidth_gbs
+        if demand <= 0:
+            return float("inf")
+        return self.bandwidth_gbs / demand
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        """True when the full core count is memory-bandwidth limited."""
+        return self.saturation_cores <= len(self.scaling)
+
+
+def analyze_concurrency(
+    scanner_name: str,
+    single_core_speed_vps: float,
+    cpu: CPUModel,
+    bytes_per_vector: float | None = None,
+) -> BandwidthAnalysis:
+    """Scale a single-core scan speed across the platform's cores.
+
+    With ``k`` concurrent queries the aggregate speed is
+    ``min(k * single_core, bandwidth / bytes_per_vector)`` — linear
+    scaling until the memory wall.
+    """
+    if bytes_per_vector is None:
+        bytes_per_vector = (
+            FASTSCAN_BYTES_PER_VECTOR
+            if "fast" in scanner_name
+            else PQSCAN_BYTES_PER_VECTOR
+        )
+    wall = cpu.memory_bandwidth_gbs * 1e9 / bytes_per_vector
+    scaling = tuple(
+        min(k * single_core_speed_vps, wall) for k in range(1, cpu.n_cores + 1)
+    )
+    return BandwidthAnalysis(
+        scanner=scanner_name,
+        platform=cpu.name,
+        single_core_speed_vps=single_core_speed_vps,
+        bytes_per_vector=bytes_per_vector,
+        bandwidth_gbs=cpu.memory_bandwidth_gbs,
+        scaling=scaling,
+    )

@@ -1,0 +1,128 @@
+"""Plain-text figure rendering for benchmark results.
+
+The paper's figures are bar charts and parameter-sweep curves; the
+benchmark harness stores their data as JSON under ``results/``. This
+module renders them as ASCII bar charts so a terminal-only session can
+eyeball the shapes, and powers ``python -m repro.report`` which stitches
+every saved experiment into one document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+from .reporting import results_dir
+
+__all__ = ["bar_chart", "render_report", "load_result"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not labels:
+        raise ConfigurationError("cannot chart zero series")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        frac = max(value, 0.0) / peak
+        full = int(frac * width)
+        half = 1 if (frac * width - full) >= 0.5 else 0
+        bar = _BAR * full + _HALF * half
+        lines.append(
+            f"{str(label).rjust(label_w)} | {bar} {value:,.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def load_result(experiment: str, directory: Path | None = None) -> dict:
+    """Load the raw JSON of one saved experiment."""
+    directory = results_dir() if directory is None else directory
+    path = directory / f"{experiment}.json"
+    if not path.exists():
+        raise ConfigurationError(
+            f"no saved result {experiment!r}; run `pytest benchmarks/ "
+            f"--benchmark-only` first"
+        )
+    return json.loads(path.read_text())
+
+
+def render_report(directory: Path | None = None) -> str:
+    """Assemble every saved experiment table into one document.
+
+    Tables come verbatim from the ``.txt`` artifacts; a couple of
+    headline figures are re-rendered as ASCII charts from the JSON.
+    """
+    directory = results_dir() if directory is None else directory
+    sections = ["# PQ Fast Scan — regenerated evaluation", ""]
+
+    order = [
+        "table1_cache_levels", "table2_instructions", "fig3_pqscan_impls",
+        "fig14_table4_response_times", "fig15_counters", "fig16_keep",
+        "fig17_quantization_only", "fig18_topk", "fig19_partition_size",
+        "table3_partitions", "fig20_large_scale", "table5_platforms",
+        "ablation_assignment", "ablation_grouping", "ablation_qmax",
+        "ablation_pq_config", "section58_bandwidth", "section6_compressed",
+        "extension_simd_width",
+    ]
+    seen = set()
+    for name in order:
+        path = directory / f"{name}.txt"
+        if path.exists():
+            sections.append(path.read_text().rstrip())
+            sections.append("")
+            seen.add(name)
+    for path in sorted(directory.glob("*.txt")):
+        if path.stem not in seen:
+            sections.append(path.read_text().rstrip())
+            sections.append("")
+
+    # Headline charts.
+    try:
+        fig3 = load_result("fig3_pqscan_impls", directory)
+        labels = [k for k in ("naive", "libpq", "avx", "gather") if k in fig3]
+        sections.append(
+            bar_chart(
+                labels,
+                [fig3[k]["cycles"] for k in labels],
+                title="Figure 3 (chart) — cycles per vector",
+                unit=" cyc/v",
+            )
+        )
+        sections.append("")
+    except ConfigurationError:
+        pass
+    try:
+        fig18 = load_result("fig18_topk", directory)
+        topks = sorted(fig18, key=int)
+        sections.append(
+            bar_chart(
+                [f"topk={t}" for t in topks],
+                [fig18[t]["pruned_mean"] * 100 for t in topks],
+                title="Figure 18 (chart) — pruned distance computations",
+                unit=" %",
+            )
+        )
+        sections.append("")
+    except (ConfigurationError, KeyError):
+        pass
+    return "\n".join(sections)

@@ -1,0 +1,77 @@
+"""Plain-text tables and result persistence for the benchmark harness.
+
+Every benchmark writes two artifacts:
+
+* a human-readable table under ``results/<experiment>.txt`` that mirrors
+  the corresponding table/figure of the paper, and
+* a JSON record under ``results/<experiment>.json`` with the raw numbers
+  (consumed when regenerating EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_table", "results_dir", "save_report"]
+
+
+def results_dir() -> Path:
+    """Directory receiving benchmark reports (REPRO_RESULTS_DIR to move)."""
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table; floats get 3 significant decimals."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_report(
+    experiment: str,
+    table: str,
+    data: dict,
+    *,
+    echo: bool = True,
+) -> Path:
+    """Persist a rendered table + raw data; returns the text file path."""
+    out = results_dir()
+    text_path = out / f"{experiment}.txt"
+    text_path.write_text(table + "\n")
+    (out / f"{experiment}.json").write_text(json.dumps(data, indent=2, default=str))
+    if echo:
+        print(f"\n{table}\n[saved to {text_path}]")
+    return text_path

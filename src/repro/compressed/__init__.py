@@ -1,0 +1,13 @@
+"""Section-6 generalization: small-table techniques beyond ANN search."""
+
+from .aggregates import AggregateEstimate, ApproximateAggregator
+from .column import DictionaryColumn
+from .topk import ScoreResult, TopKScoreScanner
+
+__all__ = [
+    "AggregateEstimate",
+    "ApproximateAggregator",
+    "DictionaryColumn",
+    "ScoreResult",
+    "TopKScoreScanner",
+]

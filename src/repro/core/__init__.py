@@ -1,0 +1,38 @@
+"""PQ Fast Scan — the paper's core contribution (Section 4)."""
+
+from .fast_scan import FastScanResult, PQFastScanner
+from .grouping import (
+    Group,
+    GroupedPartition,
+    group_key_digits,
+    min_partition_size,
+    suggested_components,
+)
+from .minimum_tables import (
+    CentroidAssignment,
+    minimum_table,
+    minimum_tables,
+    optimized_assignment,
+)
+from .quantization import SATURATION, DistanceQuantizer, saturating_add
+from .quantization_only import QuantizationOnlyScanner
+from .small_tables import SmallTables
+
+__all__ = [
+    "CentroidAssignment",
+    "DistanceQuantizer",
+    "FastScanResult",
+    "Group",
+    "GroupedPartition",
+    "PQFastScanner",
+    "QuantizationOnlyScanner",
+    "SATURATION",
+    "SmallTables",
+    "group_key_digits",
+    "min_partition_size",
+    "minimum_table",
+    "minimum_tables",
+    "optimized_assignment",
+    "saturating_add",
+    "suggested_components",
+]

@@ -1,0 +1,306 @@
+"""PQ Fast Scan: the paper's core contribution (Section 4).
+
+The scan of one partition (Figure 6) proceeds per database vector:
+
+1. compute an 8-bit *lower bound* on its ADC distance from small,
+   register-sized tables (no cache access on real hardware);
+2. if the lower bound exceeds the (quantized) distance to the current
+   topk-th nearest neighbor, discard the vector — over 95% of vectors
+   are pruned this way;
+3. otherwise compute the exact pqdistance from the full distance tables
+   and update the nearest-neighbor set.
+
+Because lower bounds are conservative (floor-quantized under-estimates
+compared against a ceil-quantized threshold), PQ Fast Scan returns
+*exactly* the same neighbors as PQ Scan — the library asserts this in
+tests and benchmarks.
+
+Query pipeline implemented by :class:`PQFastScanner`:
+
+* **keep phase** — the first ``keep`` fraction of the partition is
+  scanned with plain PQ Scan; the resulting temporary topk-th distance
+  becomes the quantization bound ``qmax`` (Section 4.4).
+* **small-table build** — quantized minimum tables for the non-grouped
+  components, quantized portions per group for the grouped ones.
+* **grouped scan** — per group: lower bounds for all members, pruning
+  against the current threshold, exact ADC for survivors, threshold
+  update.
+
+This implementation processes each group as a vectorized batch and
+refreshes the pruning threshold between groups, which is the batching a
+SIMD implementation performs between register reloads.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..ivf.partition import Partition
+from ..pq.adc import adc_distances
+from ..pq.product_quantizer import ProductQuantizer
+from ..scan.base import InstructionProfile, PartitionScanner, ScanResult
+from ..scan.topk import TopKAccumulator
+from .grouping import GroupedPartition, suggested_components
+from .minimum_tables import CentroidAssignment, optimized_assignment
+from .quantization import DistanceQuantizer
+from .small_tables import SmallTables
+
+__all__ = ["PQFastScanner", "FastScanResult"]
+
+
+@dataclass(frozen=True)
+class FastScanResult(ScanResult):
+    """ScanResult enriched with PQ Fast Scan statistics.
+
+    Attributes (in addition to :class:`ScanResult`):
+        n_keep: vectors scanned with plain PQ Scan in the keep phase.
+        n_exact: vectors whose exact distance was computed in the fast
+            phase (survivors of the lower-bound test).
+        qmin: lower quantization bound used for this query.
+        qmax: upper quantization bound (temporary-NN distance).
+    """
+
+    n_keep: int = 0
+    n_exact: int = 0
+    qmin: float = 0.0
+    qmax: float = 0.0
+
+
+class PQFastScanner(PartitionScanner):
+    """Scanner implementing PQ Fast Scan over PQ 8×8 codes.
+
+    Args:
+        pq: the fitted product quantizer of the database (must be m×8:
+            byte codes; the paper targets PQ 8×8).
+        keep: fraction of the partition scanned with plain PQ Scan to
+            bound ``qmax`` (paper: 0.1%-1%, default 0.5%).
+        group_components: how many leading components to group on.
+            ``None`` (default) picks the largest c whose average group
+            still holds >= 50 vectors — the paper's ``nmin(c) = 50*16^c``
+            rule (4 above 3.2M vectors, 3 above 200K — Section 4.2/5.6).
+        assignment: ``"optimized"`` (same-size k-means reassignment of
+            centroid indexes, Section 4.3) or ``"arbitrary"`` (keep the
+            training assignment; ablation baseline).
+        qmax_bound: ``"keep"`` (the paper's choice: distance to the
+            temporary nearest neighbor from the keep phase) or
+            ``"naive"`` (the rejected alternative: sum of per-table
+            maxima — much coarser quantization bins, Figure 12;
+            ablation baseline).
+        seed: RNG seed of the assignment clustering.
+    """
+
+    name = "fastpq"
+
+    #: Maximum rows scanned against one threshold value (see scan loop).
+    _CHUNK = 1024
+
+    def __init__(
+        self,
+        pq: ProductQuantizer,
+        *,
+        keep: float = 0.005,
+        group_components: int | None = None,
+        assignment: str = "optimized",
+        qmax_bound: str = "keep",
+        seed: int = 0,
+    ):
+        if not pq.is_fitted:
+            raise NotFittedError("PQFastScanner requires a fitted ProductQuantizer")
+        if pq.bits != 8:
+            raise ConfigurationError(
+                "PQ Fast Scan requires 8-bit sub-quantizers (byte codes)"
+            )
+        if not 0.0 <= keep <= 1.0:
+            raise ConfigurationError(f"keep must be in [0, 1], got {keep}")
+        if assignment not in ("optimized", "arbitrary"):
+            raise ConfigurationError(f"unknown assignment mode {assignment!r}")
+        if qmax_bound not in ("keep", "naive"):
+            raise ConfigurationError(f"unknown qmax bound {qmax_bound!r}")
+        self.pq = pq
+        self.keep = keep
+        self.group_components = group_components
+        self.assignment_mode = assignment
+        self.qmax_bound = qmax_bound
+        self.seed = seed
+        self._assignment: CentroidAssignment | None = None
+        self._prepared: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+    # -- database-side preparation ---------------------------------------------
+
+    @property
+    def assignment(self) -> CentroidAssignment:
+        """The centroid-index assignment (learned lazily).
+
+        With an explicit ``group_components`` only the non-grouped
+        sub-quantizers are reassigned (grouped components never use
+        minimum tables, so their assignment is irrelevant for
+        tightness). In auto mode the chosen ``c`` varies per partition,
+        so every component that *could* feed a minimum table — all of
+        them — gets the optimized assignment.
+        """
+        if self._assignment is None:
+            if self.assignment_mode == "optimized":
+                if self.group_components is None:
+                    components = list(range(self.pq.m))
+                else:
+                    c = self._components_for(None)
+                    components = list(range(c, self.pq.m))
+                self._assignment = optimized_assignment(
+                    self.pq, components, seed=self.seed
+                )
+            else:
+                self._assignment = CentroidAssignment.identity(self.pq.m)
+        return self._assignment
+
+    def prepare(self, partition: Partition, c: int | None = None) -> GroupedPartition:
+        """Remap codes to the optimized assignment and group the partition.
+
+        This is the build-time step of PQ Fast Scan; its output can be
+        cached and reused for every query against the partition.
+        """
+        c = self._components_for(len(partition)) if c is None else c
+        remapped = Partition(
+            self.assignment.remap_codes(partition.codes),
+            partition.ids,
+            partition.partition_id,
+        )
+        return GroupedPartition(remapped, c=c)
+
+    def prepared(self, partition: Partition) -> GroupedPartition:
+        """Cached :meth:`prepare`, keyed by partition object identity.
+
+        The cache holds weak references, so grouped copies are released
+        together with the partitions they mirror.
+        """
+        cached = self._prepared.get(partition)
+        if cached is None:
+            cached = self.prepare(partition)
+            self._prepared[partition] = cached
+        return cached
+
+    def _components_for(self, partition_size: int | None) -> int:
+        if self.group_components is not None:
+            return min(self.group_components, self.pq.m)
+        if partition_size is None:
+            return min(4, self.pq.m)
+        return suggested_components(partition_size, maximum=min(4, self.pq.m))
+
+    # -- scanning ---------------------------------------------------------------
+
+    def scan(
+        self, tables: np.ndarray, partition: Partition, topk: int = 1
+    ) -> FastScanResult:
+        """Full PQ Fast Scan of ``partition`` for one query."""
+        return self.scan_grouped(tables, self.prepared(partition), topk)
+
+    def scan_grouped(
+        self, tables: np.ndarray, grouped: GroupedPartition, topk: int = 1
+    ) -> FastScanResult:
+        """Scan an already-prepared partition."""
+        tables_r = self.assignment.remap_tables(np.asarray(tables, dtype=np.float64))
+        n = len(grouped)
+        if n == 0:
+            return FastScanResult(
+                ids=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float64),
+                n_scanned=0,
+            )
+        acc = TopKAccumulator(topk)
+
+        # Keep phase (Section 4.4): plain PQ Scan over the first keep%
+        # of the *database* (smallest ids), needs at least topk vectors
+        # to bound qmax. Database order is uncorrelated with grouping, so
+        # the temporary nearest neighbor is drawn from a representative
+        # sample — a grouped-order prefix would be a single coherent
+        # cluster and can yield an arbitrarily loose qmax.
+        n_keep = min(n, max(int(np.ceil(self.keep * n)), topk))
+        keep_rows = np.sort(np.argsort(grouped.ids, kind="stable")[:n_keep])
+        keep_mask = np.zeros(n, dtype=bool)
+        keep_mask[keep_rows] = True
+        keep_codes = self._reconstruct_sorted_rows(grouped, keep_rows)
+        keep_dists = adc_distances(tables_r, keep_codes)
+        acc.offer_many(keep_dists, grouped.ids[keep_rows])
+        qmax = acc.threshold
+        if self.qmax_bound == "naive":
+            qmax = float(tables_r.max(axis=1).sum())
+
+        quantizer = DistanceQuantizer.from_tables(tables_r, qmax)
+        small = SmallTables(tables_r, grouped.c, quantizer)
+        threshold_q = quantizer.quantize_threshold(acc.threshold, components=grouped.m)
+
+        # Threshold freshness: the SIMD kernel compares against the
+        # current topk-th distance every 16 vectors; batching a whole
+        # group against one stale threshold under-prunes badly when
+        # groups are large. Refresh at least every _CHUNK rows.
+        n_pruned = 0
+        n_exact = 0
+        for group in grouped.groups:
+            codes = None
+            for start in range(group.start, group.stop, self._CHUNK):
+                stop = min(start + self._CHUNK, group.stop)
+                fresh = ~keep_mask[start:stop]
+                if not fresh.any():
+                    continue
+                bounds = small.lower_bounds(grouped, group, start=start, stop=stop)
+                survivors = np.flatnonzero((bounds <= threshold_q) & fresh)
+                n_pruned += int(fresh.sum()) - len(survivors)
+                if len(survivors) == 0:
+                    continue
+                n_exact += len(survivors)
+                if codes is None:
+                    codes = grouped.reconstruct_codes(group)
+                rows = (start - group.start) + survivors
+                dists = adc_distances(tables_r, codes[rows])
+                acc.offer_many(dists, grouped.ids[start + survivors])
+                threshold_q = quantizer.quantize_threshold(
+                    acc.threshold, components=grouped.m
+                )
+
+        ids, dists = acc.result()
+        return FastScanResult(
+            ids=ids,
+            distances=dists,
+            n_scanned=n,
+            n_pruned=n_pruned,
+            n_keep=n_keep,
+            n_exact=n_exact,
+            qmin=quantizer.qmin,
+            qmax=quantizer.qmax,
+        )
+
+    def _reconstruct_sorted_rows(
+        self, grouped: GroupedPartition, rows: np.ndarray
+    ) -> np.ndarray:
+        """Full codes of the given (sorted) storage rows, across groups."""
+        out = np.empty((len(rows), grouped.m), dtype=np.uint8)
+        cursor = 0
+        for group in grouped.groups:
+            if cursor >= len(rows):
+                break
+            stop_idx = cursor
+            while stop_idx < len(rows) and rows[stop_idx] < group.stop:
+                stop_idx += 1
+            if stop_idx == cursor:
+                continue
+            codes = grouped.reconstruct_codes(group)
+            local = rows[cursor:stop_idx] - group.start
+            out[cursor:stop_idx] = codes[local]
+            cursor = stop_idx
+        return out
+
+    def profile(self) -> InstructionProfile:
+        # Per vector: ~1.3 L1 loads (compact 6-byte code loads amortized
+        # over 16-vector blocks plus occasional exact-path table loads),
+        # SIMD lookups+adds at 1/16 instruction per vector per table.
+        return InstructionProfile(
+            name=self.name,
+            mem1_loads=0.4,
+            mem2_loads=0.9,
+            scalar_adds=0.4,
+            simd_adds=0.5,
+            overhead_instructions=1.5,
+        )

@@ -1,0 +1,149 @@
+"""Minimum tables and the optimized centroid-index assignment (Sec. 4.3).
+
+The last four small tables S4..S7 cannot use vector grouping (grouping on
+all 8 components would make groups vanishingly small), so each 256-entry
+distance table D4..D7 is split into 16 *portions* of 16 entries and
+replaced by the per-portion minima (Figure 10). A looked-up minimum is a
+valid lower bound for any entry of its portion.
+
+Minima are only *tight* if the entries of a portion are close to each
+other. With the arbitrary index assignment produced by k-means they are
+not, so the paper reassigns centroid indexes: the 256 centroids of a
+sub-quantizer are clustered into 16 same-size clusters of 16 (same-size
+k-means, [24]) and each cluster's centroids receive consecutive indexes —
+one portion. Nearby centroids then share a portion, and since a query
+sub-vector close to one centroid is close to its neighbors, portion
+entries are similar and the minima are high (Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..pq.product_quantizer import ProductQuantizer
+from ..pq.same_size_kmeans import SameSizeKMeans, balanced_labels_to_order
+
+__all__ = [
+    "minimum_table",
+    "minimum_tables",
+    "optimized_assignment",
+    "CentroidAssignment",
+    "PORTION_SIZE",
+    "N_PORTIONS",
+]
+
+#: Entries per portion of a 256-entry distance table (fits one register).
+PORTION_SIZE = 16
+
+#: Number of portions per distance table.
+N_PORTIONS = 16
+
+
+def minimum_table(table: np.ndarray) -> np.ndarray:
+    """Per-portion minima of one 256-entry distance table → 16 entries."""
+    table = np.asarray(table, dtype=np.float64)
+    if table.shape != (N_PORTIONS * PORTION_SIZE,):
+        raise ConfigurationError(
+            f"minimum tables require 256-entry tables, got {table.shape}"
+        )
+    return table.reshape(N_PORTIONS, PORTION_SIZE).min(axis=1)
+
+
+def minimum_tables(tables: np.ndarray, components: np.ndarray) -> np.ndarray:
+    """Minimum tables for the selected ``components`` of ``tables``.
+
+    Args:
+        tables: ``(m, 256)`` distance tables.
+        components: indexes of the sub-quantizers to reduce (the
+            non-grouped components, 4..7 in the paper's configuration).
+
+    Returns:
+        ``(len(components), 16)`` array of per-portion minima.
+    """
+    tables = np.asarray(tables, dtype=np.float64)
+    return np.stack([minimum_table(tables[j]) for j in components])
+
+
+class CentroidAssignment:
+    """Permutations of sub-quantizer centroid indexes.
+
+    ``orders[j][new_index] = old_index`` for each reassigned sub-quantizer
+    ``j``; sub-quantizers without an entry keep their arbitrary (training)
+    assignment. The inverse permutations remap existing pqcodes, and the
+    forward permutations remap per-query distance tables — so an
+    assignment can be applied at scan time without touching the quantizer
+    or re-encoding the database from the original vectors.
+    """
+
+    def __init__(self, m: int, orders: dict[int, np.ndarray]):
+        self.m = m
+        self.orders: dict[int, np.ndarray] = {}
+        self._inverses: dict[int, np.ndarray] = {}
+        for j, order in orders.items():
+            order = np.asarray(order, dtype=np.int64)
+            if not 0 <= j < m:
+                raise ConfigurationError(f"component {j} out of range for m={m}")
+            if sorted(order.tolist()) != list(range(len(order))):
+                raise ConfigurationError(f"order for component {j} is not a permutation")
+            inverse = np.empty_like(order)
+            inverse[order] = np.arange(len(order))
+            self.orders[j] = order
+            self._inverses[j] = inverse
+
+    @classmethod
+    def identity(cls, m: int) -> "CentroidAssignment":
+        """No-op assignment (the arbitrary assignment of plain training)."""
+        return cls(m, {})
+
+    def remap_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Rewrite pqcodes to the new index space (``new = inverse[old]``)."""
+        codes = np.asarray(codes)
+        out = codes.copy()
+        for j, inverse in self._inverses.items():
+            out[:, j] = inverse[codes[:, j]].astype(codes.dtype)
+        return out
+
+    def remap_tables(self, tables: np.ndarray) -> np.ndarray:
+        """Reorder distance tables to match remapped codes.
+
+        ``D_new[j, i] = D_old[j, orders[j][i]]`` so that
+        ``D_new[j, new_code] == D_old[j, old_code]`` — ADC distances are
+        bit-identical before and after reassignment.
+        """
+        tables = np.asarray(tables, dtype=np.float64)
+        out = tables.copy()
+        for j, order in self.orders.items():
+            out[j] = tables[j][order]
+        return out
+
+    def apply_to_quantizer(self, pq: ProductQuantizer) -> None:
+        """Permanently permute the sub-quantizer codebooks in place."""
+        for j, order in self.orders.items():
+            pq.permute_subquantizer(j, order)
+
+
+def optimized_assignment(
+    pq: ProductQuantizer,
+    components: np.ndarray | list[int],
+    *,
+    seed: int = 0,
+    max_iter: int = 50,
+) -> CentroidAssignment:
+    """Learn the optimized assignment for the given sub-quantizers.
+
+    Clusters each selected sub-quantizer's 256 centroids into 16 same-size
+    clusters of 16 and assigns consecutive indexes within a cluster.
+    """
+    orders: dict[int, np.ndarray] = {}
+    for j in components:
+        codebook = pq.subquantizers[j].codebook
+        if codebook.shape[0] != N_PORTIONS * PORTION_SIZE:
+            raise ConfigurationError(
+                "optimized assignment requires 256-centroid sub-quantizers"
+            )
+        labels = SameSizeKMeans(
+            k=N_PORTIONS, max_iter=max_iter, seed=seed + j
+        ).fit_predict(codebook)
+        orders[j] = balanced_labels_to_order(labels, N_PORTIONS)
+    return CentroidAssignment(pq.m, orders)

@@ -1,0 +1,27 @@
+"""Dataset substrate: synthetic SIFT generation, TEXMEX IO, ground truth."""
+
+from .dataset import VectorDataset
+from .ground_truth import exact_neighbors, recall_at
+from .io import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from .synthetic_sift import SIFT_DIM, SyntheticSIFT
+
+__all__ = [
+    "SIFT_DIM",
+    "SyntheticSIFT",
+    "VectorDataset",
+    "exact_neighbors",
+    "recall_at",
+    "read_bvecs",
+    "read_fvecs",
+    "read_ivecs",
+    "write_bvecs",
+    "write_fvecs",
+    "write_ivecs",
+]

@@ -1,0 +1,111 @@
+"""Dataset container mirroring the ANN_SIFT1B structure.
+
+ANN_SIFT1B ships three splits: a learning set (quantizer training), a
+base set (the database) and a query set. :class:`VectorDataset` bundles
+the three with consistency checks, and provides constructors from the
+synthetic generator and from TEXMEX files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .io import read_bvecs, read_fvecs
+from .synthetic_sift import SyntheticSIFT
+
+__all__ = ["VectorDataset"]
+
+
+@dataclass(frozen=True)
+class VectorDataset:
+    """Learn / base / query splits of a vector corpus.
+
+    Attributes:
+        name: human-readable identifier used in reports.
+        learn: ``(n_learn, d)`` training vectors for quantizers.
+        base: ``(n_base, d)`` database vectors.
+        queries: ``(n_query, d)`` query vectors.
+    """
+
+    name: str
+    learn: np.ndarray
+    base: np.ndarray
+    queries: np.ndarray
+
+    def __post_init__(self) -> None:
+        dims = {a.shape[1] for a in (self.learn, self.base, self.queries)}
+        if len(dims) != 1:
+            raise DatasetError(f"inconsistent split dimensionalities: {dims}")
+        for split_name in ("learn", "base", "queries"):
+            arr = getattr(self, split_name)
+            if arr.ndim != 2:
+                raise DatasetError(f"split {split_name!r} is not 2-D")
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality shared by all splits."""
+        return self.base.shape[1]
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name}: d={self.dim}, learn={len(self.learn)}, "
+            f"base={len(self.base)}, queries={len(self.queries)}"
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        n_learn: int,
+        n_base: int,
+        n_query: int,
+        *,
+        dim: int = 128,
+        seed: int = 0,
+        name: str | None = None,
+        **generator_kwargs,
+    ) -> "VectorDataset":
+        """Generate a synthetic SIFT-like dataset (see `synthetic_sift`)."""
+        gen = SyntheticSIFT(dim=dim, seed=seed, **generator_kwargs)
+        learn, base, queries = gen.generate_splits(n_learn, n_base, n_query)
+        return cls(
+            name=name or f"synthetic-sift(d={dim}, seed={seed})",
+            learn=learn,
+            base=base,
+            queries=queries,
+        )
+
+    @classmethod
+    def from_texmex(
+        cls,
+        learn_path: str | Path,
+        base_path: str | Path,
+        query_path: str | Path,
+        *,
+        limit_learn: int | None = None,
+        limit_base: int | None = None,
+        limit_query: int | None = None,
+        name: str | None = None,
+    ) -> "VectorDataset":
+        """Load a real TEXMEX dataset (.bvecs or .fvecs per extension)."""
+
+        def load(path: str | Path, limit: int | None) -> np.ndarray:
+            path = Path(path)
+            if path.suffix == ".bvecs":
+                return read_bvecs(path, limit).astype(np.float64)
+            if path.suffix == ".fvecs":
+                return read_fvecs(path, limit).astype(np.float64)
+            raise DatasetError(f"unsupported vector file extension: {path.suffix}")
+
+        return cls(
+            name=name or str(Path(base_path).stem),
+            learn=load(learn_path, limit_learn),
+            base=load(base_path, limit_base),
+            queries=load(query_path, limit_query),
+        )

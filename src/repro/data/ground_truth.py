@@ -1,0 +1,77 @@
+"""Brute-force exact nearest neighbors, for recall and exactness checks.
+
+The paper does not re-evaluate PQ recall (it is inherited from [14]); the
+role of ground truth here is (a) to sanity-check that the synthetic data
+behaves like a sensible ANN workload and (b) to measure recall of the
+full IVFADC pipeline in the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..pq.kmeans import squared_distances
+
+__all__ = ["exact_neighbors", "recall_at"]
+
+
+def exact_neighbors(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    block: int = 4096,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN by blocked brute force.
+
+    Returns ``(indexes, distances)`` of shape ``(n_queries, k)``, sorted by
+    increasing squared L2 distance. Ties are broken by index, so the
+    output is fully deterministic.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    if k > base.shape[0]:
+        raise ConfigurationError(f"k={k} exceeds base size {base.shape[0]}")
+    nq = queries.shape[0]
+    idx_out = np.empty((nq, k), dtype=np.int64)
+    dist_out = np.empty((nq, k), dtype=np.float64)
+    for start in range(0, nq, block):
+        stop = min(start + block, nq)
+        d = squared_distances(queries[start:stop], base)
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+        rows = np.arange(stop - start)[:, None]
+        kth = d[rows, part].max(axis=1)
+        for row in range(stop - start):
+            # Widen to all elements tied with the k-th distance so tie
+            # breaking by index is deterministic (argpartition alone picks
+            # arbitrary members among boundary ties).
+            candidates = np.flatnonzero(d[row] <= kth[row])
+            order = np.lexsort((candidates, d[row, candidates]))[:k]
+            chosen = candidates[order]
+            idx_out[start + row] = chosen
+            dist_out[start + row] = d[row, chosen]
+    return idx_out, dist_out
+
+
+def recall_at(
+    found: np.ndarray, truth: np.ndarray, r: int | None = None
+) -> float:
+    """Recall@R: fraction of queries whose true NN is in the top ``r`` found.
+
+    Args:
+        found: ``(nq, topk)`` neighbor indexes returned by a search system.
+        truth: ``(nq, >=1)`` exact neighbor indexes; column 0 is the true NN.
+        r: cutoff rank; defaults to ``found.shape[1]``.
+    """
+    found = np.asarray(found)
+    truth = np.asarray(truth)
+    if found.ndim != 2 or truth.ndim != 2:
+        raise ConfigurationError("found and truth must be 2-D index arrays")
+    if r is None:
+        r = found.shape[1]
+    hits = (found[:, :r] == truth[:, :1]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """An estimator (quantizer, index, scanner) was used before fitting.
+
+    Raised when ``transform``-style methods are called on an object whose
+    ``fit`` method has not been called yet.
+    """
+
+
+class DimensionMismatchError(ReproError):
+    """Input vectors do not match the dimensionality the model was fit on."""
+
+    def __init__(self, expected: int, actual: int, what: str = "vector"):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{what} dimensionality mismatch: expected {expected}, got {actual}"
+        )
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameter combination (e.g. ``d`` not divisible by ``m``)."""
+
+
+class DatasetError(ReproError):
+    """Malformed dataset file or inconsistent dataset split."""
+
+
+class SimulationError(ReproError):
+    """Invalid instruction stream or machine state in the SIMD simulator."""

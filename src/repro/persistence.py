@@ -1,0 +1,104 @@
+"""Save/load for trained quantizers and built indexes.
+
+Training a product quantizer and encoding a large database are the
+expensive offline steps of the pipeline; a deployable library must
+persist them. Everything is stored in a single ``.npz`` file (portable,
+dependency-free); codebooks round-trip bit-exactly, so a reloaded index
+answers queries identically to the original.
+
+    save_index(index, "catalog.npz")
+    index = load_index("catalog.npz")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .exceptions import DatasetError
+from .ivf.inverted_index import IVFADCIndex
+from .ivf.partition import Partition
+from .pq.product_quantizer import ProductQuantizer
+from .pq.quantizer import VectorQuantizer
+
+__all__ = ["save_quantizer", "load_quantizer", "save_index", "load_index"]
+
+_MAGIC = "repro-pq"
+_VERSION = 1
+
+
+def save_quantizer(pq: ProductQuantizer, path: str | Path) -> None:
+    """Persist a fitted :class:`ProductQuantizer` to ``path`` (.npz)."""
+    np.savez_compressed(
+        Path(path),
+        magic=np.array([_MAGIC]),
+        version=np.array([_VERSION]),
+        kind=np.array(["quantizer"]),
+        codebooks=pq.codebooks,
+    )
+
+
+def load_quantizer(path: str | Path) -> ProductQuantizer:
+    """Load a :class:`ProductQuantizer` saved by :func:`save_quantizer`."""
+    data = _load_checked(path, expected_kind="quantizer")
+    return ProductQuantizer.from_codebooks(data["codebooks"])
+
+
+def save_index(index: IVFADCIndex, path: str | Path) -> None:
+    """Persist a populated :class:`IVFADCIndex` (quantizer included)."""
+    payload = {
+        "magic": np.array([_MAGIC]),
+        "version": np.array([_VERSION]),
+        "kind": np.array(["index"]),
+        "codebooks": index.pq.codebooks,
+        "coarse": index.coarse.codebook,
+        "encode_residuals": np.array([index.encode_residuals]),
+        "n_partitions": np.array([index.n_partitions]),
+    }
+    for pid, part in enumerate(index.partitions):
+        payload[f"codes_{pid}"] = part.codes
+        payload[f"ids_{pid}"] = part.ids
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_index(path: str | Path) -> IVFADCIndex:
+    """Load an :class:`IVFADCIndex` saved by :func:`save_index`."""
+    data = _load_checked(path, expected_kind="index")
+    pq = ProductQuantizer.from_codebooks(data["codebooks"])
+    index = IVFADCIndex(
+        pq,
+        n_partitions=int(data["n_partitions"][0]),
+        encode_residuals=bool(data["encode_residuals"][0]),
+    )
+    index._coarse = VectorQuantizer.from_codebook(data["coarse"])
+    partitions = []
+    total = 0
+    for pid in range(index.n_partitions):
+        codes = data[f"codes_{pid}"]
+        ids = data[f"ids_{pid}"]
+        partitions.append(Partition(codes, ids, partition_id=pid))
+        total += len(ids)
+    index._partitions = partitions
+    index._n_total = total
+    return index
+
+
+def _load_checked(path: str | Path, expected_kind: str):
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such file")
+    data = np.load(path, allow_pickle=False)
+    if "magic" not in data or str(data["magic"][0]) != _MAGIC:
+        raise DatasetError(f"{path}: not a repro artifact")
+    version = int(data["version"][0])
+    if version > _VERSION:
+        raise DatasetError(
+            f"{path}: written by a newer format version ({version})"
+        )
+    kind = str(data["kind"][0])
+    if kind != expected_kind:
+        raise DatasetError(
+            f"{path}: contains a {kind!r}, expected {expected_kind!r}"
+        )
+    return data

@@ -1,0 +1,78 @@
+"""Distance-table utilities and cache-footprint accounting (Table 1).
+
+Distance tables are the per-query lookup tables of Equation (2). Their
+memory footprint, ``m * k* * sizeof(float)``, decides which cache level
+they live in on a real CPU, which is the starting point of the paper's
+performance analysis (Section 3.1, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "distance_table_bytes",
+    "pq_configurations_for_bits",
+    "DistanceTableStats",
+    "table_stats",
+]
+
+#: Bytes of a single-precision float, the element type of distance tables.
+FLOAT_BYTES = 4
+
+
+def distance_table_bytes(m: int, bits: int, element_bytes: int = FLOAT_BYTES) -> int:
+    """Size in bytes of the ``m`` distance tables of a PQ m×b quantizer."""
+    return m * (1 << bits) * element_bytes
+
+
+def pq_configurations_for_bits(total_bits: int = 64) -> list[tuple[int, int]]:
+    """All ``(m, bits)`` with ``m * bits == total_bits`` and ``bits <= 16``.
+
+    These are the product-quantizer configurations achieving ``2**total_bits``
+    effective centroids that the paper compares in Table 1 (PQ 16×4,
+    PQ 8×8, PQ 4×16 for 64 bits).
+    """
+    configs = []
+    for bits in range(1, 17):
+        if total_bits % bits == 0:
+            m = total_bits // bits
+            configs.append((m, bits))
+    return configs
+
+
+@dataclass(frozen=True)
+class DistanceTableStats:
+    """Summary statistics of one query's distance tables."""
+
+    global_min: float
+    global_max: float
+    sum_of_maxima: float
+    per_table_min: np.ndarray
+    per_table_max: np.ndarray
+
+    @property
+    def naive_qmax(self) -> float:
+        """The loose upper bound the paper rejects for quantization.
+
+        Section 4.4: "Setting qmax to the maximum possible distance, i.e.
+        the sum of the maximums of all distance tables, results in a high
+        quantization error."
+        """
+        return self.sum_of_maxima
+
+
+def table_stats(tables: np.ndarray) -> DistanceTableStats:
+    """Compute min/max statistics used to pick quantization bounds."""
+    tables = np.asarray(tables, dtype=np.float64)
+    per_min = tables.min(axis=1)
+    per_max = tables.max(axis=1)
+    return DistanceTableStats(
+        global_min=float(per_min.min()),
+        global_max=float(per_max.max()),
+        sum_of_maxima=float(per_max.sum()),
+        per_table_min=per_min,
+        per_table_max=per_max,
+    )

@@ -1,0 +1,112 @@
+"""Plain (non-product) vector quantizer built on Lloyd k-means.
+
+This is the codebook abstraction of Section 2.1: a function ``q`` that
+maps a d-dimensional vector to its nearest centroid in a codebook ``C`` of
+``k`` centroids, and represents it by the centroid's index. It is used
+both as the sub-quantizer inside :class:`~repro.pq.ProductQuantizer` and
+as the coarse quantizer of the IVFADC index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, NotFittedError
+from .kmeans import KMeans, assign_to_centroids, squared_distances
+
+__all__ = ["VectorQuantizer"]
+
+
+class VectorQuantizer:
+    """Lloyd-optimal vector quantizer: ``q(x) = argmin_ci ||x - ci||``.
+
+    Args:
+        k: codebook size (number of centroids).
+        max_iter: k-means iterations used during :meth:`fit`.
+        seed: RNG seed; training is deterministic given the seed.
+    """
+
+    def __init__(self, k: int, max_iter: int = 25, seed: int = 0):
+        self.k = k
+        self.max_iter = max_iter
+        self.seed = seed
+        self._codebook: np.ndarray | None = None
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, vectors: np.ndarray) -> "VectorQuantizer":
+        """Learn the codebook from training vectors (shape ``(n, d)``)."""
+        km = KMeans(k=self.k, max_iter=self.max_iter, seed=self.seed)
+        km.fit(vectors)
+        self._codebook = km.centroids
+        return self
+
+    @classmethod
+    def from_codebook(cls, codebook: np.ndarray) -> "VectorQuantizer":
+        """Wrap a pre-computed ``(k, d)`` codebook without training."""
+        codebook = np.asarray(codebook, dtype=np.float64)
+        vq = cls(k=codebook.shape[0])
+        vq._codebook = codebook
+        return vq
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def codebook(self) -> np.ndarray:
+        """The ``(k, d)`` centroid matrix."""
+        if self._codebook is None:
+            raise NotFittedError("VectorQuantizer.fit has not been called")
+        return self._codebook
+
+    @property
+    def d(self) -> int:
+        """Dimensionality of quantized vectors."""
+        return self.codebook.shape[1]
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._codebook is not None
+
+    # -- quantization --------------------------------------------------------
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Return the index of the nearest centroid for each vector."""
+        vectors = self._check(vectors)
+        labels, _ = assign_to_centroids(vectors, self.codebook)
+        return labels
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map centroid indexes back to the centroid vectors."""
+        return self.codebook[np.asarray(codes, dtype=np.int64)]
+
+    def quantize(self, vectors: np.ndarray) -> np.ndarray:
+        """``q(x)``: replace each vector by its nearest centroid."""
+        return self.decode(self.encode(vectors))
+
+    def distances_to_codebook(self, vector: np.ndarray) -> np.ndarray:
+        """Squared distances from one vector to every centroid.
+
+        This is one row of Equation (2): the distance table of a query
+        sub-vector against a sub-quantizer codebook.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise DimensionMismatchError(1, vector.ndim, what="array rank")
+        return squared_distances(vector[None, :], self.codebook)[0]
+
+    def permute(self, order: np.ndarray) -> "VectorQuantizer":
+        """Return a quantizer whose codebook is reordered by ``order``.
+
+        ``order[new_index] = old_index``. Used by the optimized centroid
+        assignment of Section 4.3: permuting codebook entries changes the
+        code assigned to each vector but not the quantization error.
+        """
+        return VectorQuantizer.from_codebook(self.codebook[np.asarray(order)])
+
+    def _check(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape[1] != self.d:
+            raise DimensionMismatchError(self.d, vectors.shape[1])
+        return vectors

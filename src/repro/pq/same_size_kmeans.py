@@ -1,0 +1,163 @@
+"""Same-size k-means: clustering with equal cluster cardinalities.
+
+Section 4.3 of the paper uses "a variant of k-means that forces groups of
+same sizes [24]" (E. Schubert's same-size k-means tutorial) to cluster the
+256 centroids of each sub-quantizer into 16 clusters of exactly 16. The
+clusters define the optimized assignment of centroid indexes: centroids in
+the same cluster get consecutive indexes, i.e. one 16-entry portion of a
+distance table, which makes per-portion minima tight (Figure 11).
+
+The algorithm follows the ELKI tutorial:
+
+1. Run plain k-means to get initial means.
+2. **Balanced initial assignment**: order points by the gap between their
+   best and worst cluster distance (most constrained first) and greedily
+   assign each to the nearest cluster that still has capacity.
+3. **Refinement**: repeatedly propose swaps/moves ordered by how much a
+   point would gain by moving; execute a move when a cluster has room or
+   when another point wants to swap in the opposite direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .kmeans import KMeans, squared_distances
+
+__all__ = ["SameSizeKMeans", "balanced_labels_to_order"]
+
+
+@dataclass
+class SameSizeKMeans:
+    """K-means constrained to produce clusters of identical size.
+
+    Args:
+        k: number of clusters. ``n`` must be divisible by ``k``.
+        max_iter: refinement sweeps after the balanced initialization.
+        seed: RNG seed forwarded to the inner (unconstrained) k-means.
+    """
+
+    k: int
+    max_iter: int = 50
+    seed: int = 0
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` into ``k`` equal groups; returns labels.
+
+        The returned array has exactly ``n / k`` occurrences of each label
+        in ``range(k)``.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        n = points.shape[0]
+        if n % self.k != 0:
+            raise ConfigurationError(
+                f"{n} points cannot be split into {self.k} equal clusters"
+            )
+        size = n // self.k
+        means = KMeans(k=self.k, seed=self.seed).fit(points).centroids
+        labels = self._balanced_init(points, means, size)
+        for _ in range(self.max_iter):
+            means = _cluster_means(points, labels, self.k)
+            moved = self._refine(points, means, labels, size)
+            if not moved:
+                break
+        return labels
+
+    # -- internals ---------------------------------------------------------
+
+    def _balanced_init(
+        self, points: np.ndarray, means: np.ndarray, size: int
+    ) -> np.ndarray:
+        d = squared_distances(points, means)
+        # Most constrained points first: large benefit of best over worst.
+        priority = np.argsort(d.min(axis=1) - d.max(axis=1))
+        labels = np.full(points.shape[0], -1, dtype=np.int64)
+        fill = np.zeros(self.k, dtype=np.int64)
+        for idx in priority:
+            for cluster in np.argsort(d[idx]):
+                if fill[cluster] < size:
+                    labels[idx] = cluster
+                    fill[cluster] += 1
+                    break
+        return labels
+
+    def _refine(
+        self,
+        points: np.ndarray,
+        means: np.ndarray,
+        labels: np.ndarray,
+        size: int,
+    ) -> bool:
+        """One transfer sweep; returns True if any point changed cluster."""
+        d = squared_distances(points, means)
+        n = points.shape[0]
+        current = d[np.arange(n), labels]
+        best_other = np.where(
+            np.arange(self.k)[None, :] == labels[:, None], np.inf, d
+        ).min(axis=1)
+        gain = current - best_other
+        order = np.argsort(gain)[::-1]
+        # outgoing[c] holds indexes of points in cluster c willing to leave.
+        outgoing: list[list[int]] = [[] for _ in range(self.k)]
+        moved = False
+        for idx in order:
+            src = int(labels[idx])
+            for dst in np.argsort(d[idx]):
+                dst = int(dst)
+                if dst == src:
+                    break  # nearest remaining option is staying put
+                my_gain = d[idx, src] - d[idx, dst]
+                if my_gain <= 0:
+                    break
+                # Try to swap with a point queued to leave ``dst``.
+                swapped = False
+                for j, other in enumerate(outgoing[dst]):
+                    other_gain = d[other, dst] - d[other, src]
+                    if my_gain + other_gain > 0:
+                        labels[idx] = dst
+                        labels[other] = src
+                        outgoing[dst].pop(j)
+                        moved = True
+                        swapped = True
+                        break
+                if swapped:
+                    break
+            else:
+                continue
+            if labels[idx] != src:
+                continue
+            outgoing[src].append(int(idx))
+        # Points that found no swap stay queued; queue is per-sweep only.
+        return moved
+
+
+def _cluster_means(points: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    sums = np.zeros((k, points.shape[1]), dtype=np.float64)
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    counts[counts == 0] = 1.0
+    return sums / counts[:, None]
+
+
+def balanced_labels_to_order(labels: np.ndarray, k: int) -> np.ndarray:
+    """Convert equal-size cluster labels into a permutation of indexes.
+
+    Returns ``order`` such that ``order[new_index] = old_index``: the
+    points of cluster 0 occupy the first ``n/k`` new indexes, cluster 1
+    the next ``n/k``, and so on. This is exactly the paper's optimized
+    assignment of sub-quantizer centroid indexes (Section 4.3): after
+    permuting the codebook by ``order``, each 16-entry *portion* of a
+    distance table corresponds to one cluster of nearby centroids.
+    """
+    labels = np.asarray(labels)
+    order = np.argsort(labels, kind="stable")
+    expected = len(labels) // k
+    counts = np.bincount(labels, minlength=k)
+    if not np.all(counts == expected):
+        raise ConfigurationError(
+            f"labels are not balanced: counts={counts.tolist()}"
+        )
+    return order

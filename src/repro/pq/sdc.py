@@ -1,0 +1,94 @@
+"""Symmetric Distance Computation (SDC) — companion to ADC.
+
+The original product-quantization paper ([14], the substrate this work
+builds on) defines two estimators: the asymmetric ADC used throughout
+PQ Fast Scan (query kept exact), and the *symmetric* SDC where the query
+is quantized too and distances are looked up in precomputed
+centroid-to-centroid tables:
+
+    d_SDC(x, p) = sum_j T_j[code(x)[j], p[j]],
+    T_j[a, b] = || C_j[a] - C_j[b] ||^2
+
+SDC's lookup tables are query-independent (computed once per codebook,
+not per query), at the cost of additional quantization error on the
+query side. It is included here both for substrate completeness and
+because its tables are another candidate for the paper's small-table
+treatment (they are dictionary-derived lookup tables like any other).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, NotFittedError
+from .kmeans import squared_distances
+from .product_quantizer import ProductQuantizer
+
+__all__ = ["SymmetricDistance"]
+
+
+class SymmetricDistance:
+    """Precomputed centroid-to-centroid tables for SDC.
+
+    Args:
+        pq: a fitted product quantizer; one ``(k*, k*)`` table is built
+            per sub-quantizer at construction time.
+    """
+
+    def __init__(self, pq: ProductQuantizer):
+        if not pq.is_fitted:
+            raise NotFittedError("SymmetricDistance requires a fitted quantizer")
+        self.pq = pq
+        self.tables = np.stack(
+            [
+                squared_distances(sq.codebook, sq.codebook)
+                for sq in pq.subquantizers
+            ]
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Footprint of the SDC tables (m * k*^2 float64)."""
+        return self.tables.nbytes
+
+    def distances(self, query_code: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """SDC distances from one encoded query to many codes."""
+        query_code = np.asarray(query_code).reshape(-1)
+        codes = np.asarray(codes)
+        if codes.ndim == 1:
+            codes = codes[None, :]
+        if query_code.shape[0] != self.pq.m or codes.shape[1] != self.pq.m:
+            raise DimensionMismatchError(self.pq.m, codes.shape[-1], what="code")
+        total = np.zeros(codes.shape[0], dtype=np.float64)
+        for j in range(self.pq.m):
+            total += self.tables[j, int(query_code[j]), codes[:, j]]
+        return total
+
+    def distance_tables_for_code(self, query_code: np.ndarray) -> np.ndarray:
+        """Per-query (m, k*) table slice — drop-in for the ADC scanners.
+
+        ``D[j] = T_j[code(y)[j], :]`` has exactly the shape of the ADC
+        distance tables, so every scanner in this library (including
+        PQ Fast Scan) runs unchanged on SDC: pass this to
+        :meth:`PartitionScanner.scan` instead of the ADC tables.
+        """
+        query_code = np.asarray(query_code).reshape(-1)
+        if query_code.shape[0] != self.pq.m:
+            raise DimensionMismatchError(self.pq.m, query_code.shape[0],
+                                         what="code")
+        return np.stack(
+            [self.tables[j, int(query_code[j])] for j in range(self.pq.m)]
+        )
+
+    def quantization_overhead(self, vectors: np.ndarray, queries: np.ndarray) -> float:
+        """Mean |SDC - ADC| gap over sample pairs (diagnostic)."""
+        from .adc import adc_distances
+
+        codes = self.pq.encode(vectors)
+        gaps = []
+        for query in np.atleast_2d(queries):
+            adc = adc_distances(self.pq.distance_tables(query), codes)
+            qcode = self.pq.encode(query[None, :])[0]
+            sdc = self.distances(qcode, codes)
+            gaps.append(np.abs(sdc - adc).mean())
+        return float(np.mean(gaps))

@@ -1,0 +1,36 @@
+"""``python -m repro.report`` — assemble the regenerated evaluation.
+
+Collects every table written by the benchmark suite under ``results/``
+(plus a couple of ASCII charts) into one document, printed to stdout and
+saved as ``results/REPORT.md``. Run the benchmarks first::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro.report
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .bench.figures import render_report
+from .bench.reporting import results_dir
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    directory = Path(argv[0]) if argv else results_dir()
+    if not directory.exists():
+        print(f"no results directory at {directory}; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    report = render_report(directory)
+    out = directory / "REPORT.md"
+    out.write_text(report + "\n")
+    print(report)
+    print(f"\n[written to {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

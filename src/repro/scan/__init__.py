@@ -1,0 +1,39 @@
+"""PQ Scan baseline implementations (Section 3 of the paper)."""
+
+from .avx import AVXScanner
+from .base import InstructionProfile, PartitionScanner, ScanResult
+from .gather import GatherScanner
+from .layout import (
+    extract_component,
+    pack_codes_words,
+    transpose_codes,
+    unpack_codes_words,
+    untranspose_codes,
+)
+from .libpq import LibpqScanner
+from .naive import NaiveScanner
+from .topk import TopKAccumulator, select_topk
+
+#: All baseline scanner classes keyed by their paper name.
+SCANNERS = {
+    cls.name: cls
+    for cls in (NaiveScanner, LibpqScanner, AVXScanner, GatherScanner)
+}
+
+__all__ = [
+    "AVXScanner",
+    "GatherScanner",
+    "InstructionProfile",
+    "LibpqScanner",
+    "NaiveScanner",
+    "PartitionScanner",
+    "SCANNERS",
+    "ScanResult",
+    "TopKAccumulator",
+    "extract_component",
+    "pack_codes_words",
+    "select_topk",
+    "transpose_codes",
+    "unpack_codes_words",
+    "untranspose_codes",
+]

@@ -1,0 +1,110 @@
+"""Scanner interface shared by PQ Scan baselines and PQ Fast Scan.
+
+A *scanner* implements Step 3 of Algorithm 1: given the per-query distance
+tables and a partition of pqcodes, return the topk nearest candidates.
+Every implementation must return identical results (the paper's exactness
+property); they differ in data movement and, on real hardware, in speed.
+
+Each scanner also exposes an :class:`InstructionProfile` describing its
+per-vector instruction-level behaviour, which feeds the analytic model
+and is cross-validated against the cycle-level simulator kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ivf.partition import Partition
+
+__all__ = ["ScanResult", "PartitionScanner", "InstructionProfile"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning one partition for one query.
+
+    Attributes:
+        ids: topk database identifiers sorted by (distance, id).
+        distances: matching ADC distances, ascending.
+        n_scanned: vectors considered by the scanner.
+        n_pruned: vectors discarded by a lower bound before their exact
+            pqdistance was computed (0 for plain PQ Scan).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    n_scanned: int
+    n_pruned: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of scanned vectors whose exact distance was skipped."""
+        if self.n_scanned == 0:
+            return 0.0
+        return self.n_pruned / self.n_scanned
+
+    def same_neighbors(self, other: "ScanResult") -> bool:
+        """True when both results name the same neighbors in order."""
+        return bool(
+            np.array_equal(self.ids, other.ids)
+            and np.allclose(self.distances, other.distances)
+        )
+
+
+@dataclass(frozen=True)
+class InstructionProfile:
+    """Per-scanned-vector instruction-level cost declaration (Section 3.1).
+
+    Attributes:
+        name: implementation name as used in the paper's figures.
+        mem1_loads: loads of centroid indexes per vector.
+        mem2_loads: loads from cache-resident distance tables per vector.
+        scalar_adds: scalar float additions per vector.
+        simd_adds: SIMD addition instructions per vector (fractional when
+            one instruction covers several vectors).
+        overhead_instructions: other instructions (shifts, inserts,
+            bookkeeping) per vector.
+    """
+
+    name: str
+    mem1_loads: float
+    mem2_loads: float
+    scalar_adds: float
+    simd_adds: float = 0.0
+    overhead_instructions: float = 0.0
+
+    @property
+    def l1_loads(self) -> float:
+        """Total L1 cache loads per vector (mem1 + mem2)."""
+        return self.mem1_loads + self.mem2_loads
+
+    @property
+    def instructions(self) -> float:
+        """Approximate instructions per vector."""
+        return (
+            self.mem1_loads
+            + self.mem2_loads
+            + self.scalar_adds
+            + self.simd_adds
+            + self.overhead_instructions
+        )
+
+
+class PartitionScanner(abc.ABC):
+    """Abstract Step-3 scanner."""
+
+    #: Implementation name used in reports ("naive", "libpq", ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def scan(
+        self, tables: np.ndarray, partition: Partition, topk: int = 1
+    ) -> ScanResult:
+        """Scan ``partition`` with per-query ``tables``; return topk."""
+
+    @abc.abstractmethod
+    def profile(self) -> InstructionProfile:
+        """Declared per-vector instruction behaviour for the cost model."""

@@ -1,0 +1,98 @@
+"""Database memory layouts used by the PQ Scan implementations.
+
+Section 3 of the paper studies four PQ Scan implementations that differ
+mainly in how pqcodes are laid out and loaded:
+
+* **row layout** — each vector's ``m`` byte-sized indexes stored
+  contiguously (Figure 1); used by the naive implementation.
+* **word-packed layout** — the ``m=8`` byte indexes of a vector packed
+  into a single 64-bit word loaded at once; individual indexes extracted
+  with 8-bit shifts (the libpq implementation).
+* **transposed layout** — the j-th components of 8 consecutive vectors
+  stored contiguously so one SIMD load fetches ``a[j] .. h[j]`` (the AVX
+  and gather implementations, Figure 5).
+
+These layouts are implemented for real here — packing, shifting and
+transposition are performed with genuine integer manipulation so tests
+can verify the data-movement logic, not just the arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "pack_codes_words",
+    "unpack_codes_words",
+    "extract_component",
+    "transpose_codes",
+    "untranspose_codes",
+]
+
+
+def pack_codes_words(codes: np.ndarray) -> np.ndarray:
+    """Pack ``(n, 8)`` uint8 pqcodes into ``(n,)`` little-endian uint64.
+
+    Component ``j`` occupies bits ``8j .. 8j+7`` of the word, matching a
+    64-bit load of the row layout on a little-endian machine.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2 or codes.shape[1] != 8:
+        raise ConfigurationError("word packing requires (n, 8) codes (PQ 8x8)")
+    if codes.dtype != np.uint8:
+        if codes.max(initial=0) > 0xFF or codes.min(initial=0) < 0:
+            raise ConfigurationError("code components must fit in a byte")
+        codes = codes.astype(np.uint8)
+    return np.ascontiguousarray(codes).view("<u8")[:, 0]
+
+
+def unpack_codes_words(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_codes_words`: ``(n,)`` uint64 → ``(n, 8)``."""
+    words = np.ascontiguousarray(np.asarray(words, dtype="<u8"))
+    return words.view(np.uint8).reshape(-1, 8)
+
+
+def extract_component(words: np.ndarray, j: int) -> np.ndarray:
+    """libpq-style index extraction: shift then mask the packed word.
+
+    Mirrors the ``(word >> 8*j) & 0xFF`` idiom of the libpq scan loop.
+    """
+    if not 0 <= j < 8:
+        raise ConfigurationError(f"component index must be in [0, 8), got {j}")
+    return ((np.asarray(words, dtype=np.uint64) >> np.uint64(8 * j))
+            & np.uint64(0xFF)).astype(np.uint8)
+
+
+def transpose_codes(codes: np.ndarray, lanes: int = 8) -> tuple[np.ndarray, int]:
+    """Re-lay ``(n, m)`` codes into SIMD-friendly transposed blocks.
+
+    Returns ``(blocks, n)`` where ``blocks`` has shape
+    ``(n_blocks, m, lanes)``: block ``b`` stores the j-th components of
+    vectors ``b*lanes .. b*lanes+lanes-1`` contiguously (Figure 5's layout,
+    enabling one load per table instead of per element). The tail block is
+    padded with repeats of the last vector; ``n`` recovers the true count.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ConfigurationError("transpose_codes expects (n, m) codes")
+    n, m = codes.shape
+    if n == 0:
+        return np.empty((0, m, lanes), dtype=codes.dtype), 0
+    n_blocks = (n + lanes - 1) // lanes
+    padded = np.empty((n_blocks * lanes, m), dtype=codes.dtype)
+    padded[:n] = codes
+    padded[n:] = codes[-1]
+    blocks = padded.reshape(n_blocks, lanes, m).transpose(0, 2, 1)
+    return np.ascontiguousarray(blocks), n
+
+
+def untranspose_codes(blocks: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`transpose_codes`, dropping the padding."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 3:
+        raise ConfigurationError("untranspose_codes expects (blocks, m, lanes)")
+    n_blocks, m, lanes = blocks.shape
+    codes = blocks.transpose(0, 2, 1).reshape(n_blocks * lanes, m)
+    return codes[:n].copy()

@@ -1,0 +1,111 @@
+"""Top-k candidate management shared by all scanners.
+
+The paper describes scanners returning a single nearest neighbor for
+clarity but evaluates with ``topk`` of 100-1000 (Section 5.1). Scanners
+here maintain a bounded worst-first heap; its maximum — the distance to
+the current topk-th nearest neighbor — is the pruning threshold of PQ
+Fast Scan.
+
+Ties are broken by database id so every scanner returns byte-identical
+results regardless of scan order, which the exactness tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["TopKAccumulator", "select_topk"]
+
+
+class TopKAccumulator:
+    """Bounded collection of the ``k`` smallest ``(distance, id)`` pairs.
+
+    Implemented as a max-heap (negated distances) so the current worst
+    kept candidate — the pruning threshold — is O(1) to read.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        self.k = k
+        # Heap of (-distance, -id): the root is the worst kept candidate,
+        # with the *largest id* evicted first among equal distances so the
+        # final set matches sort-by-(distance, id).
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def threshold(self) -> float:
+        """Distance of the current k-th best candidate (inf if not full)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def offer(self, distance: float, identifier: int) -> bool:
+        """Consider one candidate; returns True if it was kept."""
+        item = (-float(distance), -int(identifier))
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, item)
+            return True
+        if item > self._heap[0]:
+            heapq.heapreplace(self._heap, item)
+            return True
+        return False
+
+    def offer_many(self, distances: np.ndarray, identifiers: np.ndarray) -> None:
+        """Bulk offer; vectorized pre-filter then per-candidate heap pushes."""
+        distances = np.asarray(distances, dtype=np.float64)
+        identifiers = np.asarray(identifiers, dtype=np.int64)
+        if len(distances) != len(identifiers):
+            raise ConfigurationError("distances and identifiers length mismatch")
+        keep = distances <= self.threshold
+        for d, i in zip(distances[keep], identifiers[keep]):
+            self.offer(d, i)
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Final ``(ids, distances)`` sorted by (distance, id) ascending."""
+        pairs = sorted((-d, -i) for d, i in self._heap)
+        ids = np.array([i for _, i in pairs], dtype=np.int64)
+        dists = np.array([d for d, _ in pairs], dtype=np.float64)
+        return ids, dists
+
+
+def select_topk(
+    distances: np.ndarray, identifiers: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized top-k selection with (distance, id) tie-breaking.
+
+    Returns ``(ids, distances)`` of length ``min(k, n)`` sorted ascending.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    identifiers = np.asarray(identifiers, dtype=np.int64)
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    n = len(distances)
+    if n != len(identifiers):
+        raise ConfigurationError("distances and identifiers length mismatch")
+    k = min(k, n)
+    if k == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    if k < n:
+        # argpartition picks *arbitrary* members among ties at the k-th
+        # distance, so widen the candidate set to every element tied with
+        # the boundary before breaking ties by id.
+        part = np.argpartition(distances, k - 1)[:k]
+        kth = distances[part].max()
+        candidates = np.flatnonzero(distances <= kth)
+    else:
+        candidates = np.arange(n)
+    order = np.lexsort((identifiers[candidates], distances[candidates]))[:k]
+    chosen = candidates[order]
+    return identifiers[chosen], distances[chosen]

@@ -1,0 +1,159 @@
+"""High-level ANN search API: route, scan, merge.
+
+The paper evaluates single-partition scans (its Step 3); a deployed
+system wraps the full Algorithm 1 loop and usually probes several
+coarse cells (``nprobe``) to trade response time for recall. This module
+provides that wrapper so downstream users get a one-call search:
+
+    searcher = ANNSearcher(index, scanner=PQFastScanner(pq))
+    ids, distances = searcher.search(query, topk=100, nprobe=4)
+
+Results from multiple partitions are merged with the same
+(distance, id) ordering used everywhere else, so the merged output is
+exactly what a single scan over the union of the probed partitions
+would return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+from .ivf.inverted_index import IVFADCIndex
+from .scan.base import PartitionScanner, ScanResult
+from .scan.naive import NaiveScanner
+from .scan.topk import select_topk
+
+__all__ = ["ANNSearcher", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Merged multi-partition search outcome.
+
+    Attributes:
+        ids: topk database ids sorted by (distance, id).
+        distances: matching ADC distances.
+        n_scanned: vectors considered across all probed partitions.
+        n_pruned: vectors pruned by lower bounds (fast scanners only).
+        probed: ids of the partitions scanned.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    n_scanned: int
+    n_pruned: int
+    probed: tuple[int, ...]
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.n_scanned == 0:
+            return 0.0
+        return self.n_pruned / self.n_scanned
+
+
+class ANNSearcher:
+    """Full Algorithm-1 query pipeline over an IVFADC index.
+
+    Args:
+        index: a populated :class:`~repro.ivf.IVFADCIndex`.
+        scanner: the Step-3 scanner (defaults to plain PQ Scan; pass a
+            :class:`~repro.core.PQFastScanner` for the paper's fast
+            path).
+        vectors: optional ``(n, d)`` array of the original database
+            vectors indexed by database id, enabling exact re-ranking of
+            the ADC short-list ("re-rank with source coding", the
+            paper's reference [27]). ADC compresses away rank-1
+            precision; fetching the shortlist's true vectors and
+            re-sorting by exact distance restores it.
+    """
+
+    def __init__(
+        self,
+        index: IVFADCIndex,
+        scanner: PartitionScanner | None = None,
+        vectors: np.ndarray | None = None,
+    ):
+        self.index = index
+        self.scanner = scanner if scanner is not None else NaiveScanner()
+        self.vectors = None if vectors is None else np.asarray(vectors, float)
+
+    def search(
+        self,
+        query: np.ndarray,
+        topk: int = 10,
+        nprobe: int = 1,
+        rerank: int = 0,
+    ) -> SearchResult:
+        """Search the ``nprobe`` most relevant partitions for ``query``.
+
+        ``rerank > 0`` retrieves a shortlist of that many ADC candidates,
+        recomputes their exact distances against the stored original
+        vectors and returns the best ``topk`` of those — requires the
+        searcher to have been built with ``vectors``.
+        """
+        if topk < 1:
+            raise ConfigurationError("topk must be >= 1")
+        if rerank:
+            if self.vectors is None:
+                raise ConfigurationError(
+                    "re-ranking requires ANNSearcher(..., vectors=...)"
+                )
+            if rerank < topk:
+                raise ConfigurationError("rerank shortlist must be >= topk")
+            shortlist = self.search(query, topk=rerank, nprobe=nprobe)
+            exact = np.sum(
+                (self.vectors[shortlist.ids] - np.asarray(query, float)) ** 2,
+                axis=1,
+            )
+            ids, dists = select_topk(exact, shortlist.ids, topk)
+            return SearchResult(
+                ids=ids,
+                distances=dists,
+                n_scanned=shortlist.n_scanned,
+                n_pruned=shortlist.n_pruned,
+                probed=shortlist.probed,
+            )
+        probed = self.index.route(query, nprobe=nprobe)
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        n_scanned = 0
+        n_pruned = 0
+        for pid in probed:
+            tables = self.index.distance_tables_for(query, pid)
+            partition = self.index.partitions[pid]
+            result: ScanResult = self.scanner.scan(tables, partition, topk=topk)
+            all_ids.append(result.ids)
+            all_dists.append(result.distances)
+            n_scanned += result.n_scanned
+            n_pruned += result.n_pruned
+        ids = np.concatenate(all_ids) if all_ids else np.empty(0, dtype=np.int64)
+        dists = (
+            np.concatenate(all_dists) if all_dists else np.empty(0, dtype=np.float64)
+        )
+        merged_ids, merged_dists = select_topk(dists, ids, topk)
+        return SearchResult(
+            ids=merged_ids,
+            distances=merged_dists,
+            n_scanned=n_scanned,
+            n_pruned=n_pruned,
+            probed=tuple(int(p) for p in probed),
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        topk: int = 10,
+        nprobe: int = 1,
+        rerank: int = 0,
+    ) -> list[SearchResult]:
+        """Search several queries; returns one result per query."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        return [
+            self.search(q, topk=topk, nprobe=nprobe, rerank=rerank)
+            for q in queries
+        ]

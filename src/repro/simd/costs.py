@@ -1,0 +1,83 @@
+"""Instruction cost tables (latency / throughput / µops) per opcode.
+
+The baseline numbers follow Intel's optimization manuals and Agner Fog's
+instruction tables for the Nehalem → Haswell generations; the two
+instructions the paper singles out (Table 2) are reproduced exactly:
+
+======== ======== =========== ===== ======================
+Inst.    Latency  Throughput  µops  elements
+======== ======== =========== ===== ======================
+gather   18       10          34    8 × 32-bit (memory)
+pshufb   1        0.5         1     16 × 8-bit (register)
+======== ======== =========== ===== ======================
+
+Load latencies are *not* in this table — they come from the cache model
+(Table 1: L1 4-5 cycles, L2 11-13, L3 25-40); the costs below only cover
+the issue slot of the load µop itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InstructionCost", "BASE_COSTS", "cost_table"]
+
+
+@dataclass(frozen=True)
+class InstructionCost:
+    """Static cost of one opcode.
+
+    Attributes:
+        latency: cycles until the result is ready for dependents.
+        throughput: minimum cycles between two issues of this opcode
+            (reciprocal throughput).
+        uops: micro-operations the instruction decodes into.
+    """
+
+    latency: float
+    throughput: float
+    uops: int = 1
+
+
+#: Costs shared by all modeled architectures unless overridden.
+BASE_COSTS: dict[str, InstructionCost] = {
+    # -- scalar ---------------------------------------------------------
+    "mov_imm": InstructionCost(1, 0.25),
+    "mov": InstructionCost(1, 0.25),
+    "add_u64": InstructionCost(1, 0.25),
+    "and_u64": InstructionCost(1, 0.25),
+    "shr_u64": InstructionCost(1, 0.5),
+    "add_f32": InstructionCost(3, 1),
+    "min_f32": InstructionCost(3, 1),
+    "cmp_f32": InstructionCost(1, 1),
+    "cmp_u64": InstructionCost(1, 0.25),
+    "branch": InstructionCost(1, 0.5),
+    # Loads: issue cost only; memory latency added by the cache model.
+    "load_u8": InstructionCost(1, 0.5),
+    "load_u64": InstructionCost(1, 0.5),
+    "load_f32": InstructionCost(1, 0.5),
+    # -- SSE/SSSE3 128-bit ------------------------------------------------
+    "vload_128": InstructionCost(1, 0.5),
+    "vbroadcast_i8": InstructionCost(1, 0.5),
+    "pshufb": InstructionCost(1, 0.5),
+    "paddsb": InstructionCost(1, 0.5),
+    "pand": InstructionCost(1, 0.33),
+    "por": InstructionCost(1, 0.33),
+    "psrlw": InstructionCost(1, 1),
+    "pcmpgtb": InstructionCost(1, 0.5),
+    "pminub": InstructionCost(1, 0.5),
+    "pmovmskb": InstructionCost(3, 1),
+    # -- AVX 256-bit -------------------------------------------------------
+    "vaddps": InstructionCost(3, 1),
+    "vinsert_f32": InstructionCost(3, 1),
+    "vextract_f32": InstructionCost(3, 1, uops=2),
+    "vgather_f32": InstructionCost(18, 10, uops=34),  # Table 2 (Haswell)
+}
+
+
+def cost_table(overrides: dict[str, InstructionCost] | None = None) -> dict:
+    """Base cost table with per-architecture overrides applied."""
+    table = dict(BASE_COSTS)
+    if overrides:
+        table.update(overrides)
+    return table

@@ -1,0 +1,78 @@
+"""Performance counters collected by the simulator (Figures 3 and 15).
+
+The paper instruments PQ Scan implementations with hardware performance
+counters: cycles, cycles with pending loads, instructions, µops, L1
+loads, and IPC — all reported *per scanned vector*. The simulator
+produces the same set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Counter values accumulated over one simulated kernel run."""
+
+    instructions: int = 0
+    uops: int = 0
+    cycles: float = 0.0
+    cycles_with_load: float = 0.0
+    l1_loads: int = 0
+    l2_loads: int = 0
+    l3_loads: int = 0
+    register_lookups: int = 0
+    per_op: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def total_loads(self) -> int:
+        """Memory loads across all cache levels."""
+        return self.l1_loads + self.l2_loads + self.l3_loads
+
+    def count_op(self, op: str) -> None:
+        self.per_op[op] = self.per_op.get(op, 0) + 1
+
+    def per_vector(self, n_vectors: int) -> "PerVectorCounters":
+        """Normalize to per-scanned-vector quantities (the paper's unit)."""
+        if n_vectors <= 0:
+            raise ValueError("n_vectors must be positive")
+        return PerVectorCounters(
+            instructions=self.instructions / n_vectors,
+            uops=self.uops / n_vectors,
+            cycles=self.cycles / n_vectors,
+            cycles_with_load=self.cycles_with_load / n_vectors,
+            l1_loads=self.l1_loads / n_vectors,
+            ipc=self.ipc,
+        )
+
+
+@dataclass(frozen=True)
+class PerVectorCounters:
+    """Per-vector view of :class:`PerfCounters` (Figure 3's y-axes)."""
+
+    instructions: float
+    uops: float
+    cycles: float
+    cycles_with_load: float
+    l1_loads: float
+    ipc: float
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "cycles w/ load": self.cycles_with_load,
+            "instructions": self.instructions,
+            "uops": self.uops,
+            "L1 loads": self.l1_loads,
+            "IPC": self.ipc,
+        }

@@ -1,0 +1,83 @@
+"""Shared scaffolding for simulated scan kernels.
+
+A kernel drives an :class:`~repro.simd.executor.Executor` through the
+exact instruction stream a C++ implementation of its algorithm would
+execute, on real pqcode bytes and real distance-table floats. Every
+kernel returns a :class:`KernelRun` whose numeric result (nearest
+neighbor distance/position) is validated against the numpy reference by
+the test suite — the cycle counts come from the same instructions that
+produced the verified answer.
+
+All kernels implement top-1 search (Algorithm 1's ``nns``): the paper's
+per-vector counters are insensitive to ``topk`` because neighbor-set
+updates are rare compared to distance computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import SimulationError
+from ..arch import CPUModel, get_platform
+from ..counters import PerfCounters
+from ..executor import Executor
+
+__all__ = ["KernelRun", "make_executor", "load_tables", "FLOAT32_TABLES"]
+
+FLOAT32_TABLES = "dtab"
+
+
+@dataclass
+class KernelRun:
+    """Outcome of one simulated kernel execution.
+
+    Attributes:
+        name: kernel name ("naive", "libpq", "avx", "gather", "fastscan").
+        min_distance: distance to the nearest neighbor found.
+        min_position: its row in the scanned code array.
+        n_vectors: number of database vectors scanned.
+        counters: accumulated performance counters.
+        cpu: the CPU model the kernel ran on.
+        n_pruned: vectors discarded by lower bounds (fastscan only).
+    """
+
+    name: str
+    min_distance: float
+    min_position: int
+    n_vectors: int
+    counters: PerfCounters
+    cpu: CPUModel
+    n_pruned: int = 0
+    topk_ids: np.ndarray | None = None
+    topk_distances: np.ndarray | None = None
+
+    @property
+    def cycles_per_vector(self) -> float:
+        return self.counters.cycles / max(self.n_vectors, 1)
+
+    @property
+    def scan_speed(self) -> float:
+        """Vectors per second at the CPU's clock."""
+        return self.cpu.scan_speed(self.cycles_per_vector)
+
+    def scan_time_ms(self, n_vectors: int | None = None) -> float:
+        """Wall-clock estimate for scanning ``n_vectors`` (default: own n)."""
+        n = self.n_vectors if n_vectors is None else n_vectors
+        return self.cpu.cycles_to_seconds(self.cycles_per_vector * n) * 1e3
+
+
+def make_executor(cpu: CPUModel | str) -> Executor:
+    """Build a fresh executor from a CPU model or platform name."""
+    if isinstance(cpu, str):
+        cpu = get_platform(cpu)
+    return Executor(cpu)
+
+
+def load_tables(ex: Executor, tables: np.ndarray) -> None:
+    """Register the (m, 256) distance tables as the L1-resident buffer."""
+    tables = np.ascontiguousarray(np.asarray(tables, dtype=np.float32))
+    if tables.ndim != 2:
+        raise SimulationError("distance tables must be 2-D")
+    ex.memory.add(FLOAT32_TABLES, tables.reshape(-1))

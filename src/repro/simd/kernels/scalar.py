@@ -1,0 +1,110 @@
+"""Simulated scalar PQ Scan kernels: naive and libpq (Section 3.1).
+
+``naive_kernel`` is the literal Algorithm 1 loop: per vector, 8 byte
+loads of centroid indexes (mem1), 8 float loads from the distance tables
+(mem2) and 8 scalar additions — 16 L1 loads per vector.
+
+``libpq_kernel`` loads the 8 indexes as one 64-bit word and extracts them
+with shifts and masks — 9 L1 loads per vector but more ALU instructions,
+which is why it ends up slightly slower than naive on wide cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...scan.layout import pack_codes_words
+from ..arch import CPUModel
+from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
+
+__all__ = ["naive_kernel", "libpq_kernel"]
+
+
+def naive_kernel(
+    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+) -> KernelRun:
+    """Execute the naive PQ Scan over ``codes`` on the simulated CPU.
+
+    Works for any PQ m×b configuration: the cache model places the
+    ``(m, k*)`` tables at the level their size implies, so PQ 4×16's
+    1 MiB tables pay L3 latency on every mem2 access while PQ 16×4 and
+    PQ 8×8 stay in L1 — the comparison behind the paper's Table 1.
+    """
+    ex = make_executor(cpu)
+    codes = np.ascontiguousarray(np.asarray(codes, dtype=np.uint16))
+    n, m = codes.shape
+    ksub = np.asarray(tables).shape[1]
+    load_tables(ex, tables)
+    ex.memory.add("codes", codes.reshape(-1).astype(np.uint16), streamed=True)
+
+    ex.mov_imm("min", float("inf"))
+    ex.mov_imm("i", 0)
+    min_pos = -1
+    for i in range(n):
+        # pqdistance (Algorithm 1, lines 19-26).
+        ex.mov_imm("acc", 0.0)
+        for j in range(m):
+            ex.load_u8("idx", "codes", i * m + j)
+            ex.load_f32("val", FLOAT32_TABLES, j * ksub + int(ex.reg("idx")),
+                        addr_reg="idx")
+            ex.add_f32("acc", "acc", "val")
+        # Nearest-neighbor update (lines 12-15).
+        better = ex.cmp_f32("acc", "min")
+        ex.branch(site="naive-min", taken=better)
+        if better:
+            ex.mov("min", "acc")
+            min_pos = i
+        # Loop bookkeeping (increment, bound check, back edge).
+        ex.add_u64("i", "i", 1)
+        ex.cmp_u64("i", n)
+        ex.branch(site="naive-loop", taken=True)
+    return KernelRun(
+        name="naive",
+        min_distance=float(ex.reg("min")),
+        min_position=min_pos,
+        n_vectors=n,
+        counters=ex.counters,
+        cpu=ex.cpu,
+    )
+
+
+def libpq_kernel(
+    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+) -> KernelRun:
+    """Execute the libpq word-packed PQ Scan on the simulated CPU."""
+    ex = make_executor(cpu)
+    codes = np.ascontiguousarray(np.asarray(codes, dtype=np.uint8))
+    n, m = codes.shape
+    words = pack_codes_words(codes)
+    load_tables(ex, tables)
+    ex.memory.add("words", words, streamed=True)
+
+    ex.mov_imm("min", float("inf"))
+    ex.mov_imm("i", 0)
+    min_pos = -1
+    for i in range(n):
+        ex.load_u64("word", "words", i)  # the single mem1 load
+        ex.mov_imm("acc", 0.0)
+        for j in range(m):
+            if j:
+                ex.shr_u64("word", "word", 8)
+            ex.and_u64("idx", "word", 0xFF)
+            ex.load_f32("val", FLOAT32_TABLES, j * 256 + int(ex.reg("idx")),
+                        addr_reg="idx")
+            ex.add_f32("acc", "acc", "val")
+        better = ex.cmp_f32("acc", "min")
+        ex.branch(site="libpq-min", taken=better)
+        if better:
+            ex.mov("min", "acc")
+            min_pos = i
+        ex.add_u64("i", "i", 1)
+        ex.cmp_u64("i", n)
+        ex.branch(site="libpq-loop", taken=True)
+    return KernelRun(
+        name="libpq",
+        min_distance=float(ex.reg("min")),
+        min_position=min_pos,
+        n_vectors=n,
+        counters=ex.counters,
+        cpu=ex.cpu,
+    )

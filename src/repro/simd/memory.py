@@ -1,0 +1,68 @@
+"""Simulated memory: named typed buffers with cache-level residency.
+
+Kernels address memory as ``(buffer_name, element_offset)``. Each buffer
+is registered once with its element dtype and an access-pattern hint; the
+cache model then charges every load to that buffer with the latency of
+the level it resides in (see :mod:`repro.simd.cache`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .cache import CacheModel
+
+__all__ = ["SimMemory"]
+
+
+class SimMemory:
+    """Named buffers + residency bookkeeping for one simulation run."""
+
+    def __init__(self, cache: CacheModel):
+        self.cache = cache
+        self._buffers: dict[str, np.ndarray] = {}
+        self._byte_views: dict[str, np.ndarray] = {}
+
+    def add(self, name: str, data: np.ndarray, *, streamed: bool = False) -> None:
+        """Register a buffer; residency is derived from size and pattern."""
+        if name in self._buffers:
+            raise SimulationError(f"buffer {name!r} already registered")
+        data = np.ascontiguousarray(data)
+        self._buffers[name] = data
+        self._byte_views[name] = data.view(np.uint8).reshape(-1)
+        self.cache.assign(name, data.nbytes, streamed=streamed)
+
+    def buffer(self, name: str) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None:
+            raise SimulationError(f"unknown buffer {name!r}")
+        return buf
+
+    # -- typed element reads (one simulated load each) ----------------------
+
+    def read_u8(self, name: str, index: int) -> int:
+        return int(self.buffer(name).reshape(-1)[index])
+
+    def read_u64(self, name: str, index: int) -> int:
+        buf = self.buffer(name)
+        if buf.dtype != np.uint64:
+            raise SimulationError(f"buffer {name!r} is not uint64")
+        return int(buf.reshape(-1)[index])
+
+    def read_f32(self, name: str, index: int) -> float:
+        return float(self.buffer(name).reshape(-1)[index])
+
+    def read_bytes(self, name: str, byte_offset: int, count: int = 16) -> np.ndarray:
+        view = self._byte_views[name]
+        if byte_offset + count > len(view):
+            raise SimulationError(
+                f"out-of-bounds 16-byte load at {byte_offset} in {name!r}"
+            )
+        return view[byte_offset : byte_offset + count].copy()
+
+    def load_latency(self, name: str) -> float:
+        return self.cache.load_latency(name)
+
+    def level_name(self, name: str) -> str:
+        return self.cache.level_name(name)

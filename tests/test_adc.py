@@ -1,0 +1,45 @@
+"""Unit tests for asymmetric distance computation (Equations 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.pq.adc import adc_distance_single, adc_distances
+
+
+class TestADC:
+    def test_matches_scalar_reference(self, rng):
+        tables = rng.uniform(0, 10, size=(8, 256))
+        codes = rng.integers(0, 256, size=(50, 8)).astype(np.uint8)
+        batch = adc_distances(tables, codes)
+        for i in range(50):
+            assert batch[i] == pytest.approx(
+                adc_distance_single(tables, codes[i]), rel=1e-12
+            )
+
+    def test_zero_tables_give_zero_distance(self):
+        tables = np.zeros((8, 256))
+        codes = np.zeros((5, 8), dtype=np.uint8)
+        np.testing.assert_array_equal(adc_distances(tables, codes), 0.0)
+
+    def test_single_component_selects_entry(self):
+        tables = np.arange(256, dtype=np.float64)[None, :]
+        codes = np.array([[0], [17], [255]], dtype=np.uint8)
+        np.testing.assert_allclose(
+            adc_distances(tables, codes), [0.0, 17.0, 255.0]
+        )
+
+    def test_adc_approximates_true_distance(self, pq, dataset, query):
+        """ADC distance equals the distance to the reconstruction (Eq. 1)."""
+        sample = dataset.base[:100]
+        codes = pq.encode(sample)
+        tables = pq.distance_tables(query)
+        adc = adc_distances(tables, codes)
+        recon = pq.decode(codes)
+        true = np.sum((recon - query) ** 2, axis=1)
+        np.testing.assert_allclose(adc, true, rtol=1e-9)
+
+    def test_shape_validation(self, rng):
+        tables = rng.uniform(size=(8, 256))
+        with pytest.raises(DimensionMismatchError):
+            adc_distances(tables, rng.integers(0, 256, size=(10, 4)))

@@ -1,0 +1,57 @@
+"""Tests for the Section-5.8 memory-bandwidth concurrency model."""
+
+import pytest
+
+from repro.bench.bandwidth import (
+    FASTSCAN_BYTES_PER_VECTOR,
+    PQSCAN_BYTES_PER_VECTOR,
+    analyze_concurrency,
+)
+from repro.simd import get_platform
+
+
+class TestBandwidthAnalysis:
+    def test_paper_reference_point(self):
+        """Section 5.8: 1800 M vecs/s at 6 B/vector = 10.8 GB/s."""
+        cpu = get_platform("C")
+        analysis = analyze_concurrency("fastpq", 1800e6, cpu)
+        assert analysis.single_core_bandwidth_gbs == pytest.approx(10.8)
+
+    def test_bytes_per_vector_defaults(self):
+        cpu = get_platform("A")
+        fast = analyze_concurrency("fastpq", 1e9, cpu)
+        scan = analyze_concurrency("libpq", 1e9, cpu)
+        assert fast.bytes_per_vector == FASTSCAN_BYTES_PER_VECTOR == 6.0
+        assert scan.bytes_per_vector == PQSCAN_BYTES_PER_VECTOR == 8.0
+
+    def test_scaling_linear_until_wall(self):
+        cpu = get_platform("C")  # 42.6 GB/s, 6 cores
+        analysis = analyze_concurrency("fastpq", 2000e6, cpu)
+        wall_vps = 42.6e9 / 6.0
+        for k, agg in enumerate(analysis.scaling, start=1):
+            assert agg == pytest.approx(min(k * 2000e6, wall_vps))
+
+    def test_saturation_cores(self):
+        cpu = get_platform("C")
+        analysis = analyze_concurrency("fastpq", 2000e6, cpu)
+        # 2000 M vecs/s * 6 B = 12 GB/s per core; 42.6 / 12 = 3.55 cores.
+        assert analysis.saturation_cores == pytest.approx(3.55)
+        assert analysis.bandwidth_bound  # 3.55 <= 6 cores
+
+    def test_slow_scanner_never_bound(self):
+        cpu = get_platform("C")
+        analysis = analyze_concurrency("libpq", 200e6, cpu)
+        assert not analysis.bandwidth_bound
+        assert analysis.scaling[-1] == pytest.approx(cpu.n_cores * 200e6)
+
+    def test_explicit_bytes_override(self):
+        cpu = get_platform("A")
+        analysis = analyze_concurrency("fastpq", 1e9, cpu, bytes_per_vector=7.0)
+        assert analysis.bytes_per_vector == 7.0
+
+    def test_platforms_report_bandwidth(self):
+        for letter in ("A", "B", "C", "D"):
+            cpu = get_platform(letter)
+            # Section 5.8 cites 40-70 GB/s for servers; laptops less.
+            assert 20.0 <= cpu.memory_bandwidth_gbs <= 70.0
+            assert cpu.n_cores >= 4

@@ -1,0 +1,132 @@
+"""Tests for the benchmark harness (workloads, cost model, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro import PQFastScanner
+from repro.bench import (
+    HarnessContext,
+    build_workload,
+    calibrate,
+    format_table,
+    run_queries,
+    save_report,
+    summarize,
+)
+from repro.bench.workloads import PAPER_PARTITION_SIZES
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("bench-cache")
+    return build_workload(
+        "sift100m", scale=5000, n_queries=6, seed=5, cache_dir=cache
+    )
+
+
+class TestWorkloads:
+    def test_paper_partition_sizes_table3(self):
+        assert PAPER_PARTITION_SIZES[0] == 25_000_000
+        assert sum(PAPER_PARTITION_SIZES.values()) == pytest.approx(1e8, rel=0.01)
+
+    def test_build_produces_index(self, tiny_workload):
+        assert len(tiny_workload.index) == 100_000_000 // 5000
+        assert len(tiny_workload.index.partition_sizes()) == 8
+        assert len(tiny_workload.queries) == 6
+
+    def test_queries_are_routed(self, tiny_workload):
+        for qi in range(6):
+            pid = tiny_workload.query_partitions[qi]
+            assert 0 <= pid < 8
+
+    def test_cache_roundtrip(self, tmp_path):
+        a = build_workload("sift100m", scale=5000, n_queries=4, seed=6,
+                           cache_dir=tmp_path)
+        b = build_workload("sift100m", scale=5000, n_queries=4, seed=6,
+                           cache_dir=tmp_path)
+        np.testing.assert_array_equal(
+            a.index.partitions[0].codes, b.index.partitions[0].codes
+        )
+        np.testing.assert_array_equal(a.queries, b.queries)
+        np.testing.assert_allclose(a.pq.codebooks, b.pq.codebooks)
+
+    def test_describe_mentions_scale(self, tiny_workload):
+        assert "scale 1/5000" in tiny_workload.describe()
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_workload("sift9000t", cache_dir=tmp_path)
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def model(self, tiny_workload):
+        scanner = PQFastScanner(tiny_workload.pq, keep=0.01, group_components=2)
+        pid = int(np.argmax(tiny_workload.index.partition_sizes()))
+        tables = tiny_workload.index.distance_tables_for(
+            tiny_workload.queries[0], pid
+        )
+        return calibrate(
+            "haswell", scanner, tables, tiny_workload.index.partitions[pid],
+            sample_size=1024,
+        )
+
+    def test_unit_costs_ordering(self, model):
+        """The lower-bound path must be much cheaper per vector than a
+        full pqdistance — that is the whole algorithm."""
+        assert model.lb_cpv < model.libpq_cpv / 2
+        assert model.exact_cpv > model.lb_cpv
+
+    def test_modeled_speedup_in_band(self, model, tiny_workload):
+        """With paper-level pruning (>95%), the modeled speedup over
+        libpq lands in a 3-9x window around the paper's 4-6x."""
+        from repro.core.fast_scan import FastScanResult
+
+        n = 1_000_000
+        fake = FastScanResult(
+            ids=np.empty(0, dtype=np.int64),
+            distances=np.empty(0),
+            n_scanned=n,
+            n_pruned=int(n * 0.96),
+            n_keep=int(n * 0.005),
+            n_exact=int(n * 0.035),
+        )
+        fast_ms = model.fastscan_time_ms(n, fake, n_groups=4096)
+        libpq_ms = model.libpq_time_ms(n)
+        assert 3.0 < libpq_ms / fast_ms < 9.0
+
+    def test_speed_conversions(self, model):
+        assert model.libpq_speed() == pytest.approx(
+            model.clock_ghz * 1e9 / model.libpq_cpv
+        )
+
+
+class TestHarness:
+    def test_run_queries_exact_and_summarized(self, tiny_workload):
+        ctx = HarnessContext(tiny_workload)
+        scanner = PQFastScanner(tiny_workload.pq, keep=0.01, group_components=2)
+        stats = run_queries(
+            ctx, scanner, query_indexes=range(4), topk=10, arch="haswell"
+        )
+        assert len(stats) == 4
+        assert all(s.exact_match for s in stats)
+        summary = summarize(stats)
+        assert summary["all_exact"]
+        assert 0 <= summary["pruned_mean"] <= 1
+        assert "speed_median_mvps" in summary
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 1234567.0]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in table and "1,234,567" in table
+
+    def test_save_report_writes_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("exp", "table-content", {"x": 1}, echo=False)
+        assert path.read_text().startswith("table-content")
+        assert (tmp_path / "exp.json").exists()

@@ -1,0 +1,121 @@
+"""Tests for the Section-6 generalization: compressed-database scans."""
+
+import numpy as np
+import pytest
+
+from repro.compressed import (
+    ApproximateAggregator,
+    DictionaryColumn,
+    TopKScoreScanner,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+
+
+@pytest.fixture(scope="module")
+def columns(rng=np.random.default_rng(77)):
+    n = 20000
+    return [
+        DictionaryColumn.compress("price", rng.lognormal(3.0, 1.0, n)),
+        DictionaryColumn.compress("rating", rng.uniform(0, 5, n)),
+        DictionaryColumn.compress("clicks", rng.poisson(40, n).astype(float)),
+    ]
+
+
+class TestDictionaryColumn:
+    def test_exact_encoding_for_few_distinct_values(self):
+        values = np.array([1.0, 3.0, 1.0, 2.0, 3.0] * 10)
+        col = DictionaryColumn.compress("c", values)
+        np.testing.assert_allclose(col.decode(), values)
+
+    def test_lossy_compression_bounded_error(self, rng):
+        values = rng.normal(100, 15, 50000)
+        col = DictionaryColumn.compress("c", values)
+        err = np.abs(col.decode() - values)
+        # 256 quantile bins on a smooth distribution: tiny mean error.
+        assert err.mean() < values.std() / 20
+
+    def test_compression_ratio(self, rng):
+        values = rng.normal(size=100000)
+        col = DictionaryColumn.compress("c", values)
+        assert col.nbytes < values.nbytes / 7  # ~8x smaller (8B -> 1B)
+
+    def test_codes_within_dictionary(self, columns):
+        for col in columns:
+            assert col.codes.max() < len(col.dictionary)
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ConfigurationError):
+            DictionaryColumn.compress("c", np.zeros((3, 3)))
+
+    def test_rejects_out_of_dictionary_codes(self):
+        with pytest.raises(DatasetError):
+            DictionaryColumn("c", np.array([5], dtype=np.uint8), np.zeros(3))
+
+
+class TestTopKScoreScanner:
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_fast_equals_exact(self, columns, k):
+        scanner = TopKScoreScanner(columns)
+        assert scanner.scan_fast(k).same_rows(scanner.scan_exact(k))
+
+    def test_weighted_fast_equals_exact(self, columns):
+        scanner = TopKScoreScanner(columns, weights=np.array([2.0, 0.5, 1.0]))
+        assert scanner.scan_fast(20).same_rows(scanner.scan_exact(20))
+
+    def test_pruning_is_substantial(self, columns):
+        scanner = TopKScoreScanner(columns)
+        result = scanner.scan_fast(10)
+        assert result.pruned_fraction > 0.5
+
+    def test_smaller_k_prunes_more(self, columns):
+        scanner = TopKScoreScanner(columns)
+        p1 = scanner.scan_fast(1).pruned_fraction
+        p100 = scanner.scan_fast(100).pruned_fraction
+        assert p1 >= p100
+
+    def test_scores_sorted_descending(self, columns):
+        result = TopKScoreScanner(columns).scan_fast(25)
+        assert (np.diff(result.scores) <= 1e-12).all()
+
+    def test_rejects_mismatched_columns(self, columns, rng):
+        short = DictionaryColumn.compress("s", rng.normal(size=10))
+        with pytest.raises(ConfigurationError):
+            TopKScoreScanner([columns[0], short])
+
+    def test_rejects_negative_weights(self, columns):
+        with pytest.raises(ConfigurationError):
+            TopKScoreScanner(columns, weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_bad_k(self, columns):
+        with pytest.raises(ConfigurationError):
+            TopKScoreScanner(columns).scan_fast(0)
+
+
+class TestApproximateAggregator:
+    def test_error_within_reported_bound(self, columns):
+        for col in columns:
+            agg = ApproximateAggregator(col)
+            est = agg.mean()
+            assert est.error <= est.max_error + 1e-9
+
+    def test_sum_scales_mean(self, columns):
+        agg = ApproximateAggregator(columns[0])
+        n = len(columns[0])
+        assert agg.sum().value == pytest.approx(agg.mean().value * n, rel=1e-9)
+
+    def test_row_subsets(self, columns):
+        agg = ApproximateAggregator(columns[1])
+        rows = np.arange(0, 1000)
+        est = agg.mean(rows)
+        assert est.error <= est.max_error + 1e-9
+
+    def test_mean_is_reasonable(self, columns):
+        """The 16-entry estimate lands near the exact compressed mean."""
+        agg = ApproximateAggregator(columns[2])
+        est = agg.mean()
+        assert est.error < abs(est.exact) * 0.25 + 1e-9
+
+    def test_rejects_empty_selection(self, columns):
+        agg = ApproximateAggregator(columns[0])
+        with pytest.raises(ConfigurationError):
+            agg.mean(np.array([], dtype=np.int64))

@@ -1,0 +1,73 @@
+"""Property-based tests for the Section-6 compressed-database scans.
+
+The upper-bound top-k must return exactly the exact scan's rows for
+*any* column contents, weights and k — mirroring the PQ Fast Scan
+exactness property with all inequalities flipped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressed import (
+    ApproximateAggregator,
+    DictionaryColumn,
+    TopKScoreScanner,
+)
+
+SLOW = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VALUES = hnp.arrays(
+    np.float64,
+    st.integers(64, 400),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestCompressedTopKProperty:
+    @given(values=VALUES, seed=st.integers(0, 2**16), k=st.integers(1, 16))
+    @SLOW
+    def test_fast_scan_exactness(self, values, seed, k):
+        rng = np.random.default_rng(seed)
+        n = len(values)
+        columns = [
+            DictionaryColumn.compress("a", values),
+            DictionaryColumn.compress("b", rng.normal(0, 50, n)),
+        ]
+        weights = rng.uniform(0, 3, 2)
+        scanner = TopKScoreScanner(columns, weights=weights)
+        assert scanner.scan_fast(k, keep=0.05).same_rows(
+            scanner.scan_exact(k)
+        )
+
+    @given(values=VALUES)
+    @SLOW
+    def test_compression_roundtrip_monotone(self, values):
+        """Dictionary codes preserve value ordering up to bin ties."""
+        col = DictionaryColumn.compress("c", values)
+        order = np.argsort(values, kind="stable")
+        codes_in_value_order = col.codes[order]
+        assert (np.diff(codes_in_value_order.astype(int)) >= 0).all()
+
+
+class TestAggregateProperty:
+    @given(values=VALUES)
+    @SLOW
+    def test_error_always_within_bound(self, values):
+        col = DictionaryColumn.compress("c", values)
+        est = ApproximateAggregator(col).mean()
+        assert est.error <= est.max_error + 1e-6
+
+    @given(values=VALUES, seed=st.integers(0, 2**16))
+    @SLOW
+    def test_subset_error_within_bound(self, values, seed):
+        rng = np.random.default_rng(seed)
+        col = DictionaryColumn.compress("c", values)
+        rows = rng.integers(0, len(values), size=max(len(values) // 3, 1))
+        est = ApproximateAggregator(col).mean(rows)
+        assert est.error <= est.max_error + 1e-6

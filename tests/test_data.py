@@ -1,0 +1,167 @@
+"""Unit tests for the dataset substrate: generator, IO, ground truth."""
+
+import numpy as np
+import pytest
+
+from repro import SyntheticSIFT, VectorDataset, exact_neighbors, recall_at
+from repro.data.io import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+
+
+class TestSyntheticSIFT:
+    def test_shape_and_range(self):
+        gen = SyntheticSIFT(seed=0)
+        vecs = gen.generate(100)
+        assert vecs.shape == (100, 128)
+        assert vecs.min() >= 0.0
+        assert vecs.max() <= 255.0
+
+    def test_integral_components(self):
+        vecs = SyntheticSIFT(seed=0).generate(50)
+        np.testing.assert_array_equal(vecs, np.rint(vecs))
+
+    def test_deterministic(self):
+        a = SyntheticSIFT(seed=3).generate(20)
+        b = SyntheticSIFT(seed=3).generate(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_splits_are_disjoint_samples(self):
+        gen = SyntheticSIFT(seed=0)
+        learn = gen.generate(50, split="learn")
+        base = gen.generate(50, split="base")
+        assert not np.array_equal(learn, base)
+
+    def test_norms_near_target(self):
+        vecs = SyntheticSIFT(seed=1, target_norm=512.0).generate(200)
+        norms = np.linalg.norm(vecs, axis=1)
+        # Clipping and rounding shift norms; the bulk must sit near 512.
+        assert 330 < np.median(norms) < 700
+
+    def test_clustered_structure(self):
+        """Nearest-neighbor distances are much smaller than random-pair
+        distances — the property ANN pruning relies on."""
+        vecs = SyntheticSIFT(seed=2).generate(800)
+        idx, dists = exact_neighbors(vecs, vecs[:20], k=2)
+        nn = dists[:, 1]  # skip self-match
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 800, size=(200, 2))
+        random_d = np.sum((vecs[pairs[:, 0]] - vecs[pairs[:, 1]]) ** 2, axis=1)
+        assert np.median(nn) < np.median(random_d) / 2
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSIFT(seed=0).generate(5, split="bogus")
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSIFT(seed=0).generate(-1)
+
+
+class TestVectorDataset:
+    def test_synthetic_constructor(self, dataset):
+        assert dataset.dim == 128
+        assert "synthetic" in dataset.name
+        assert "learn=3000" in dataset.describe()
+
+    def test_rejects_inconsistent_dims(self):
+        with pytest.raises(DatasetError):
+            VectorDataset(
+                "bad",
+                learn=np.zeros((5, 4)),
+                base=np.zeros((5, 8)),
+                queries=np.zeros((2, 4)),
+            )
+
+
+class TestTexmexIO:
+    @pytest.mark.parametrize(
+        "writer,reader,dtype,values",
+        [
+            (write_bvecs, read_bvecs, np.uint8, lambda r: r.integers(0, 256, (20, 16))),
+            (write_fvecs, read_fvecs, np.float32, lambda r: r.normal(size=(20, 16))),
+            (write_ivecs, read_ivecs, np.int32, lambda r: r.integers(-100, 100, (20, 16))),
+        ],
+    )
+    def test_roundtrip(self, tmp_path, writer, reader, dtype, values, rng):
+        data = values(rng).astype(dtype)
+        path = tmp_path / "vectors.dat"
+        writer(path, data)
+        loaded = reader(path)
+        assert loaded.dtype == dtype
+        np.testing.assert_array_equal(loaded, data)
+
+    def test_limit_reads_prefix(self, tmp_path, rng):
+        data = rng.integers(0, 256, (30, 8)).astype(np.uint8)
+        path = tmp_path / "v.bvecs"
+        write_bvecs(path, data)
+        loaded = read_bvecs(path, limit=7)
+        np.testing.assert_array_equal(loaded, data[:7])
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bvecs"
+        path.write_bytes(b"\x08\x00\x00\x00abc")  # truncated record
+        with pytest.raises(DatasetError):
+            read_bvecs(path)
+
+    def test_bvecs_value_overflow_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_bvecs(tmp_path / "x.bvecs", np.full((2, 4), 300))
+
+    def test_from_texmex_loads_dataset(self, tmp_path, rng):
+        base = rng.integers(0, 256, (50, 16)).astype(np.uint8)
+        learn = rng.integers(0, 256, (30, 16)).astype(np.uint8)
+        queries = rng.integers(0, 256, (5, 16)).astype(np.uint8)
+        for name, arr in [("learn", learn), ("base", base), ("query", queries)]:
+            write_bvecs(tmp_path / f"{name}.bvecs", arr)
+        ds = VectorDataset.from_texmex(
+            tmp_path / "learn.bvecs",
+            tmp_path / "base.bvecs",
+            tmp_path / "query.bvecs",
+        )
+        assert ds.dim == 16
+        np.testing.assert_array_equal(ds.base, base.astype(np.float64))
+
+
+class TestGroundTruth:
+    def test_self_neighbors(self, rng):
+        base = rng.normal(size=(100, 8))
+        idx, dists = exact_neighbors(base, base[:10], k=1)
+        np.testing.assert_array_equal(idx[:, 0], np.arange(10))
+        np.testing.assert_allclose(dists[:, 0], 0.0, atol=1e-9)
+
+    def test_sorted_by_distance(self, rng):
+        base = rng.normal(size=(200, 4))
+        _, dists = exact_neighbors(base, rng.normal(size=(5, 4)), k=10)
+        assert (np.diff(dists, axis=1) >= -1e-12).all()
+
+    def test_deterministic_tie_breaking(self):
+        base = np.zeros((10, 4))  # every distance ties
+        idx, _ = exact_neighbors(base, np.zeros((1, 4)), k=5)
+        np.testing.assert_array_equal(idx[0], np.arange(5))
+
+    def test_blocked_matches_unblocked(self, rng):
+        base = rng.normal(size=(300, 6))
+        queries = rng.normal(size=(20, 6))
+        a = exact_neighbors(base, queries, k=7, block=3)
+        b = exact_neighbors(base, queries, k=7, block=1000)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_k_bounds(self, rng):
+        base = rng.normal(size=(10, 3))
+        with pytest.raises(ConfigurationError):
+            exact_neighbors(base, base[:1], k=11)
+        with pytest.raises(ConfigurationError):
+            exact_neighbors(base, base[:1], k=0)
+
+    def test_recall_at(self):
+        truth = np.array([[1], [2], [3]])
+        found = np.array([[1, 9], [9, 2], [9, 9]])
+        assert recall_at(found, truth) == pytest.approx(2 / 3)
+        assert recall_at(found, truth, r=1) == pytest.approx(1 / 3)

@@ -1,0 +1,54 @@
+"""Unit tests for distance-table sizing and statistics (Table 1)."""
+
+import numpy as np
+
+from repro.pq.distance_tables import (
+    distance_table_bytes,
+    pq_configurations_for_bits,
+    table_stats,
+)
+
+
+class TestTableSizing:
+    def test_pq8x8_fits_l1(self):
+        # PQ 8x8: 8 * 256 * 4 bytes = 8 KiB <= 32 KiB L1 (Table 1).
+        assert distance_table_bytes(8, 8) == 8 * 1024
+        assert distance_table_bytes(8, 8) <= 32 * 1024
+
+    def test_pq16x4_fits_l1(self):
+        # PQ 16x4: 16 * 16 * 4 = 1 KiB.
+        assert distance_table_bytes(16, 4) == 1024
+
+    def test_pq4x16_needs_l3(self):
+        # PQ 4x16: 4 * 65536 * 4 = 1 MiB — beyond L1 and L2 (Table 1).
+        size = distance_table_bytes(4, 16)
+        assert size == 1024 * 1024
+        assert size > 256 * 1024
+
+    def test_configurations_for_64_bits(self):
+        configs = pq_configurations_for_bits(64)
+        assert (16, 4) in configs
+        assert (8, 8) in configs
+        assert (4, 16) in configs
+        for m, bits in configs:
+            assert m * bits == 64
+
+
+class TestTableStats:
+    def test_min_max_and_sum_of_maxima(self):
+        tables = np.array([[1.0, 5.0, 3.0], [2.0, 0.5, 4.0]])
+        stats = table_stats(tables)
+        assert stats.global_min == 0.5
+        assert stats.global_max == 5.0
+        assert stats.sum_of_maxima == 9.0
+        assert stats.naive_qmax == 9.0
+        np.testing.assert_allclose(stats.per_table_min, [1.0, 0.5])
+        np.testing.assert_allclose(stats.per_table_max, [5.0, 4.0])
+
+    def test_on_real_tables(self, pq, query):
+        tables = pq.distance_tables(query)
+        stats = table_stats(tables)
+        assert stats.global_min >= 0
+        assert stats.sum_of_maxima >= stats.global_max
+        # The naive qmax is the largest representable ADC distance.
+        assert stats.naive_qmax >= tables.max()

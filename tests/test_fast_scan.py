@@ -1,0 +1,188 @@
+"""Integration tests for PQ Fast Scan (the paper's core algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro import PQFastScanner, ProductQuantizer, QuantizationOnlyScanner
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.scan import LibpqScanner, NaiveScanner
+
+
+@pytest.fixture(scope="module")
+def fast_scanner(pq):
+    return PQFastScanner(pq, keep=0.01, seed=0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("topk", [1, 10, 100])
+    def test_same_results_as_pq_scan(self, fast_scanner, index, dataset, topk):
+        """Section 5.1: PQ Fast Scan returns exactly PQ Scan's results."""
+        naive = NaiveScanner()
+        for query in dataset.queries:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            part = index.partitions[pid]
+            ref = naive.scan(tables, part, topk=topk)
+            got = fast_scanner.scan(tables, part, topk=topk)
+            assert got.same_neighbors(ref)
+
+    def test_exact_across_keep_values(self, pq, index, dataset):
+        naive = NaiveScanner()
+        query = dataset.queries[1]
+        pid = index.route(query)[0]
+        tables = index.distance_tables_for(query, pid)
+        part = index.partitions[pid]
+        ref = naive.scan(tables, part, topk=20)
+        for keep in (0.0, 0.001, 0.05, 0.5):
+            scanner = PQFastScanner(pq, keep=keep, seed=0)
+            assert scanner.scan(tables, part, topk=20).same_neighbors(ref)
+
+    def test_exact_with_arbitrary_assignment(self, pq, index, dataset):
+        scanner = PQFastScanner(pq, keep=0.01, assignment="arbitrary")
+        query = dataset.queries[2]
+        pid = index.route(query)[0]
+        tables = index.distance_tables_for(query, pid)
+        part = index.partitions[pid]
+        ref = LibpqScanner().scan(tables, part, topk=10)
+        assert scanner.scan(tables, part, topk=10).same_neighbors(ref)
+
+    @pytest.mark.parametrize("c", [0, 1, 2, 3, 4])
+    def test_exact_for_all_group_components(self, pq, index, dataset, c):
+        scanner = PQFastScanner(pq, keep=0.01, group_components=c, seed=0)
+        query = dataset.queries[3]
+        pid = index.route(query)[0]
+        tables = index.distance_tables_for(query, pid)
+        part = index.partitions[pid]
+        ref = NaiveScanner().scan(tables, part, topk=10)
+        assert scanner.scan(tables, part, topk=10).same_neighbors(ref)
+
+
+class TestPruning:
+    """Pruning-power behaviour.
+
+    The test workload's partitions (~6-9K vectors) are far below the
+    paper's 3.2M minimum for c=4 grouping, so these tests pin c=3 —
+    the configuration the benchmark workloads use — where pruning
+    behaviour is representative.
+    """
+
+    @pytest.fixture(scope="class")
+    def tuned_scanner(self, pq):
+        return PQFastScanner(pq, keep=0.01, group_components=3, seed=0)
+
+    def test_prunes_majority_of_vectors(self, tuned_scanner, index, dataset):
+        fractions = []
+        for query in dataset.queries:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            result = tuned_scanner.scan(tables, index.partitions[pid], topk=1)
+            fractions.append(result.pruned_fraction)
+            assert (
+                result.n_pruned + result.n_exact + result.n_keep
+                == result.n_scanned
+            )
+        assert np.mean(fractions) > 0.6
+
+    def test_lower_topk_prunes_more(self, tuned_scanner, index, dataset):
+        """Section 5.4: pruning power decreases with topk (averaged)."""
+        deltas = []
+        for query in dataset.queries:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            part = index.partitions[pid]
+            p1 = tuned_scanner.scan(tables, part, topk=1).pruned_fraction
+            p100 = tuned_scanner.scan(tables, part, topk=100).pruned_fraction
+            deltas.append(p1 - p100)
+        assert np.mean(deltas) > 0
+
+    def test_optimized_assignment_beats_arbitrary(self, pq, index, dataset):
+        """Section 4.3 / the assignment ablation: tighter minima =>
+        more pruning (averaged over queries)."""
+        opt = PQFastScanner(
+            pq, keep=0.01, group_components=3, assignment="optimized", seed=0
+        )
+        arb = PQFastScanner(
+            pq, keep=0.01, group_components=3, assignment="arbitrary", seed=0
+        )
+        gains = []
+        for query in dataset.queries:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            part = index.partitions[pid]
+            po = opt.scan(tables, part, topk=100).pruned_fraction
+            pa = arb.scan(tables, part, topk=100).pruned_fraction
+            gains.append(po - pa)
+        assert np.mean(gains) > 0
+
+    def test_quantization_only_prunes_at_least_as_much(
+        self, pq, index, dataset
+    ):
+        """Figure 17 vs 16: exact 256-entry quantized tables bound
+        tighter than 16-entry minimum tables (given comparably fresh
+        thresholds)."""
+        scanner = PQFastScanner(pq, keep=0.01, group_components=3, seed=0)
+        qonly = QuantizationOnlyScanner(pq, keep=0.01, chunk=64)
+        diffs = []
+        for query in dataset.queries[:4]:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            part = index.partitions[pid]
+            pf = scanner.scan(tables, part, topk=10).pruned_fraction
+            pq_only = qonly.scan(tables, part, topk=10).pruned_fraction
+            diffs.append(pq_only - pf)
+        assert np.mean(diffs) >= 0
+
+
+class TestQuantizationOnlyScanner:
+    def test_exact_results(self, pq, index, dataset):
+        qonly = QuantizationOnlyScanner(pq, keep=0.01)
+        naive = NaiveScanner()
+        for query in dataset.queries[:3]:
+            pid = index.route(query)[0]
+            tables = index.distance_tables_for(query, pid)
+            part = index.partitions[pid]
+            assert qonly.scan(tables, part, topk=10).same_neighbors(
+                naive.scan(tables, part, topk=10)
+            )
+
+    def test_rejects_wide_subquantizers(self, dataset):
+        pq16 = ProductQuantizer(m=16, bits=4, max_iter=2, seed=0).fit(dataset.learn)
+        with pytest.raises(ConfigurationError):
+            QuantizationOnlyScanner(pq16)
+
+
+class TestConfiguration:
+    def test_requires_fitted_pq(self):
+        with pytest.raises(NotFittedError):
+            PQFastScanner(ProductQuantizer())
+
+    def test_requires_byte_codes(self, dataset):
+        pq16 = ProductQuantizer(m=16, bits=4, max_iter=2, seed=0).fit(dataset.learn)
+        with pytest.raises(ConfigurationError):
+            PQFastScanner(pq16)
+
+    def test_rejects_bad_keep(self, pq):
+        with pytest.raises(ConfigurationError):
+            PQFastScanner(pq, keep=1.5)
+
+    def test_rejects_unknown_assignment(self, pq):
+        with pytest.raises(ConfigurationError):
+            PQFastScanner(pq, assignment="magic")
+
+    def test_prepared_cache_reused(self, fast_scanner, partition):
+        a = fast_scanner.prepared(partition)
+        b = fast_scanner.prepared(partition)
+        assert a is b
+
+    def test_empty_partition(self, fast_scanner, tables):
+        from repro import Partition
+
+        empty = Partition(np.zeros((0, 8), dtype=np.uint8), np.zeros(0))
+        result = fast_scanner.scan(tables, empty, topk=5)
+        assert result.n_scanned == 0
+        assert len(result.ids) == 0
+
+    def test_stats_fields_populated(self, fast_scanner, tables, partition):
+        result = fast_scanner.scan(tables, partition, topk=5)
+        assert result.qmax >= result.qmin >= 0
+        assert result.n_keep >= 5

@@ -1,0 +1,73 @@
+"""Tests for ASCII figure rendering and the report assembler."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import bar_chart, load_result, render_report
+from repro.exceptions import ConfigurationError
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["long-label", "x"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["a"], [3.0], title="T", unit=" ms")
+        assert chart.startswith("T\n-")
+        assert "3.00 ms" in chart
+
+    def test_zero_values_render(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+
+class TestReportAssembly:
+    def test_load_result_roundtrip(self, tmp_path):
+        (tmp_path / "exp.json").write_text(json.dumps({"x": 1}))
+        assert load_result("exp", tmp_path) == {"x": 1}
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_result("nothing", tmp_path)
+
+    def test_render_report_collects_tables(self, tmp_path):
+        (tmp_path / "fig18_topk.json").write_text(
+            json.dumps({"1": {"pruned_mean": 0.9}, "10": {"pruned_mean": 0.8}})
+        )
+        (tmp_path / "fig18_topk.txt").write_text("Figure 18 table\n")
+        (tmp_path / "custom_extra.txt").write_text("Extra table\n")
+        report = render_report(tmp_path)
+        assert "Figure 18 table" in report
+        assert "Extra table" in report  # unknown artifacts still included
+        assert "pruned distance computations" in report  # the chart
+
+    def test_report_module_main(self, tmp_path, capsys):
+        from repro.report import main
+
+        (tmp_path / "a.txt").write_text("AAA\n")
+        assert main([str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "AAA" in captured.out
+        assert (tmp_path / "REPORT.md").exists()
+
+    def test_report_module_missing_dir(self, tmp_path):
+        from repro.report import main
+
+        assert main([str(tmp_path / "ghost")]) == 1

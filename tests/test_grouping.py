@@ -1,0 +1,123 @@
+"""Unit tests for vector grouping and the compact layout (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Partition
+from repro.core.grouping import (
+    GroupedPartition,
+    group_key_digits,
+    min_partition_size,
+    suggested_components,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def codes(rng=np.random.default_rng(7)):
+    return rng.integers(0, 256, size=(2000, 8)).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def grouped(codes):
+    part = Partition(codes, np.arange(len(codes)))
+    return GroupedPartition(part, c=2)
+
+
+class TestGroupKeys:
+    def test_high_nibbles(self):
+        codes = np.array([[0x3F, 0xA1, 0x00, 0x10, 0, 0, 0, 0]], dtype=np.uint8)
+        digits = group_key_digits(codes, 4)
+        np.testing.assert_array_equal(digits[0], [0x3, 0xA, 0x0, 0x1])
+
+    def test_rejects_c_out_of_range(self, codes):
+        with pytest.raises(ConfigurationError):
+            group_key_digits(codes, 9)
+
+
+class TestSizingRules:
+    def test_min_partition_size(self):
+        # Section 4.2: nmin(c) = 50 * 16^c; grouping on 4 components
+        # requires >= 3.2M vectors.
+        assert min_partition_size(4) == 3_276_800
+        assert min_partition_size(3) == 204_800
+
+    def test_suggested_components(self):
+        assert suggested_components(10_000_000) == 4
+        assert suggested_components(1_000_000) == 3
+        assert suggested_components(250_000) == 3
+        assert suggested_components(100_000) == 2
+        assert suggested_components(100) == 0
+
+
+class TestGroupedPartition:
+    def test_groups_partition_all_rows(self, grouped, codes):
+        assert len(grouped) == len(codes)
+        covered = sum(len(g) for g in grouped.groups)
+        assert covered == len(codes)
+        starts = [g.start for g in grouped.groups]
+        assert starts == sorted(starts)
+
+    def test_group_members_share_key(self, grouped):
+        recon = grouped.reconstruct_all()
+        for group in grouped.groups[:50]:
+            digits = group_key_digits(recon[group.start : group.stop], grouped.c)
+            for j in range(grouped.c):
+                assert (digits[:, j] == group.key[j]).all()
+
+    def test_reconstruction_is_lossless(self, codes):
+        part = Partition(codes, np.arange(len(codes)))
+        for c in (0, 1, 2, 3, 4):
+            grouped = GroupedPartition(part, c=c)
+            recon = grouped.reconstruct_all()
+            # Rows are permuted; match them via ids.
+            original_by_id = codes[grouped.ids]
+            np.testing.assert_array_equal(recon, original_by_id)
+
+    def test_memory_saving_25_percent_for_c4(self, codes):
+        part = Partition(codes, np.arange(len(codes)))
+        grouped = GroupedPartition(part, c=4)
+        # 6 bytes stored instead of 8 (Section 4.2's 25% claim).
+        assert grouped.nbytes == len(codes) * 6
+        assert grouped.memory_saving == pytest.approx(0.25)
+
+    def test_memory_saving_odd_c(self, codes):
+        part = Partition(codes, np.arange(len(codes)))
+        grouped = GroupedPartition(part, c=3)
+        # ceil(3/2)=2 packed bytes + 5 tail bytes = 7 bytes/vector.
+        assert grouped.nbytes == len(codes) * 7
+
+    def test_low_nibbles_roundtrip(self, grouped):
+        recon = grouped.reconstruct_all()
+        low = grouped.low_nibbles(0, len(grouped))
+        np.testing.assert_array_equal(low, recon[:, : grouped.c] & 0x0F)
+
+    def test_tail_high_nibbles(self, grouped):
+        recon = grouped.reconstruct_all()
+        high = grouped.tail_high_nibbles(0, len(grouped))
+        np.testing.assert_array_equal(high, recon[:, grouped.c :] >> 4)
+
+    def test_c_zero_single_group(self, codes):
+        part = Partition(codes, np.arange(len(codes)))
+        grouped = GroupedPartition(part, c=0)
+        assert len(grouped.groups) == 1
+        assert grouped.groups[0].key == ()
+
+    def test_group_stats(self, grouped):
+        stats = grouped.group_stats()
+        assert stats["n_groups"] == len(grouped.groups)
+        assert stats["mean_size"] == pytest.approx(
+            len(grouped) / len(grouped.groups)
+        )
+
+    def test_empty_partition(self):
+        part = Partition(np.zeros((0, 8), dtype=np.uint8), np.zeros(0))
+        grouped = GroupedPartition(part, c=4)
+        assert len(grouped) == 0
+        assert grouped.groups == []
+        assert grouped.group_stats()["n_groups"] == 0
+
+    def test_rejects_wide_codes(self):
+        part = Partition(np.zeros((4, 8), dtype=np.uint16), np.arange(4))
+        with pytest.raises(ConfigurationError):
+            GroupedPartition(part, c=4)

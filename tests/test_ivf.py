@@ -1,0 +1,102 @@
+"""Unit tests for the IVFADC index (Section 2.2, Algorithm 1 steps 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro import IVFADCIndex, ProductQuantizer
+from repro.exceptions import ConfigurationError, DatasetError, NotFittedError
+from repro.ivf.partition import Partition
+from repro.pq.adc import adc_distances
+
+
+class TestPartition:
+    def test_length_and_m(self):
+        p = Partition(np.zeros((10, 8), dtype=np.uint8), np.arange(10))
+        assert len(p) == 10
+        assert p.m == 8
+        assert p.nbytes == 80
+
+    def test_take_prefix(self):
+        codes = np.arange(80, dtype=np.uint8).reshape(10, 8)
+        p = Partition(codes, np.arange(10), partition_id=3)
+        prefix = p.take(4)
+        assert len(prefix) == 4
+        assert prefix.partition_id == 3
+        np.testing.assert_array_equal(prefix.codes, codes[:4])
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(DatasetError):
+            Partition(np.zeros((5, 8), dtype=np.uint8), np.arange(4))
+
+    def test_rejects_1d_codes(self):
+        with pytest.raises(DatasetError):
+            Partition(np.zeros(5, dtype=np.uint8), np.arange(5))
+
+
+class TestIVFADCIndex:
+    def test_partitions_cover_database(self, index, dataset):
+        sizes = index.partition_sizes()
+        assert sizes.sum() == len(dataset.base)
+        assert len(index) == len(dataset.base)
+
+    def test_ids_are_disjoint_and_complete(self, index, dataset):
+        all_ids = np.concatenate([p.ids for p in index.partitions])
+        assert len(all_ids) == len(dataset.base)
+        assert len(np.unique(all_ids)) == len(all_ids)
+
+    def test_route_returns_nearest_cell(self, index, query):
+        pid = index.route(query)[0]
+        dists = index.coarse.distances_to_codebook(query)
+        assert pid == int(np.argmin(dists))
+
+    def test_route_nprobe_ordering(self, index, query):
+        pids = index.route(query, nprobe=2)
+        dists = index.coarse.distances_to_codebook(query)
+        assert dists[pids[0]] <= dists[pids[1]]
+
+    def test_route_rejects_bad_nprobe(self, index, query):
+        with pytest.raises(ConfigurationError):
+            index.route(query, nprobe=0)
+        with pytest.raises(ConfigurationError):
+            index.route(query, nprobe=99)
+
+    def test_residual_tables_give_true_adc(self, index, pq, dataset, query):
+        """Distance tables shifted per cell: ADC equals the distance to
+        the residual reconstruction plus nothing else (exact ADC)."""
+        pid = index.route(query)[0]
+        tables = index.distance_tables_for(query, pid)
+        part = index.partitions[pid]
+        adc = adc_distances(tables, part.codes[:50])
+        residual_query = query - index.coarse.codebook[pid]
+        recon = pq.decode(part.codes[:50])
+        expected = np.sum((recon - residual_query) ** 2, axis=1)
+        np.testing.assert_allclose(adc, expected, rtol=1e-9)
+
+    def test_non_residual_mode(self, pq, dataset, query):
+        idx = IVFADCIndex(pq, n_partitions=2, encode_residuals=False, seed=2)
+        idx.add(dataset.base[:2000])
+        pid = idx.route(query)[0]
+        t1 = idx.distance_tables_for(query, pid)
+        t2 = pq.distance_tables(query)
+        np.testing.assert_allclose(t1, t2)
+
+    def test_requires_fitted_pq(self):
+        with pytest.raises(NotFittedError):
+            IVFADCIndex(ProductQuantizer(), n_partitions=2)
+
+    def test_partitions_before_add_raises(self, pq):
+        idx = IVFADCIndex(pq, n_partitions=2)
+        with pytest.raises(NotFittedError):
+            _ = idx.partitions
+
+    def test_custom_ids(self, pq, dataset):
+        ids = np.arange(1000, 3000)
+        idx = IVFADCIndex(pq, n_partitions=2, seed=2).add(dataset.base[:2000], ids)
+        all_ids = np.concatenate([p.ids for p in idx.partitions])
+        assert set(all_ids.tolist()) == set(ids.tolist())
+
+    def test_ids_length_mismatch(self, pq, dataset):
+        with pytest.raises(ConfigurationError):
+            IVFADCIndex(pq, n_partitions=2).add(
+                dataset.base[:100], np.arange(99)
+            )

@@ -1,0 +1,120 @@
+"""Unit tests for Lloyd k-means (repro.pq.kmeans)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.pq.kmeans import (
+    KMeans,
+    assign_to_centroids,
+    squared_distances,
+)
+
+
+class TestSquaredDistances:
+    def test_matches_naive_computation(self, rng):
+        points = rng.normal(size=(20, 5))
+        centroids = rng.normal(size=(7, 5))
+        expected = np.array(
+            [[np.sum((p - c) ** 2) for c in centroids] for p in points]
+        )
+        np.testing.assert_allclose(
+            squared_distances(points, centroids), expected, rtol=1e-10
+        )
+
+    def test_zero_distance_on_identical_points(self):
+        points = np.ones((3, 4))
+        d = squared_distances(points, points)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        # Large magnitudes provoke float cancellation; must clamp to 0.
+        points = rng.normal(loc=1e6, size=(50, 8))
+        d = squared_distances(points, points)
+        assert (d >= 0.0).all()
+
+
+class TestAssignToCentroids:
+    def test_assigns_to_nearest(self, rng):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        points = np.array([[1.0, 1.0], [9.0, 9.0], [0.2, -0.1]])
+        labels, dists = assign_to_centroids(points, centroids)
+        assert labels.tolist() == [0, 1, 0]
+        np.testing.assert_allclose(dists[0], 2.0)
+
+    def test_blockwise_matches_full(self, rng):
+        points = rng.normal(size=(100, 6))
+        centroids = rng.normal(size=(9, 6))
+        l1, d1 = assign_to_centroids(points, centroids, block=7)
+        l2, d2 = assign_to_centroids(points, centroids, block=100000)
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_allclose(d1, d2)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        centers = np.array([[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]])
+        points = np.concatenate(
+            [c + rng.normal(scale=0.5, size=(40, 2)) for c in centers]
+        )
+        km = KMeans(k=3, seed=0).fit(points)
+        # Each true center should be close to some learned centroid.
+        for c in centers:
+            dists = np.linalg.norm(km.centroids - c, axis=1)
+            assert dists.min() < 2.0
+
+    def test_exact_k_centroids(self, rng):
+        points = rng.normal(size=(300, 4))
+        km = KMeans(k=16, seed=0).fit(points)
+        assert km.centroids.shape == (16, 4)
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.normal(size=(200, 3))
+        a = KMeans(k=5, seed=7).fit(points).centroids
+        b = KMeans(k=5, seed=7).fit(points).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_n_redo_keeps_best_inertia(self, rng):
+        points = rng.normal(size=(200, 3))
+        single = KMeans(k=8, seed=3, n_redo=1).fit(points).result_.inertia
+        multi = KMeans(k=8, seed=3, n_redo=4).fit(points).result_.inertia
+        assert multi <= single + 1e-9
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.normal(size=(400, 4))
+        i4 = KMeans(k=4, seed=0).fit(points).result_.inertia
+        i32 = KMeans(k=32, seed=0).fit(points).result_.inertia
+        assert i32 < i4
+
+    def test_handles_duplicate_points(self):
+        # More clusters than distinct values: empty-cluster reseeding
+        # must still return k centroids without crashing.
+        points = np.repeat(np.arange(4.0)[:, None], 25, axis=0)
+        km = KMeans(k=4, seed=0).fit(points)
+        assert km.centroids.shape == (4, 1)
+        assert km.result_.inertia < 1e-9
+
+    def test_predict_maps_to_nearest(self, rng):
+        points = rng.normal(size=(100, 2))
+        km = KMeans(k=4, seed=0).fit(points)
+        labels = km.predict(points)
+        _, dists = assign_to_centroids(points, km.centroids)
+        d_assigned = np.linalg.norm(
+            points - km.centroids[labels], axis=1) ** 2
+        np.testing.assert_allclose(d_assigned, dists, rtol=1e-9)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(k=10).fit(np.zeros((5, 2)))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(k=0).fit(np.zeros((5, 2)))
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(k=2).fit(np.zeros(10))
+
+    def test_centroids_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = KMeans(k=2).centroids

@@ -1,0 +1,113 @@
+"""Unit tests for minimum tables and the optimized assignment (Sec. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.minimum_tables import (
+    CentroidAssignment,
+    minimum_table,
+    minimum_tables,
+    optimized_assignment,
+)
+from repro.exceptions import ConfigurationError
+from repro.pq.adc import adc_distances
+
+
+class TestMinimumTable:
+    def test_per_portion_minima(self, rng):
+        table = rng.uniform(0, 100, size=256)
+        mins = minimum_table(table)
+        assert mins.shape == (16,)
+        for p in range(16):
+            assert mins[p] == table[p * 16 : (p + 1) * 16].min()
+
+    def test_lower_bound_property(self, rng):
+        """Any entry's portion-minimum never exceeds the entry itself."""
+        table = rng.uniform(0, 100, size=256)
+        mins = minimum_table(table)
+        for i in range(256):
+            assert mins[i >> 4] <= table[i]
+
+    def test_requires_256_entries(self):
+        with pytest.raises(ConfigurationError):
+            minimum_table(np.zeros(128))
+
+    def test_minimum_tables_selects_components(self, rng):
+        tables = rng.uniform(size=(8, 256))
+        mins = minimum_tables(tables, np.array([4, 5, 6, 7]))
+        assert mins.shape == (4, 16)
+        np.testing.assert_allclose(mins[0], minimum_table(tables[4]))
+
+
+class TestCentroidAssignment:
+    def test_identity_is_noop(self, rng):
+        codes = rng.integers(0, 256, (10, 8)).astype(np.uint8)
+        tables = rng.uniform(size=(8, 256))
+        ident = CentroidAssignment.identity(8)
+        np.testing.assert_array_equal(ident.remap_codes(codes), codes)
+        np.testing.assert_array_equal(ident.remap_tables(tables), tables)
+
+    def test_remap_preserves_adc(self, rng):
+        """The core invariant: remapped (codes, tables) give identical
+        distances — reassignment never changes results."""
+        codes = rng.integers(0, 256, (100, 8)).astype(np.uint8)
+        tables = rng.uniform(size=(8, 256))
+        orders = {j: rng.permutation(256) for j in range(3, 8)}
+        assignment = CentroidAssignment(8, orders)
+        d_before = adc_distances(tables, codes)
+        d_after = adc_distances(
+            assignment.remap_tables(tables), assignment.remap_codes(codes)
+        )
+        np.testing.assert_allclose(d_before, d_after, rtol=1e-12)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            CentroidAssignment(8, {0: np.zeros(256, dtype=int)})
+
+    def test_rejects_out_of_range_component(self, rng):
+        with pytest.raises(ConfigurationError):
+            CentroidAssignment(4, {7: rng.permutation(256)})
+
+
+class TestOptimizedAssignment:
+    def test_orders_are_permutations(self, pq):
+        assignment = optimized_assignment(pq, [6, 7], seed=0)
+        assert set(assignment.orders) == {6, 7}
+        for order in assignment.orders.values():
+            assert sorted(order.tolist()) == list(range(256))
+
+    def test_tightens_minimum_tables(self, pq, query):
+        """The whole point of the optimized assignment: per-portion
+        minima get closer to the true entries (Figure 11)."""
+        tables = pq.distance_tables(query)
+        components = [4, 5, 6, 7]
+        assignment = optimized_assignment(pq, components, seed=0)
+        remapped = assignment.remap_tables(tables)
+
+        def tightness(tbls):
+            # Mean gap between an entry and its portion minimum.
+            total = 0.0
+            for j in components:
+                mins = minimum_table(tbls[j])
+                gaps = tbls[j] - np.repeat(mins, 16)
+                total += gaps.mean()
+            return total
+
+        assert tightness(remapped) < tightness(tables)
+
+    def test_apply_to_quantizer_keeps_error(self, dataset):
+        from repro import ProductQuantizer
+
+        pq2 = ProductQuantizer(m=8, bits=8, max_iter=3, seed=9).fit(dataset.learn)
+        before = pq2.quantization_error(dataset.base[:200])
+        assignment = optimized_assignment(pq2, [4, 5], seed=0)
+        assignment.apply_to_quantizer(pq2)
+        after = pq2.quantization_error(dataset.base[:200])
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_requires_256_centroids(self, dataset):
+        from repro import ProductQuantizer
+
+        small = ProductQuantizer(m=8, bits=4, max_iter=2, seed=0).fit(dataset.learn)
+        with pytest.raises(ConfigurationError):
+            optimized_assignment(small, [0])

@@ -1,0 +1,90 @@
+"""Additional property-based tests: quantizer math and dataset IO."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.io import read_bvecs, read_fvecs, write_bvecs, write_fvecs
+from repro.pq.kmeans import assign_to_centroids, squared_distances
+from repro.scan.layout import extract_component, pack_codes_words
+
+SLOW = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POINTS = hnp.arrays(
+    np.float64, st.tuples(st.integers(2, 40), st.integers(1, 8)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+class TestDistanceProperties:
+    @given(points=POINTS)
+    @SLOW
+    def test_distances_nonnegative_and_symmetric(self, points):
+        d = squared_distances(points, points)
+        assert (d >= 0).all()
+        np.testing.assert_allclose(d, d.T, atol=1e-6)
+        assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+    @given(points=POINTS, seed=st.integers(0, 999))
+    @SLOW
+    def test_assignment_is_argmin(self, points, seed):
+        rng = np.random.default_rng(seed)
+        centroids = points[rng.integers(0, len(points), size=3)]
+        labels, dists = assign_to_centroids(points, centroids)
+        full = squared_distances(points, centroids)
+        np.testing.assert_allclose(dists, full.min(axis=1), rtol=1e-9)
+        # Assigned distance equals the minimum (label may differ on ties).
+        chosen = full[np.arange(len(points)), labels]
+        np.testing.assert_allclose(chosen, full.min(axis=1), rtol=1e-9)
+
+    @given(points=POINTS)
+    @SLOW
+    def test_triangle_consistency_with_numpy(self, points):
+        ref = ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(
+            squared_distances(points, points), ref, rtol=1e-6, atol=1e-6
+        )
+
+
+class TestIOProperties:
+    @given(
+        data=hnp.arrays(
+            np.uint8, st.tuples(st.integers(1, 50), st.integers(1, 32)),
+            elements=st.integers(0, 255),
+        )
+    )
+    @SLOW
+    def test_bvecs_roundtrip(self, data, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "v.bvecs"
+        write_bvecs(path, data)
+        np.testing.assert_array_equal(read_bvecs(path), data)
+
+    @given(
+        data=hnp.arrays(
+            np.float32, st.tuples(st.integers(1, 50), st.integers(1, 32)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+        )
+    )
+    @SLOW
+    def test_fvecs_roundtrip(self, data, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "v.fvecs"
+        write_fvecs(path, data)
+        np.testing.assert_array_equal(read_fvecs(path), data)
+
+
+class TestWordPackingProperty:
+    @given(
+        codes=hnp.arrays(
+            np.uint8, st.tuples(st.integers(1, 60), st.just(8)),
+            elements=st.integers(0, 255),
+        ),
+        j=st.integers(0, 7),
+    )
+    @SLOW
+    def test_extract_matches_column(self, codes, j):
+        words = pack_codes_words(codes)
+        np.testing.assert_array_equal(extract_component(words, j), codes[:, j])

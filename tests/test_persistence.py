@@ -1,0 +1,78 @@
+"""Tests for model/index persistence."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ANNSearcher,
+    NaiveScanner,
+    load_index,
+    load_quantizer,
+    save_index,
+    save_quantizer,
+)
+from repro.exceptions import DatasetError
+
+
+class TestQuantizerPersistence:
+    def test_roundtrip_bit_exact(self, pq, dataset, tmp_path):
+        path = tmp_path / "pq.npz"
+        save_quantizer(pq, path)
+        loaded = load_quantizer(path)
+        np.testing.assert_array_equal(loaded.codebooks, pq.codebooks)
+        sample = dataset.base[:50]
+        np.testing.assert_array_equal(loaded.encode(sample), pq.encode(sample))
+
+    def test_distance_tables_identical(self, pq, query, tmp_path):
+        path = tmp_path / "pq.npz"
+        save_quantizer(pq, path)
+        loaded = load_quantizer(path)
+        np.testing.assert_array_equal(
+            loaded.distance_tables(query), pq.distance_tables(query)
+        )
+
+
+class TestIndexPersistence:
+    def test_roundtrip_answers_identically(self, index, dataset, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        original = ANNSearcher(index, NaiveScanner())
+        restored = ANNSearcher(loaded, NaiveScanner())
+        for query in dataset.queries[:3]:
+            a = original.search(query, topk=10, nprobe=2)
+            b = restored.search(query, topk=10, nprobe=2)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_allclose(a.distances, b.distances)
+
+    def test_partition_contents_preserved(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == len(index)
+        for a, b in zip(index.partitions, loaded.partitions):
+            np.testing.assert_array_equal(a.codes, b.codes)
+            np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_residual_flag_preserved(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        assert load_index(path).encode_residuals == index.encode_residuals
+
+
+class TestFormatValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_quantizer(tmp_path / "nope.npz")
+
+    def test_wrong_kind_rejected(self, pq, tmp_path):
+        path = tmp_path / "pq.npz"
+        save_quantizer(pq, path)
+        with pytest.raises(DatasetError):
+            load_index(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_quantizer(path)

@@ -1,0 +1,141 @@
+"""Unit tests for VectorQuantizer and ProductQuantizer."""
+
+import numpy as np
+import pytest
+
+from repro import ProductQuantizer, VectorQuantizer
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    NotFittedError,
+)
+from repro.pq.product_quantizer import code_dtype_for_bits
+
+
+class TestVectorQuantizer:
+    def test_encode_decode_roundtrip_on_centroids(self, rng):
+        vq = VectorQuantizer(k=8, seed=0).fit(rng.normal(size=(200, 4)))
+        codes = vq.encode(vq.codebook)
+        np.testing.assert_array_equal(codes, np.arange(8))
+
+    def test_quantize_returns_nearest_centroid(self, rng):
+        vq = VectorQuantizer(k=8, seed=0).fit(rng.normal(size=(200, 4)))
+        x = rng.normal(size=(10, 4))
+        q = vq.quantize(x)
+        for xi, qi in zip(x, q):
+            d_chosen = np.sum((xi - qi) ** 2)
+            d_all = np.sum((xi - vq.codebook) ** 2, axis=1)
+            assert d_chosen <= d_all.min() + 1e-9
+
+    def test_distances_to_codebook(self, rng):
+        vq = VectorQuantizer(k=5, seed=0).fit(rng.normal(size=(100, 3)))
+        x = rng.normal(size=3)
+        d = vq.distances_to_codebook(x)
+        expected = np.sum((vq.codebook - x) ** 2, axis=1)
+        np.testing.assert_allclose(d, expected, rtol=1e-9)
+
+    def test_permute_preserves_quantization(self, rng):
+        vq = VectorQuantizer(k=8, seed=0).fit(rng.normal(size=(100, 4)))
+        order = np.array([3, 1, 4, 0, 7, 6, 5, 2])
+        permuted = vq.permute(order)
+        x = rng.normal(size=(20, 4))
+        np.testing.assert_allclose(vq.quantize(x), permuted.quantize(x))
+
+    def test_dimension_mismatch(self, rng):
+        vq = VectorQuantizer(k=4, seed=0).fit(rng.normal(size=(50, 4)))
+        with pytest.raises(DimensionMismatchError):
+            vq.encode(rng.normal(size=(3, 7)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = VectorQuantizer(k=4).codebook
+
+
+class TestCodeDtype:
+    def test_byte_codes(self):
+        assert code_dtype_for_bits(8) == np.uint8
+        assert code_dtype_for_bits(4) == np.uint8
+
+    def test_wide_codes(self):
+        assert code_dtype_for_bits(16) == np.uint16
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            code_dtype_for_bits(17)
+
+
+class TestProductQuantizer:
+    def test_config_name(self):
+        assert ProductQuantizer(m=8, bits=8).config_name() == "PQ 8x8"
+        assert ProductQuantizer(m=16, bits=4).config_name() == "PQ 16x4"
+
+    def test_codes_shape_and_dtype(self, pq, dataset):
+        codes = pq.encode(dataset.base[:100])
+        assert codes.shape == (100, 8)
+        assert codes.dtype == np.uint8
+
+    def test_total_bits(self, pq):
+        assert pq.total_bits == 64
+
+    def test_decode_reconstructs_centroids(self, pq, dataset):
+        codes = pq.encode(dataset.base[:50])
+        recon = pq.decode(codes)
+        assert recon.shape == (50, 128)
+        # Re-encoding a reconstruction must be a fixed point.
+        np.testing.assert_array_equal(pq.encode(recon), codes)
+
+    def test_distance_tables_shape(self, pq, query):
+        tables = pq.distance_tables(query)
+        assert tables.shape == (8, 256)
+        assert (tables >= 0).all()
+
+    def test_distance_tables_entries(self, pq, query):
+        """D[j, i] equals the squared distance to centroid i (Eq. 2)."""
+        tables = pq.distance_tables(query)
+        j = 3
+        sub = query[j * 16 : (j + 1) * 16]
+        expected = np.sum((pq.subquantizers[j].codebook - sub) ** 2, axis=1)
+        np.testing.assert_allclose(tables[j], expected, rtol=1e-9)
+
+    def test_quantization_error_positive_and_reasonable(self, pq, dataset):
+        err = pq.quantization_error(dataset.base[:200])
+        norms = np.mean(np.sum(dataset.base[:200] ** 2, axis=1))
+        assert 0 < err < norms  # far better than quantizing to zero
+
+    def test_more_subquantizer_bits_reduce_error(self, dataset):
+        coarse = ProductQuantizer(m=4, bits=4, max_iter=4, seed=0)
+        fine = ProductQuantizer(m=4, bits=8, max_iter=4, seed=0)
+        coarse.fit(dataset.learn)
+        fine.fit(dataset.learn)
+        sample = dataset.base[:300]
+        assert fine.quantization_error(sample) < coarse.quantization_error(sample)
+
+    def test_from_codebooks_matches_original(self, pq, dataset):
+        clone = ProductQuantizer.from_codebooks(pq.codebooks)
+        sample = dataset.base[:20]
+        np.testing.assert_array_equal(clone.encode(sample), pq.encode(sample))
+
+    def test_permute_subquantizer_preserves_decode_set(self, dataset):
+        pq2 = ProductQuantizer(m=8, bits=8, max_iter=3, seed=5).fit(dataset.learn)
+        before = pq2.quantization_error(dataset.base[:100])
+        order = np.random.default_rng(0).permutation(256)
+        pq2.permute_subquantizer(0, order)
+        after = pq2.quantization_error(dataset.base[:100])
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_rejects_indivisible_dimension(self, rng):
+        pq2 = ProductQuantizer(m=3, bits=2)
+        with pytest.raises(ConfigurationError):
+            pq2.fit(rng.normal(size=(100, 8)))
+
+    def test_rejects_too_few_training_vectors(self, rng):
+        with pytest.raises(ConfigurationError):
+            ProductQuantizer(m=2, bits=8).fit(rng.normal(size=(100, 8)))
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ProductQuantizer().encode(np.zeros((1, 128)))
+
+    def test_decode_rejects_wrong_width(self, pq):
+        with pytest.raises(DimensionMismatchError):
+            pq.decode(np.zeros((5, 7), dtype=np.uint8))

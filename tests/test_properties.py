@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the load-bearing guarantees of the paper:
+
+1. PQ Fast Scan exactness — identical results to PQ Scan on arbitrary
+   tables and codes;
+2. lower bounds never prune a vector closer than the threshold;
+3. the saturating-add fold identity;
+4. layout round-trips (word packing, transposition, compact grouping).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import Partition, PQFastScanner, ProductQuantizer
+from repro.core.grouping import GroupedPartition
+from repro.core.quantization import SATURATION, DistanceQuantizer, saturating_add
+from repro.core.small_tables import SmallTables
+from repro.pq.adc import adc_distances
+from repro.scan import NaiveScanner, select_topk
+from repro.scan.layout import (
+    pack_codes_words,
+    transpose_codes,
+    unpack_codes_words,
+    untranspose_codes,
+)
+from repro.scan.topk import TopKAccumulator
+
+CODES = hnp.arrays(
+    np.uint8, st.tuples(st.integers(1, 120), st.just(8)),
+    elements=st.integers(0, 255),
+)
+TABLES = hnp.arrays(
+    np.float64, (8, 256), elements=st.floats(0.0, 1e5, allow_nan=False)
+)
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLayoutRoundtrips:
+    @given(codes=CODES)
+    @SLOW
+    def test_word_packing_roundtrip(self, codes):
+        np.testing.assert_array_equal(
+            unpack_codes_words(pack_codes_words(codes)), codes
+        )
+
+    @given(codes=CODES)
+    @SLOW
+    def test_transpose_roundtrip(self, codes):
+        blocks, n = transpose_codes(codes)
+        np.testing.assert_array_equal(untranspose_codes(blocks, n), codes)
+
+    @given(codes=CODES, c=st.integers(0, 4))
+    @SLOW
+    def test_grouping_reconstruction(self, codes, c):
+        part = Partition(codes, np.arange(len(codes)))
+        grouped = GroupedPartition(part, c=c)
+        np.testing.assert_array_equal(
+            grouped.reconstruct_all(), codes[grouped.ids]
+        )
+
+
+class TestSaturationProperties:
+    @given(
+        values=hnp.arrays(np.int8, st.integers(2, 16),
+                          elements=st.integers(0, 127))
+    )
+    @SLOW
+    def test_nonnegative_fold_is_clipped_sum(self, values):
+        acc = values[:1]
+        for v in values[1:]:
+            acc = saturating_add(acc, np.array([v], dtype=np.int8))
+        assert int(acc[0]) == min(int(values.astype(int).sum()), SATURATION)
+
+    @given(
+        a=hnp.arrays(np.int8, 16, elements=st.integers(-128, 127)),
+        b=hnp.arrays(np.int8, 16, elements=st.integers(-128, 127)),
+    )
+    @SLOW
+    def test_saturating_add_commutes(self, a, b):
+        np.testing.assert_array_equal(saturating_add(a, b), saturating_add(b, a))
+
+
+class TestQuantizerProperties:
+    @given(
+        entries=hnp.arrays(np.float64, 8, elements=st.floats(0.0, 1e4)),
+        qmax=st.floats(1.0, 2e4),
+    )
+    @SLOW
+    def test_lower_bound_never_over_prunes(self, entries, qmax):
+        """If sum(entries) <= threshold value, the quantized comparison
+        must keep the candidate — for any entries and bounds."""
+        quantizer = DistanceQuantizer(
+            qmin=float(entries.min()),
+            qmax=max(float(qmax), float(entries.min())),
+        )
+        codes = quantizer.quantize_table(entries)
+        lb = min(int(codes.astype(np.int16).sum()), SATURATION)
+        threshold_value = float(entries.sum())  # candidate exactly at the sum
+        thr = quantizer.quantize_threshold(threshold_value, components=8)
+        assert lb <= thr
+
+
+class TestTopKProperties:
+    @given(
+        dists=hnp.arrays(
+            np.float64, st.integers(1, 200),
+            elements=st.floats(0, 1e6, allow_nan=False),
+        ),
+        k=st.integers(1, 20),
+    )
+    @SLOW
+    def test_select_topk_matches_accumulator(self, dists, k):
+        ids = np.arange(len(dists))
+        a_ids, a_d = select_topk(dists, ids, k)
+        acc = TopKAccumulator(k)
+        acc.offer_many(dists, ids)
+        b_ids, b_d = acc.result()
+        np.testing.assert_array_equal(a_ids, b_ids)
+        np.testing.assert_allclose(a_d, b_d)
+
+    @given(
+        dists=hnp.arrays(
+            np.float64, st.integers(5, 200),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+    )
+    @SLOW
+    def test_topk_is_sorted_prefix_of_full_sort(self, dists):
+        ids = np.arange(len(dists))
+        got_ids, got_d = select_topk(dists, ids, 5)
+        order = np.lexsort((ids, dists))
+        np.testing.assert_array_equal(got_ids, ids[order[:5]])
+
+
+class TestFastScanExactnessProperty:
+    """End-to-end property: on random tables and codes (not just SIFT),
+    PQ Fast Scan's pipeline returns exactly the PQ Scan result."""
+
+    @pytest.fixture(scope="class")
+    def scanner_and_pq(self, dataset):
+        pq = ProductQuantizer(m=8, bits=8, max_iter=2, seed=3).fit(dataset.learn)
+        return pq, PQFastScanner(pq, keep=0.02, group_components=2, seed=0)
+
+    @given(
+        tables=TABLES,
+        seed=st.integers(0, 2**16),
+        topk=st.sampled_from([1, 5, 17]),
+    )
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_pipeline_exact_on_arbitrary_tables(
+        self, scanner_and_pq, tables, seed, topk
+    ):
+        pq, scanner = scanner_and_pq
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 256, size=(600, 8)).astype(np.uint8)
+        part = Partition(codes, np.arange(600), partition_id=seed % 7)
+        ref = NaiveScanner().scan(tables, part, topk=topk)
+        got = scanner.scan(tables, part, topk=topk)
+        assert got.same_neighbors(ref)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_lower_bounds_below_true_distances(self, scanner_and_pq, seed):
+        pq, scanner = scanner_and_pq
+        rng = np.random.default_rng(seed)
+        tables = rng.uniform(0, 1000, size=(8, 256))
+        codes = rng.integers(0, 256, size=(300, 8)).astype(np.uint8)
+        part = Partition(codes, np.arange(300))
+        grouped = scanner.prepare(part)
+        tables_r = scanner.assignment.remap_tables(tables)
+        quantizer = DistanceQuantizer.from_tables(tables_r, float(tables_r.sum()))
+        small = SmallTables(tables_r, grouped.c, quantizer)
+        recon = grouped.reconstruct_all()
+        true = adc_distances(tables_r, recon)
+        for group in grouped.groups:
+            lb = small.lower_bounds(grouped, group)
+            for offset, row in enumerate(range(group.start, group.stop)):
+                thr = quantizer.quantize_threshold(true[row], components=8)
+                assert int(lb[offset]) <= thr

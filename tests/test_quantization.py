@@ -1,0 +1,110 @@
+"""Unit tests for 8-bit distance quantization (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import SATURATION, DistanceQuantizer, saturating_add
+from repro.exceptions import ConfigurationError
+
+
+class TestDistanceQuantizer:
+    def test_range_mapping(self):
+        q = DistanceQuantizer(qmin=0.0, qmax=127.0)
+        codes = q.quantize_table(np.array([0.0, 1.0, 63.5, 126.9, 127.0, 500.0]))
+        assert codes[0] == 0
+        assert codes[1] == 1
+        assert codes[-2] == SATURATION  # at qmax
+        assert codes[-1] == SATURATION  # beyond qmax
+
+    def test_table_codes_floor_round(self):
+        q = DistanceQuantizer(qmin=0.0, qmax=127.0)
+        # 2.999 must round DOWN to 2: entries under-estimate.
+        assert q.quantize_table(np.array([2.999]))[0] == 2
+
+    def test_threshold_ceil_rounds(self):
+        q = DistanceQuantizer(qmin=0.0, qmax=127.0)
+        assert q.quantize_threshold(2.001) == 3
+
+    def test_threshold_saturates_at_qmax(self):
+        q = DistanceQuantizer(qmin=0.0, qmax=10.0)
+        assert q.quantize_threshold(10.0) == SATURATION
+        assert q.quantize_threshold(1e9) == SATURATION
+
+    def test_table_never_exceeds_true_value(self, rng):
+        """Decoded floor-codes under-estimate: the lower-bound invariant."""
+        q = DistanceQuantizer(qmin=3.0, qmax=250.0)
+        values = rng.uniform(3.0, 300.0, size=1000)
+        codes = q.quantize_table(values)
+        decoded = q.decode(codes)
+        below = values < q.qmax
+        assert (decoded[below] <= values[below] + 1e-9).all()
+
+    def test_component_compensated_threshold(self, rng):
+        """sum(entries) <= value  =>  sum(codes) <= threshold code."""
+        q = DistanceQuantizer(qmin=5.0, qmax=400.0)
+        for _ in range(200):
+            entries = rng.uniform(5.0, 60.0, size=8)
+            codes = q.quantize_table(entries)
+            total = float(entries.sum())
+            threshold = q.quantize_threshold(total, components=8)
+            assert min(int(codes.astype(np.int16).sum()), SATURATION) <= threshold
+
+    def test_degenerate_bounds(self):
+        q = DistanceQuantizer(qmin=5.0, qmax=5.0)
+        assert q.bin_size == 0.0
+        codes = q.quantize_table(np.array([4.0, 5.0, 6.0]))
+        np.testing.assert_array_equal(codes, [0, SATURATION, SATURATION])
+        assert q.quantize_threshold(4.9) == 0
+
+    def test_from_tables_uses_global_min(self, rng):
+        tables = rng.uniform(2.0, 9.0, size=(8, 256))
+        q = DistanceQuantizer.from_tables(tables, qmax=100.0)
+        assert q.qmin == tables.min()
+
+    def test_naive_bounds_are_sum_of_maxima(self, rng):
+        tables = rng.uniform(0.0, 10.0, size=(8, 16))
+        q = DistanceQuantizer.naive_bounds(tables)
+        assert q.qmax == pytest.approx(tables.max(axis=1).sum())
+
+    def test_naive_bounds_have_coarser_bins(self, rng):
+        """Figure 12's point: the keep-phase qmax gives finer bins."""
+        tables = rng.uniform(0.0, 10.0, size=(8, 256))
+        tight = DistanceQuantizer.from_tables(tables, qmax=20.0)
+        naive = DistanceQuantizer.naive_bounds(tables)
+        assert naive.bin_size > tight.bin_size
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DistanceQuantizer(qmin=5.0, qmax=1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ConfigurationError):
+            DistanceQuantizer(qmin=0.0, qmax=float("inf"))
+
+
+class TestSaturatingAdd:
+    def test_saturates_up(self):
+        a = np.array([100, 127], dtype=np.int8)
+        b = np.array([100, 1], dtype=np.int8)
+        np.testing.assert_array_equal(saturating_add(a, b), [127, 127])
+
+    def test_saturates_down(self):
+        a = np.array([-100], dtype=np.int8)
+        b = np.array([-100], dtype=np.int8)
+        np.testing.assert_array_equal(saturating_add(a, b), [-128])
+
+    def test_plain_addition_in_range(self):
+        a = np.array([10, -5], dtype=np.int8)
+        b = np.array([20, -6], dtype=np.int8)
+        np.testing.assert_array_equal(saturating_add(a, b), [30, -11])
+
+    def test_fold_of_nonnegative_equals_clipped_sum(self, rng):
+        """For values 0..127, left-fold paddsb == min(sum, 127) — the
+        identity the vectorized lower-bound computation relies on."""
+        for _ in range(50):
+            values = rng.integers(0, 128, size=8).astype(np.int8)
+            acc = values[:1].copy()
+            for v in values[1:]:
+                acc = saturating_add(acc, np.array([v], dtype=np.int8))
+            expected = min(int(values.astype(np.int64).sum()), SATURATION)
+            assert int(acc[0]) == expected

@@ -1,0 +1,73 @@
+"""Unit tests for same-size k-means (the optimized-assignment substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pq.same_size_kmeans import SameSizeKMeans, balanced_labels_to_order
+
+
+class TestSameSizeKMeans:
+    def test_clusters_have_equal_sizes(self, rng):
+        points = rng.normal(size=(256, 8))
+        labels = SameSizeKMeans(k=16, seed=0).fit_predict(points)
+        counts = np.bincount(labels, minlength=16)
+        assert (counts == 16).all()
+
+    def test_equal_sizes_on_skewed_data(self, rng):
+        # 90% of mass in one blob: plain k-means would starve clusters.
+        points = np.concatenate(
+            [
+                rng.normal(0.0, 0.1, size=(230, 4)),
+                rng.normal(30.0, 0.1, size=(26, 4)),
+            ]
+        )
+        labels = SameSizeKMeans(k=16, seed=1).fit_predict(points)
+        assert (np.bincount(labels, minlength=16) == 16).all()
+
+    def test_grouping_quality_beats_random(self, rng):
+        """Same-cluster points are closer than random groups of 16."""
+        points = rng.normal(size=(256, 8))
+        labels = SameSizeKMeans(k=16, seed=0).fit_predict(points)
+
+        def spread(groups):
+            total = 0.0
+            for g in range(16):
+                members = points[groups == g]
+                total += np.var(members, axis=0).sum()
+            return total
+
+        random_groups = np.repeat(np.arange(16), 16)
+        rng.shuffle(random_groups)
+        assert spread(labels) < spread(random_groups)
+
+    def test_rejects_indivisible_sizes(self, rng):
+        with pytest.raises(ConfigurationError):
+            SameSizeKMeans(k=3).fit_predict(rng.normal(size=(16, 2)))
+
+    def test_deterministic(self, rng):
+        points = rng.normal(size=(64, 4))
+        a = SameSizeKMeans(k=4, seed=5).fit_predict(points)
+        b = SameSizeKMeans(k=4, seed=5).fit_predict(points.copy())
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBalancedLabelsToOrder:
+    def test_is_permutation(self, rng):
+        labels = np.repeat(np.arange(4), 4)
+        rng.shuffle(labels)
+        order = balanced_labels_to_order(labels, 4)
+        assert sorted(order.tolist()) == list(range(16))
+
+    def test_groups_become_contiguous(self, rng):
+        labels = np.repeat(np.arange(4), 4)
+        rng.shuffle(labels)
+        order = balanced_labels_to_order(labels, 4)
+        reordered = labels[order]
+        # After permutation, labels appear in sorted contiguous runs.
+        np.testing.assert_array_equal(reordered, np.repeat(np.arange(4), 4))
+
+    def test_rejects_unbalanced_labels(self):
+        labels = np.array([0, 0, 0, 1])
+        with pytest.raises(ConfigurationError):
+            balanced_labels_to_order(labels, 2)

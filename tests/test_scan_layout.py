@@ -1,0 +1,73 @@
+"""Unit tests for code memory layouts (Section 3's implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scan.layout import (
+    extract_component,
+    pack_codes_words,
+    transpose_codes,
+    unpack_codes_words,
+    untranspose_codes,
+)
+
+
+class TestWordPacking:
+    def test_roundtrip(self, rng):
+        codes = rng.integers(0, 256, (50, 8)).astype(np.uint8)
+        words = pack_codes_words(codes)
+        np.testing.assert_array_equal(unpack_codes_words(words), codes)
+
+    def test_component_order_matches_shifts(self, rng):
+        """Component j sits at bits 8j..8j+7 — the libpq shift idiom."""
+        codes = rng.integers(0, 256, (20, 8)).astype(np.uint8)
+        words = pack_codes_words(codes)
+        for j in range(8):
+            np.testing.assert_array_equal(
+                extract_component(words, j), codes[:, j]
+            )
+
+    def test_known_word(self):
+        codes = np.array([[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]],
+                         dtype=np.uint8)
+        word = pack_codes_words(codes)[0]
+        assert word == 0x0807060504030201
+
+    def test_requires_eight_components(self):
+        with pytest.raises(ConfigurationError):
+            pack_codes_words(np.zeros((5, 4), dtype=np.uint8))
+
+    def test_extract_component_bounds(self):
+        words = np.zeros(3, dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            extract_component(words, 8)
+
+
+class TestTranspose:
+    def test_roundtrip(self, rng):
+        codes = rng.integers(0, 256, (37, 8)).astype(np.uint8)
+        blocks, n = transpose_codes(codes)
+        assert n == 37
+        np.testing.assert_array_equal(untranspose_codes(blocks, n), codes)
+
+    def test_block_layout_contiguity(self, rng):
+        """Block b row j holds the j-th components of 8 vectors (Fig. 5)."""
+        codes = rng.integers(0, 256, (16, 8)).astype(np.uint8)
+        blocks, _ = transpose_codes(codes)
+        assert blocks.shape == (2, 8, 8)
+        np.testing.assert_array_equal(blocks[0, 3], codes[:8, 3])
+        np.testing.assert_array_equal(blocks[1, 0], codes[8:, 0])
+
+    def test_padding_repeats_last_vector(self, rng):
+        codes = rng.integers(0, 256, (9, 8)).astype(np.uint8)
+        blocks, n = transpose_codes(codes)
+        assert blocks.shape[0] == 2
+        # Padded lanes replicate the last real vector.
+        np.testing.assert_array_equal(blocks[1, :, 1], codes[8])
+        assert n == 9
+
+    def test_empty_input(self):
+        blocks, n = transpose_codes(np.zeros((0, 8), dtype=np.uint8))
+        assert n == 0
+        assert blocks.shape == (0, 8, 8)

@@ -1,0 +1,144 @@
+"""Tests for the high-level ANN search API (route + scan + merge)."""
+
+import numpy as np
+import pytest
+
+from repro import ANNSearcher, NaiveScanner, PQFastScanner
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def searcher(index, pq):
+    return ANNSearcher(index, scanner=PQFastScanner(pq, keep=0.01, seed=0))
+
+
+@pytest.fixture(scope="module")
+def reference(index):
+    return ANNSearcher(index, scanner=NaiveScanner())
+
+
+class TestANNSearcher:
+    def test_single_probe_matches_partition_scan(
+        self, searcher, index, dataset
+    ):
+        query = dataset.queries[0]
+        result = searcher.search(query, topk=10, nprobe=1)
+        pid = index.route(query)[0]
+        tables = index.distance_tables_for(query, pid)
+        direct = searcher.scanner.scan(tables, index.partitions[pid], topk=10)
+        np.testing.assert_array_equal(result.ids, direct.ids)
+        assert result.probed == (pid,)
+
+    def test_fast_equals_reference_for_all_nprobe(
+        self, searcher, reference, dataset, index
+    ):
+        for nprobe in (1, 2):
+            for query in dataset.queries[:4]:
+                a = searcher.search(query, topk=10, nprobe=nprobe)
+                b = reference.search(query, topk=10, nprobe=nprobe)
+                np.testing.assert_array_equal(a.ids, b.ids)
+                np.testing.assert_allclose(a.distances, b.distances)
+
+    def test_more_probes_never_worse(self, reference, dataset, index):
+        """nprobe=all is exhaustive: distances only improve with probes."""
+        query = dataset.queries[1]
+        one = reference.search(query, topk=5, nprobe=1)
+        both = reference.search(query, topk=5, nprobe=index.n_partitions)
+        assert both.distances[0] <= one.distances[0] + 1e-12
+        assert both.n_scanned >= one.n_scanned
+
+    def test_full_probe_matches_brute_force_adc(self, reference, dataset, pq, index):
+        """Probing every partition = ADC over the whole database."""
+        from repro.pq.adc import adc_distances
+        from repro.scan.topk import select_topk
+
+        query = dataset.queries[2]
+        got = reference.search(query, topk=10, nprobe=index.n_partitions)
+        # Assemble ADC over all partitions with their per-cell tables.
+        all_ids, all_d = [], []
+        for pid, part in enumerate(index.partitions):
+            tables = index.distance_tables_for(query, pid)
+            all_ids.append(part.ids)
+            all_d.append(adc_distances(tables, part.codes))
+        ids, dists = select_topk(
+            np.concatenate(all_d), np.concatenate(all_ids), 10
+        )
+        np.testing.assert_array_equal(got.ids, ids)
+
+    def test_merged_results_sorted(self, searcher, dataset):
+        result = searcher.search(dataset.queries[3], topk=20, nprobe=2)
+        assert (np.diff(result.distances) >= -1e-12).all()
+        assert len(result.ids) == 20
+
+    def test_pruning_stats_aggregate(self, searcher, dataset):
+        result = searcher.search(dataset.queries[0], topk=10, nprobe=2)
+        assert result.n_scanned > 0
+        assert 0 <= result.pruned_fraction <= 1
+
+    def test_batch_search(self, searcher, dataset):
+        results = searcher.search_batch(dataset.queries[:3], topk=5)
+        assert len(results) == 3
+        for r in results:
+            assert len(r.ids) == 5
+
+    def test_rejects_bad_topk(self, searcher, dataset):
+        with pytest.raises(ConfigurationError):
+            searcher.search(dataset.queries[0], topk=0)
+
+
+class TestExtensionPlatforms:
+    def test_neon_platform_registered(self):
+        from repro.simd import get_platform
+
+        neon = get_platform("neon")
+        assert neon.name == "cortex-a72"
+        assert not neon.has_gather
+
+    def test_fastscan_runs_on_neon(self, pq, tables, partition):
+        from repro import Partition
+        from repro.simd import fastscan_kernel
+
+        scanner = PQFastScanner(pq, keep=0.01, group_components=1, seed=0)
+        sample = Partition(partition.codes[:800], partition.ids[:800])
+        grouped = scanner.prepare(sample)
+        tables_r = scanner.assignment.remap_tables(tables)
+        run = fastscan_kernel("neon", tables_r, grouped, topk=5, keep=0.01)
+        ref = NaiveScanner().scan(tables, sample, topk=5)
+        np.testing.assert_array_equal(run.topk_ids, ref.ids)
+
+
+class TestReranking:
+    def test_rerank_improves_rank1_recall(self, index, pq, dataset):
+        from repro import exact_neighbors
+
+        searcher = ANNSearcher(
+            index,
+            scanner=PQFastScanner(pq, keep=0.01, seed=0),
+            vectors=dataset.base,
+        )
+        truth, _ = exact_neighbors(dataset.base, dataset.queries, k=1)
+        plain_hits = rerank_hits = 0
+        for qi, query in enumerate(dataset.queries):
+            plain = searcher.search(query, topk=1, nprobe=2)
+            reranked = searcher.search(query, topk=1, nprobe=2, rerank=50)
+            plain_hits += int(plain.ids[0] == truth[qi, 0])
+            rerank_hits += int(reranked.ids[0] == truth[qi, 0])
+        assert rerank_hits >= plain_hits
+
+    def test_rerank_distances_are_exact(self, index, pq, dataset):
+        searcher = ANNSearcher(index, vectors=dataset.base)
+        query = dataset.queries[0]
+        result = searcher.search(query, topk=5, nprobe=1, rerank=30)
+        expected = np.sum((dataset.base[result.ids] - query) ** 2, axis=1)
+        np.testing.assert_allclose(result.distances, expected, rtol=1e-9)
+        assert (np.diff(result.distances) >= -1e-12).all()
+
+    def test_rerank_requires_vectors(self, index):
+        searcher = ANNSearcher(index)
+        with pytest.raises(ConfigurationError):
+            searcher.search(np.zeros(128), topk=1, rerank=10)
+
+    def test_rerank_shortlist_must_cover_topk(self, index, dataset):
+        searcher = ANNSearcher(index, vectors=dataset.base)
+        with pytest.raises(ConfigurationError):
+            searcher.search(dataset.queries[0], topk=10, rerank=5)

@@ -1,0 +1,207 @@
+"""Unit tests for the SIMD simulator: semantics and scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.simd import Executor, get_platform
+
+
+@pytest.fixture()
+def ex():
+    return Executor(get_platform("haswell"))
+
+
+class TestScalarSemantics:
+    def test_loads_read_memory(self, ex):
+        ex.memory.add("buf", np.array([10, 20, 30], dtype=np.uint8))
+        assert ex.load_u8("r", "buf", 1) == 20
+        assert ex.reg("r") == 20
+
+    def test_word_load_and_shift_extract(self, ex):
+        ex.memory.add("w", np.array([0x0807060504030201], dtype=np.uint64))
+        ex.load_u64("word", "w", 0)
+        ex.shr_u64("word", "word", 8)
+        assert ex.and_u64("idx", "word", 0xFF) == 0x02
+
+    def test_float_accumulation(self, ex):
+        ex.memory.add("t", np.array([1.5, 2.5], dtype=np.float32))
+        ex.mov_imm("acc", 0.0)
+        ex.load_f32("v", "t", 0)
+        ex.add_f32("acc", "acc", "v")
+        ex.load_f32("v", "t", 1)
+        ex.add_f32("acc", "acc", "v")
+        assert ex.reg("acc") == pytest.approx(4.0)
+
+    def test_unwritten_register_raises(self, ex):
+        with pytest.raises(SimulationError):
+            ex.reg("nope")
+
+
+class TestSIMDSemantics:
+    def test_pshufb_lookup(self, ex):
+        table = np.arange(100, 116, dtype=np.uint8)
+        ex.vset_128("tbl", table)
+        idx = np.array([0, 15, 3, 7] * 4, dtype=np.uint8)
+        ex.vset_128("idx", idx)
+        out = ex.pshufb("out", "tbl", "idx")
+        np.testing.assert_array_equal(out, table[idx & 0x0F])
+
+    def test_pshufb_high_bit_zeroes(self, ex):
+        ex.vset_128("tbl", np.full(16, 9, dtype=np.uint8))
+        idx = np.array([0x80] + [0] * 15, dtype=np.uint8)
+        ex.vset_128("idx", idx)
+        out = ex.pshufb("out", "tbl", "idx")
+        assert out[0] == 0
+        assert (out[1:] == 9).all()
+
+    def test_paddsb_matches_reference(self, ex, rng):
+        from repro.core.quantization import saturating_add
+
+        a = rng.integers(-128, 128, 16).astype(np.int8)
+        b = rng.integers(-128, 128, 16).astype(np.int8)
+        ex.vset_128("a", a.view(np.uint8))
+        ex.vset_128("b", b.view(np.uint8))
+        out = ex.paddsb("c", "a", "b")
+        np.testing.assert_array_equal(out.view(np.int8), saturating_add(a, b))
+
+    def test_psrlw_nibble_extraction(self, ex):
+        data = np.array([0xAB] * 16, dtype=np.uint8)
+        ex.vset_128("d", data)
+        ex.psrlw("s", "d", 4)
+        out = ex.pand("n", "s", np.full(16, 0x0F, dtype=np.uint8))
+        assert (out == 0x0A).all()
+
+    def test_pcmpgtb_signed_compare(self, ex):
+        a = np.array([127, 0, -1], dtype=np.int8)
+        b = np.array([126, 0, 1], dtype=np.int8)
+        ex.vset_128("a", np.resize(a.view(np.uint8), 16))
+        ex.vset_128("b", np.resize(b.view(np.uint8), 16))
+        out = ex.pcmpgtb("c", "a", "b").view(np.int8)
+        assert out[0] == -1 and out[1] == 0 and out[2] == 0
+
+    def test_pmovmskb(self, ex):
+        data = np.zeros(16, dtype=np.uint8)
+        data[0] = 0xFF
+        data[5] = 0x80
+        ex.vset_128("d", data)
+        assert ex.pmovmskb("m", "d") == (1 << 0) | (1 << 5)
+
+    def test_vbroadcast(self, ex):
+        out = ex.vbroadcast_i8("b", 42).view(np.int8)
+        assert (out == 42).all()
+
+    def test_gather_semantics(self, ex):
+        table = np.arange(2048, dtype=np.float32)
+        ex.memory.add("tab", table)
+        ex.memory.add("idx", np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.uint8))
+        ex.vload_idx8("i8", "idx", 0)
+        out = ex.vgather_f32("g", "tab", "i8")
+        np.testing.assert_allclose(out, [3, 1, 4, 1, 5, 9, 2, 6])
+
+    def test_gather_unavailable_pre_haswell(self):
+        ex = Executor(get_platform("nehalem"))
+        ex.memory.add("tab", np.zeros(16, dtype=np.float32))
+        ex.memory.add("idx", np.zeros(8, dtype=np.uint8))
+        ex.vload_idx8("i8", "idx", 0)
+        with pytest.raises(SimulationError):
+            ex.vgather_f32("g", "tab", "i8")
+
+    def test_vinsert_vextract(self, ex):
+        ex.mov_imm("x", 3.25)
+        ex.vinsert_f32("v", "x", 2, fresh=True)
+        ex.mov_imm("x", 7.5)
+        ex.vinsert_f32("v", "x", 5)
+        assert ex.vextract_f32("a", "v", 2) == pytest.approx(3.25)
+        assert ex.vextract_f32("b", "v", 5) == pytest.approx(7.5)
+
+    def test_vset_requires_16_bytes(self, ex):
+        with pytest.raises(SimulationError):
+            ex.vset_128("x", np.zeros(8, dtype=np.uint8))
+
+
+class TestScheduling:
+    def test_counters_accumulate(self, ex):
+        ex.mov_imm("a", 1)
+        ex.mov_imm("b", 2)
+        assert ex.counters.instructions == 2
+        assert ex.counters.cycles > 0
+
+    def test_dependency_chain_extends_cycles(self):
+        """A serial add chain costs ~latency per link; independent adds
+        only cost throughput."""
+        serial = Executor(get_platform("haswell"))
+        serial.mov_imm("acc", 0.0)
+        serial.mov_imm("x", 1.0)
+        for _ in range(100):
+            serial.add_f32("acc", "acc", "x")
+        parallel = Executor(get_platform("haswell"))
+        parallel.mov_imm("x", 1.0)
+        for i in range(100):
+            parallel.mov_imm(f"a{i}", 0.0)
+            parallel.add_f32(f"a{i}", f"a{i}", "x")
+        assert serial.counters.cycles > parallel.counters.cycles * 1.5
+
+    def test_gather_throughput_dominates(self):
+        """Back-to-back gathers pipeline at >= 10 cycles apart (Table 2)."""
+        ex = Executor(get_platform("haswell"))
+        ex.memory.add("tab", np.zeros(256, dtype=np.float32))
+        ex.memory.add("idx", np.zeros(8, dtype=np.uint8))
+        ex.vload_idx8("i", "idx", 0)
+        before = ex.counters.cycles
+        for k in range(20):
+            ex.vgather_f32(f"g{k}", "tab", "i")
+        assert ex.counters.cycles - before >= 19 * 10
+
+    def test_gather_uop_count(self, ex):
+        ex.memory.add("tab", np.zeros(16, dtype=np.float32))
+        ex.memory.add("idx", np.zeros(8, dtype=np.uint8))
+        ex.vload_idx8("i", "idx", 0)
+        base = ex.counters.uops
+        ex.vgather_f32("g", "tab", "i")
+        assert ex.counters.uops - base == 34  # Table 2
+
+    def test_load_counters_by_level(self, ex):
+        ex.memory.add("small", np.zeros(16, dtype=np.uint8))  # L1
+        ex.memory.add("big", np.zeros(1024 * 1024, dtype=np.uint8))  # L3
+        ex.load_u8("a", "small", 0)
+        ex.load_u8("b", "big", 0)
+        assert ex.counters.l1_loads == 1
+        assert ex.counters.l3_loads == 1
+
+    def test_branch_misprediction_penalty(self):
+        well = Executor(get_platform("haswell"))
+        well.mov_imm("_flags", True)
+        for _ in range(50):
+            well.branch(site="x", taken=True)
+        badly = Executor(get_platform("haswell"))
+        badly.mov_imm("_flags", True)
+        for i in range(50):
+            badly.branch(site="x", taken=bool(i % 2))
+        assert badly.counters.cycles > well.counters.cycles + 40 * 10
+
+    def test_duplicate_buffer_rejected(self, ex):
+        ex.memory.add("b", np.zeros(4, dtype=np.uint8))
+        with pytest.raises(SimulationError):
+            ex.memory.add("b", np.zeros(4, dtype=np.uint8))
+
+
+class TestPlatforms:
+    def test_all_table5_platforms_exist(self):
+        for key in ("A", "B", "C", "D", "haswell", "nehalem"):
+            assert get_platform(key) is not None
+
+    def test_only_haswell_has_gather(self):
+        assert get_platform("haswell").has_gather
+        for name in ("ivy-bridge", "sandy-bridge", "nehalem"):
+            assert not get_platform(name).has_gather
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_platform("pentium-iii")
+
+    def test_scan_speed_conversion(self):
+        cpu = get_platform("haswell")
+        # 3.5 GHz at 1 cycle/vector = 3.5 G vectors/s.
+        assert cpu.scan_speed(1.0) == pytest.approx(3.5e9)
+        assert cpu.cycles_to_seconds(3.5e9) == pytest.approx(1.0)

@@ -1,0 +1,172 @@
+"""Integration tests: simulated kernels compute correct results and
+reproduce the paper's performance-counter relationships (Figures 3, 15).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Partition, PQFastScanner
+from repro.pq.adc import adc_distances
+from repro.scan import NaiveScanner
+from repro.simd import SCAN_KERNELS, fastscan_kernel, simulate_pq_scan
+
+
+@pytest.fixture(scope="module")
+def scan_setup(pq, tables, partition):
+    sample = Partition(partition.codes[:1500], partition.ids[:1500],
+                       partition.partition_id)
+    ref = adc_distances(tables, sample.codes)
+    return sample, tables, ref
+
+
+@pytest.fixture(scope="module")
+def baseline_runs(scan_setup):
+    sample, tables, _ = scan_setup
+    return {
+        name: simulate_pq_scan(name, "haswell", tables, sample.codes)
+        for name in SCAN_KERNELS
+    }
+
+
+class TestBaselineKernelCorrectness:
+    @pytest.mark.parametrize("name", ["naive", "libpq", "avx", "gather"])
+    def test_finds_true_minimum(self, name, scan_setup, baseline_runs):
+        _, _, ref = scan_setup
+        run = baseline_runs[name]
+        # Kernels accumulate in float32; allow that tolerance.
+        assert run.min_distance == pytest.approx(ref.min(), rel=1e-4)
+
+    def test_scalar_kernels_find_exact_position(self, scan_setup, baseline_runs):
+        _, _, ref = scan_setup
+        assert baseline_runs["naive"].min_position == int(ref.argmin())
+        assert baseline_runs["libpq"].min_position == int(ref.argmin())
+
+
+class TestFigure3Relationships:
+    """The qualitative statements of Section 3 must hold in simulation."""
+
+    def test_naive_does_16_l1_loads_per_vector(self, baseline_runs):
+        run = baseline_runs["naive"]
+        assert run.counters.l1_loads / run.n_vectors == pytest.approx(16, abs=0.1)
+
+    def test_libpq_does_9_l1_loads_per_vector(self, baseline_runs):
+        run = baseline_runs["libpq"]
+        assert run.counters.l1_loads / run.n_vectors == pytest.approx(9, abs=0.1)
+
+    def test_libpq_has_more_instructions_but_not_faster(self, baseline_runs):
+        """Section 3.1: libpq's instruction increase offsets its load
+        decrease — it is slightly slower than naive on Haswell."""
+        naive, libpq = baseline_runs["naive"], baseline_runs["libpq"]
+        assert libpq.counters.instructions > naive.counters.instructions
+        assert libpq.cycles_per_vector >= naive.cycles_per_vector * 0.95
+
+    def test_gather_low_instructions_high_uops(self, baseline_runs):
+        """Section 3.2: gather has a low instruction count but a high
+        µop count."""
+        gather = baseline_runs["gather"]
+        naive = baseline_runs["naive"]
+        assert gather.counters.instructions < naive.counters.instructions / 2
+        assert gather.counters.uops > gather.counters.instructions * 5
+
+    def test_gather_has_lowest_ipc(self, baseline_runs):
+        ipcs = {
+            name: run.counters.instructions / run.counters.cycles
+            for name, run in baseline_runs.items()
+        }
+        assert min(ipcs, key=ipcs.get) == "gather"
+
+    def test_gather_slower_than_naive(self, baseline_runs):
+        assert (
+            baseline_runs["gather"].cycles_per_vector
+            > baseline_runs["naive"].cycles_per_vector
+        )
+
+    def test_memory_intensive_cycles_with_load(self, baseline_runs):
+        """'The number of cycles with pending load operations is almost
+        equal to the number of cycles' (Section 3.1)."""
+        run = baseline_runs["naive"]
+        assert run.counters.cycles_with_load >= 0.8 * run.counters.cycles
+
+
+class TestFastScanKernel:
+    @pytest.fixture(scope="class")
+    def fast_setup(self, pq, tables, partition):
+        # c=1 keeps groups ~90 vectors on this 1500-vector sample; with
+        # c=2 groups of ~6 pay a full padded 16-lane block each — the
+        # small-partition falloff of Section 5.6 — which drops the
+        # speedup below the paper band by design.
+        sample = Partition(partition.codes[:1500], partition.ids[:1500],
+                           partition.partition_id)
+        scanner = PQFastScanner(pq, keep=0.01, group_components=1, seed=0)
+        grouped = scanner.prepare(sample)
+        tables_r = scanner.assignment.remap_tables(tables)
+        return sample, scanner, grouped, tables_r
+
+    def test_topk_matches_pq_scan_exactly(self, fast_setup, tables):
+        sample, scanner, grouped, tables_r = fast_setup
+        ref = NaiveScanner().scan(tables, sample, topk=10)
+        run = fastscan_kernel("haswell", tables_r, grouped, topk=10, keep=0.01)
+        np.testing.assert_array_equal(run.topk_ids, ref.ids)
+        np.testing.assert_allclose(run.topk_distances, ref.distances)
+
+    def test_reproduces_figure15_counters(self, fast_setup, tables):
+        """Figure 15's shape: fastscan needs far fewer instructions and
+        L1 loads per vector than libpq (paper: 3.7 vs 34 instructions,
+        1.3 vs 9 L1 loads)."""
+        sample, scanner, grouped, tables_r = fast_setup
+        fast = fastscan_kernel("haswell", tables_r, grouped, topk=1, keep=0.01)
+        libpq = simulate_pq_scan("libpq", "haswell", tables, sample.codes)
+        fast_ipv = fast.counters.instructions / fast.n_vectors
+        libpq_ipv = libpq.counters.instructions / libpq.n_vectors
+        assert fast_ipv < libpq_ipv / 3
+        fast_l1 = fast.counters.l1_loads / fast.n_vectors
+        assert fast_l1 < 4.0
+
+    def test_speedup_in_paper_band(self, fast_setup, tables):
+        """PQ Fast Scan is 4-6x faster than (libpq) PQ Scan; allow a
+        wider 3-8x window for the small test partition."""
+        sample, scanner, grouped, tables_r = fast_setup
+        fast = fastscan_kernel("haswell", tables_r, grouped, topk=1, keep=0.01)
+        libpq = simulate_pq_scan("libpq", "haswell", tables, sample.codes)
+        speedup = libpq.cycles_per_vector / fast.cycles_per_vector
+        assert 3.0 < speedup < 9.0
+
+    def test_pruned_counts_match_reported(self, fast_setup, tables):
+        sample, scanner, grouped, tables_r = fast_setup
+        run = fastscan_kernel("haswell", tables_r, grouped, topk=1, keep=0.01)
+        assert 0 < run.n_pruned <= run.n_vectors
+
+    def test_runs_on_all_platforms(self, fast_setup):
+        """pshufb exists from SSSE3 on: fastscan works on every Table 5
+        platform, including pre-AVX Nehalem."""
+        _, scanner, grouped, tables_r = fast_setup
+        speeds = {}
+        for platform in ("haswell", "ivy-bridge", "sandy-bridge", "nehalem"):
+            run = fastscan_kernel(platform, tables_r, grouped, topk=1, keep=0.01)
+            speeds[platform] = run.scan_speed
+        assert all(s > 0 for s in speeds.values())
+
+    def test_threshold_override_controls_pruning(self, fast_setup):
+        """The calibration hook pins the int8 threshold at an extreme:
+        -1 prunes every vector, 127 prunes none."""
+        _, scanner, grouped, tables_r = fast_setup
+        dists = adc_distances(tables_r, grouped.reconstruct_all())
+        qmax = float(np.median(dists))
+        tight = fastscan_kernel(
+            "haswell", tables_r, grouped, qmax=qmax, threshold_override=-1
+        )
+        loose = fastscan_kernel(
+            "haswell", tables_r, grouped, qmax=qmax, threshold_override=127
+        )
+        assert tight.n_pruned == tight.n_vectors
+        assert loose.n_pruned == 0
+        assert loose.counters.cycles > tight.counters.cycles
+
+    def test_explicit_qmax_still_finds_minimum(self, fast_setup):
+        _, scanner, grouped, tables_r = fast_setup
+        dists = adc_distances(tables_r, grouped.reconstruct_all())
+        run = fastscan_kernel(
+            "haswell", tables_r, grouped, qmax=float(np.median(dists))
+        )
+        assert run.min_distance == pytest.approx(dists.min(), rel=1e-12)
+        assert run.n_pruned > 0

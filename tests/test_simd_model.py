@@ -1,0 +1,125 @@
+"""Tests for the simulator's resource models: caches, counters, costs."""
+
+import numpy as np
+import pytest
+
+from repro.simd import Executor, get_platform
+from repro.simd.cache import NEHALEM_HASWELL_CACHE, CacheModel
+from repro.simd.costs import BASE_COSTS, cost_table
+from repro.simd.counters import PerfCounters
+from repro.exceptions import SimulationError
+
+
+class TestCacheModel:
+    def test_level_for_size(self):
+        cache = NEHALEM_HASWELL_CACHE()
+        assert cache.level_for_size(8 * 1024).name == "L1"
+        assert cache.level_for_size(100 * 1024).name == "L2"
+        assert cache.level_for_size(1024 * 1024).name == "L3"
+        assert cache.level_for_size(1 << 30).name == "DRAM"
+
+    def test_streamed_buffers_stay_l1(self):
+        cache = NEHALEM_HASWELL_CACHE()
+        assert cache.level_for_size(1 << 30, streamed=True).name == "L1"
+
+    def test_latencies_match_table1(self):
+        """Table 1: L1 4-5 cycles, L2 11-13, L3 25-40."""
+        cache = NEHALEM_HASWELL_CACHE()
+        l1, l2, l3 = cache.levels
+        assert 4 <= l1.latency <= 5
+        assert 11 <= l2.latency <= 13
+        assert 25 <= l3.latency <= 40
+
+    def test_unassigned_buffer_rejected(self):
+        cache = NEHALEM_HASWELL_CACHE()
+        with pytest.raises(SimulationError):
+            cache.load_latency("ghost")
+
+    def test_fill_buffer_limits_miss_throughput(self):
+        """Back-to-back L3 loads sustain ~latency/10 cycles apiece —
+        without this, fewer-but-slower loads would beat PQ 8x8."""
+        def run(level_size):
+            ex = Executor(get_platform("haswell"))
+            ex.memory.add("buf", np.zeros(level_size, dtype=np.uint8))
+            for i in range(200):
+                ex.load_u8("r", "buf", i % level_size)
+            return ex.counters.cycles
+
+        l1_cycles = run(1024)                 # L1-resident
+        l3_cycles = run(1024 * 1024)          # L3-resident
+        assert l3_cycles > l1_cycles * 2
+        # Sustained, not serialized: far below 200 * 30 cycles.
+        assert l3_cycles < 200 * 30
+
+
+class TestCostTable:
+    def test_table2_values_verbatim(self):
+        gather = BASE_COSTS["vgather_f32"]
+        assert (gather.latency, gather.throughput, gather.uops) == (18, 10, 34)
+        pshufb = BASE_COSTS["pshufb"]
+        assert (pshufb.latency, pshufb.throughput, pshufb.uops) == (1, 0.5, 1)
+
+    def test_overrides_do_not_mutate_base(self):
+        from repro.simd.costs import InstructionCost
+
+        table = cost_table({"pshufb": InstructionCost(9, 9)})
+        assert table["pshufb"].latency == 9
+        assert BASE_COSTS["pshufb"].latency == 1
+
+    def test_unknown_opcode_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_platform("haswell").cost("fsqrt_mystery")
+
+
+class TestPerfCounters:
+    def test_per_vector_normalization(self):
+        counters = PerfCounters(
+            instructions=300, uops=400, cycles=100.0,
+            cycles_with_load=90.0, l1_loads=160,
+        )
+        pv = counters.per_vector(10)
+        assert pv.instructions == 30
+        assert pv.uops == 40
+        assert pv.cycles == 10
+        assert pv.l1_loads == 16
+        assert pv.ipc == pytest.approx(3.0)
+
+    def test_per_vector_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PerfCounters().per_vector(0)
+
+    def test_op_histogram(self):
+        counters = PerfCounters()
+        counters.count_op("pshufb")
+        counters.count_op("pshufb")
+        counters.count_op("paddsb")
+        assert counters.per_op == {"pshufb": 2, "paddsb": 1}
+
+    def test_as_dict_keys_match_figure3_panels(self):
+        pv = PerfCounters(instructions=1, uops=1, cycles=1.0,
+                          l1_loads=1).per_vector(1)
+        assert set(pv.as_dict()) == {
+            "cycles", "cycles w/ load", "instructions", "uops",
+            "L1 loads", "IPC",
+        }
+
+
+class TestArchitectureDifferences:
+    def test_nehalem_splits_256bit_ops(self):
+        hsw = get_platform("haswell").cost("vaddps")
+        nhm = get_platform("nehalem").cost("vaddps")
+        assert nhm.uops > hsw.uops
+
+    def test_clock_ordering_matches_table5(self):
+        clocks = {
+            k: get_platform(k).clock_ghz for k in ("A", "B", "C", "D")
+        }
+        assert clocks["A"] > clocks["B"]  # Haswell laptop vs 2.5 GHz Xeon
+
+    def test_neon_tbl_slower_than_pshufb(self):
+        assert (
+            get_platform("neon").cost("pshufb").latency
+            > get_platform("haswell").cost("pshufb").latency
+        )

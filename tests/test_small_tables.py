@@ -1,0 +1,113 @@
+"""Unit tests for small-table construction and lower bounds (Sec. 4.1/4.5)."""
+
+import numpy as np
+import pytest
+
+from repro import Partition
+from repro.core.grouping import GroupedPartition
+from repro.core.quantization import SATURATION, DistanceQuantizer
+from repro.core.small_tables import SmallTables
+from repro.exceptions import ConfigurationError
+from repro.pq.adc import adc_distances
+
+
+@pytest.fixture(scope="module")
+def setup(rng=np.random.default_rng(21)):
+    codes = rng.integers(0, 256, size=(1500, 8)).astype(np.uint8)
+    tables = rng.uniform(1.0, 50.0, size=(8, 256))
+    part = Partition(codes, np.arange(len(codes)))
+    grouped = GroupedPartition(part, c=2)
+    quantizer = DistanceQuantizer.from_tables(tables, qmax=200.0)
+    small = SmallTables(tables, c=2, quantizer=quantizer)
+    return codes, tables, grouped, quantizer, small
+
+
+class TestConstruction:
+    def test_min_tables_shape(self, setup):
+        _, _, _, _, small = setup
+        assert small.min_tables_q.shape == (6, 16)
+        assert small.min_tables_q.dtype == np.int8
+
+    def test_portion_tables_are_quantized_slices(self, setup):
+        _, tables, _, quantizer, small = setup
+        key = (3, 10)
+        portions = small.portion_tables(key)
+        assert portions.shape == (2, 16)
+        expected0 = quantizer.quantize_table(tables[0, 3 * 16 : 4 * 16])
+        np.testing.assert_array_equal(portions[0], expected0)
+
+    def test_portion_key_validation(self, setup):
+        _, _, _, _, small = setup
+        with pytest.raises(ConfigurationError):
+            small.portion_tables((1,))
+        with pytest.raises(ConfigurationError):
+            small.portion_tables((1, 17))
+
+    def test_requires_256_wide_tables(self, setup):
+        _, _, _, quantizer, _ = setup
+        with pytest.raises(ConfigurationError):
+            SmallTables(np.zeros((8, 128)), c=2, quantizer=quantizer)
+
+
+class TestLowerBounds:
+    def test_bounds_never_exceed_quantized_true_distance(self, setup):
+        """THE invariant: for any vector, the 8-bit lower bound is <=
+        the component-compensated quantized true distance, so a vector
+        closer than the threshold can never be pruned."""
+        codes, tables, grouped, quantizer, small = setup
+        recon = grouped.reconstruct_all()
+        true = adc_distances(tables, recon)
+        for group in grouped.groups:
+            lb = small.lower_bounds(grouped, group)
+            for offset in range(len(group)):
+                row = group.start + offset
+                thr = quantizer.quantize_threshold(true[row], components=8)
+                assert int(lb[offset]) <= thr
+
+    def test_float_bound_below_true_distance(self, setup):
+        codes, tables, grouped, _, small = setup
+        recon = grouped.reconstruct_all()
+        true = adc_distances(tables, recon)
+        for row in range(0, len(recon), 97):
+            assert small.float_lower_bound(recon[row]) <= true[row] + 1e-9
+
+    def test_bounds_saturate_at_127(self, setup):
+        _, tables, grouped, _, _ = setup
+        # A brutal quantizer: everything lands at saturation.
+        tight = DistanceQuantizer(qmin=0.0, qmax=1e-6)
+        small = SmallTables(tables, c=2, quantizer=tight)
+        lb = small.lower_bounds(grouped, grouped.groups[0])
+        assert (lb == SATURATION).all()
+
+    def test_row_range_clamping(self, setup):
+        _, _, grouped, _, small = setup
+        group = grouped.groups[0]
+        full = small.lower_bounds(grouped, group)
+        partial = small.lower_bounds(grouped, group, start=group.start + 1)
+        np.testing.assert_array_equal(partial, full[1:])
+        empty = small.lower_bounds(grouped, group, start=group.stop)
+        assert len(empty) == 0
+
+    def test_grouped_components_use_exact_entries(self, setup):
+        """For c grouped components the bound uses exact table values;
+        with m == c the bound equals the quantized exact distance."""
+        codes, tables, _, _, _ = setup
+        part = Partition(codes[:500], np.arange(500))
+        grouped_all = GroupedPartition(part, c=4)
+        quantizer = DistanceQuantizer.from_tables(tables, qmax=200.0)
+        small = SmallTables(tables, c=4, quantizer=quantizer)
+        recon = grouped_all.reconstruct_all()
+        for group in grouped_all.groups[:30]:
+            lb = small.lower_bounds(grouped_all, group)
+            codes_g = recon[group.start : group.stop]
+            # Components 0-3 contribute exact (quantized) entries.
+            exact_part = sum(
+                quantizer.quantize_table(tables[j])[codes_g[:, j]].astype(int)
+                for j in range(4)
+            )
+            min_part = sum(
+                small.min_tables_q[t][codes_g[:, 4 + t] >> 4].astype(int)
+                for t in range(4)
+            )
+            expected = np.minimum(exact_part + min_part, SATURATION)
+            np.testing.assert_array_equal(lb.astype(int), expected)

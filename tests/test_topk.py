@@ -1,0 +1,88 @@
+"""Unit tests for top-k candidate management."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scan.topk import TopKAccumulator, select_topk
+
+
+class TestTopKAccumulator:
+    def test_keeps_k_smallest(self):
+        acc = TopKAccumulator(3)
+        for d, i in [(5.0, 0), (1.0, 1), (3.0, 2), (0.5, 3), (4.0, 4)]:
+            acc.offer(d, i)
+        ids, dists = acc.result()
+        np.testing.assert_array_equal(ids, [3, 1, 2])
+        np.testing.assert_allclose(dists, [0.5, 1.0, 3.0])
+
+    def test_threshold_tracks_worst_kept(self):
+        acc = TopKAccumulator(2)
+        assert acc.threshold == float("inf")
+        acc.offer(5.0, 0)
+        assert acc.threshold == float("inf")  # not full yet
+        acc.offer(3.0, 1)
+        assert acc.threshold == 5.0
+        acc.offer(1.0, 2)
+        assert acc.threshold == 3.0
+
+    def test_tie_break_prefers_smaller_id(self):
+        acc = TopKAccumulator(2)
+        acc.offer(1.0, 10)
+        acc.offer(1.0, 5)
+        acc.offer(1.0, 7)
+        ids, _ = acc.result()
+        np.testing.assert_array_equal(ids, [5, 7])
+
+    def test_offer_returns_kept_flag(self):
+        acc = TopKAccumulator(1)
+        assert acc.offer(2.0, 0) is True
+        assert acc.offer(3.0, 1) is False
+        assert acc.offer(1.0, 2) is True
+
+    def test_offer_many_matches_sequential(self, rng):
+        dists = rng.uniform(size=100)
+        ids = np.arange(100)
+        a = TopKAccumulator(10)
+        a.offer_many(dists, ids)
+        b = TopKAccumulator(10)
+        for d, i in zip(dists, ids):
+            b.offer(d, i)
+        np.testing.assert_array_equal(a.result()[0], b.result()[0])
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            TopKAccumulator(0)
+
+
+class TestSelectTopK:
+    def test_matches_accumulator(self, rng):
+        dists = rng.uniform(size=500)
+        ids = rng.permutation(500)
+        ids_a, dists_a = select_topk(dists, ids, 20)
+        acc = TopKAccumulator(20)
+        acc.offer_many(dists, ids)
+        ids_b, dists_b = acc.result()
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_allclose(dists_a, dists_b)
+
+    def test_boundary_ties_resolved_by_id(self):
+        """Regression: argpartition alone returns arbitrary tie members."""
+        dists = np.array([1.0, 2.0, 2.0, 2.0, 2.0, 3.0])
+        ids = np.array([50, 40, 30, 20, 10, 0])
+        chosen, _ = select_topk(dists, ids, 3)
+        np.testing.assert_array_equal(chosen, [50, 10, 20])
+
+    def test_k_larger_than_n(self):
+        ids, dists = select_topk(np.array([2.0, 1.0]), np.array([7, 8]), 10)
+        np.testing.assert_array_equal(ids, [8, 7])
+
+    def test_many_duplicate_distances(self):
+        dists = np.zeros(100)
+        ids = np.arange(100)[::-1].copy()
+        chosen, _ = select_topk(dists, ids, 5)
+        np.testing.assert_array_equal(chosen, [0, 1, 2, 3, 4])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            select_topk(np.zeros(3), np.zeros(4, dtype=np.int64), 2)
