@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from ..data.dataset import VectorDataset
+from ..exceptions import ConfigurationError
 from ..ivf.inverted_index import IVFADCIndex
 from ..pq.product_quantizer import ProductQuantizer
 
@@ -119,7 +120,7 @@ def build_workload(
         # keep partitions around 500K vectors, capped at the paper's 128.
         n_partitions = int(np.clip(n_base // 500_000, 4, 128))
     else:
-        raise ValueError(f"unknown workload {name!r}")
+        raise ConfigurationError(f"unknown workload {name!r}")
 
     cache_dir = default_cache_dir() if cache_dir is None else cache_dir
     cache = cache_dir / f"{name}-s{scale}-q{n_queries}-seed{seed}.npz"

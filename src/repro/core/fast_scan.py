@@ -47,6 +47,7 @@ from ..scan.topk import TopKAccumulator
 from .grouping import GroupedPartition, suggested_components
 from .minimum_tables import CentroidAssignment, optimized_assignment
 from .quantization import DistanceQuantizer
+from .sanitize import check_lower_bound_invariant, sanitizer_enabled
 from .small_tables import SmallTables
 
 __all__ = ["PQFastScanner", "FastScanResult"]
@@ -107,7 +108,7 @@ class PQFastScanner(PartitionScanner):
         assignment: str = "optimized",
         qmax_bound: str = "keep",
         seed: int = 0,
-    ):
+    ) -> None:
         if not pq.is_fitted:
             raise NotFittedError("PQFastScanner requires a fitted ProductQuantizer")
         if pq.bits != 8:
@@ -127,7 +128,9 @@ class PQFastScanner(PartitionScanner):
         self.qmax_bound = qmax_bound
         self.seed = seed
         self._assignment: CentroidAssignment | None = None
-        self._prepared: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        self._prepared: weakref.WeakKeyDictionary[Partition, GroupedPartition] = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- database-side preparation ---------------------------------------------
 
@@ -238,6 +241,7 @@ class PQFastScanner(PartitionScanner):
         # groups are large. Refresh at least every _CHUNK rows.
         n_pruned = 0
         n_exact = 0
+        sanitize = sanitizer_enabled()
         for group in grouped.groups:
             codes = None
             for start in range(group.start, group.stop, self._CHUNK):
@@ -246,6 +250,17 @@ class PQFastScanner(PartitionScanner):
                 if not fresh.any():
                     continue
                 bounds = small.lower_bounds(grouped, group, start=start, stop=stop)
+                if sanitize:
+                    if codes is None:
+                        codes = grouped.reconstruct_codes(group)
+                    chunk_rows = np.arange(start - group.start, stop - group.start)
+                    check_lower_bound_invariant(
+                        bounds,
+                        adc_distances(tables_r, codes[chunk_rows]),
+                        quantizer,
+                        grouped.m,
+                        context=f"fastpq group {group.key} rows {start}:{stop}",
+                    )
                 survivors = np.flatnonzero((bounds <= threshold_q) & fresh)
                 n_pruned += int(fresh.sum()) - len(survivors)
                 if len(survivors) == 0:

@@ -86,7 +86,7 @@ class GroupedPartition:
         tail: ``(n, m-c)`` full bytes of the non-grouped components.
     """
 
-    def __init__(self, partition: Partition, c: int = 4):
+    def __init__(self, partition: Partition, c: int = 4) -> None:
         codes = np.asarray(partition.codes)
         if codes.dtype != np.uint8:
             raise ConfigurationError("grouping requires uint8 codes (PQ m x 8)")
@@ -130,7 +130,8 @@ class GroupedPartition:
 
         # Compact layout: packed low nibbles of grouped components + full
         # tail bytes. The high nibbles are NOT stored — they are the key.
-        low = (codes[:, :c] & 0x0F).astype(np.uint8)
+        # Values are masked to 0..15 first, so the cast loses nothing.
+        low = (codes[:, :c] & 0x0F).astype(np.uint8)  # reprolint: narrowing=exact
         n_low_bytes = (c + 1) // 2
         packed = np.zeros((n, n_low_bytes), dtype=np.uint8)
         for j in range(c):

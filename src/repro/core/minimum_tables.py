@@ -76,7 +76,7 @@ class CentroidAssignment:
     or re-encoding the database from the original vectors.
     """
 
-    def __init__(self, m: int, orders: dict[int, np.ndarray]):
+    def __init__(self, m: int, orders: dict[int, np.ndarray]) -> None:
         self.m = m
         self.orders: dict[int, np.ndarray] = {}
         self._inverses: dict[int, np.ndarray] = {}

@@ -29,7 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
+from ..dtypes import Float64Array, Int8Array
 from ..exceptions import ConfigurationError
 
 __all__ = ["DistanceQuantizer", "saturating_add", "SATURATION"]
@@ -54,8 +56,13 @@ class DistanceQuantizer:
     qmax: float
 
     def __post_init__(self) -> None:
+        # NaN or infinite bounds would silently poison every bin width
+        # and quantized code downstream; reject them at construction.
         if not np.isfinite(self.qmin) or not np.isfinite(self.qmax):
-            raise ConfigurationError("quantization bounds must be finite")
+            raise ConfigurationError(
+                "quantization bounds must be finite, got "
+                f"qmin={self.qmin!r}, qmax={self.qmax!r}"
+            )
         if self.qmax < self.qmin:
             raise ConfigurationError(
                 f"qmax ({self.qmax}) must be >= qmin ({self.qmin})"
@@ -68,7 +75,7 @@ class DistanceQuantizer:
 
     # -- quantization --------------------------------------------------------
 
-    def quantize_table(self, values: np.ndarray) -> np.ndarray:
+    def quantize_table(self, values: npt.ArrayLike) -> Int8Array:
         """Floor-quantize table entries (lower-bound safe), int8 0..127."""
         values = np.asarray(values, dtype=np.float64)
         step = self.bin_size
@@ -107,16 +114,16 @@ class DistanceQuantizer:
         code = int(np.ceil((value - components * self.qmin) / step))
         return int(np.clip(code, 0, SATURATION))
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
+    def decode(self, codes: npt.ArrayLike) -> Float64Array:
         """Representative float of each code (bin lower edge)."""
-        codes = np.asarray(codes, dtype=np.float64)
-        return self.qmin + codes * self.bin_size
+        scaled = np.asarray(codes, dtype=np.float64)
+        return self.qmin + scaled * self.bin_size
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def from_tables(
-        cls, tables: np.ndarray, qmax: float
+        cls, tables: npt.ArrayLike, qmax: float
     ) -> "DistanceQuantizer":
         """Build with ``qmin`` = global minimum of the distance tables."""
         tables = np.asarray(tables, dtype=np.float64)
@@ -124,7 +131,7 @@ class DistanceQuantizer:
         return cls(qmin=qmin, qmax=max(float(qmax), qmin))
 
     @classmethod
-    def naive_bounds(cls, tables: np.ndarray) -> "DistanceQuantizer":
+    def naive_bounds(cls, tables: npt.ArrayLike) -> "DistanceQuantizer":
         """The rejected alternative: qmax = sum of per-table maxima.
 
         Used by the qmax ablation benchmark to show why the keep-phase
@@ -137,7 +144,7 @@ class DistanceQuantizer:
         )
 
 
-def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def saturating_add(a: Int8Array, b: Int8Array) -> Int8Array:
     """Signed 8-bit saturating addition (``paddsb`` semantics).
 
     Operates element-wise on int8 arrays; results outside [-128, 127]

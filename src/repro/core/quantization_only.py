@@ -22,6 +22,7 @@ from ..scan.base import InstructionProfile, PartitionScanner
 from ..scan.topk import TopKAccumulator
 from .fast_scan import FastScanResult
 from .quantization import SATURATION, DistanceQuantizer
+from .sanitize import check_lower_bound_invariant, sanitizer_enabled
 
 __all__ = ["QuantizationOnlyScanner"]
 
@@ -36,7 +37,7 @@ class QuantizationOnlyScanner(PartitionScanner):
     #: threshold. 512 keeps the loss negligible at benchmark scales.
 
     def __init__(self, pq: ProductQuantizer, *, keep: float = 0.005,
-                 chunk: int = 512):
+                 chunk: int = 512) -> None:
         if not pq.is_fitted:
             raise NotFittedError("scanner requires a fitted ProductQuantizer")
         if pq.bits != 8:
@@ -71,6 +72,7 @@ class QuantizationOnlyScanner(PartitionScanner):
 
         n_pruned = 0
         n_exact = 0
+        sanitize = sanitizer_enabled()
         for start in range(n_keep, n, self.chunk):
             stop = min(start + self.chunk, n)
             block = codes[start:stop]
@@ -78,6 +80,14 @@ class QuantizationOnlyScanner(PartitionScanner):
             for j in range(tables_q.shape[0]):
                 lb += tables_q[j, block[:, j]].astype(np.int16)
             np.minimum(lb, SATURATION, out=lb)
+            if sanitize:
+                check_lower_bound_invariant(
+                    lb,
+                    adc_distances(tables, block),
+                    quantizer,
+                    self.pq.m,
+                    context=f"quantization-only rows {start}:{stop}",
+                )
             survivors = np.flatnonzero(lb <= threshold_q)
             n_pruned += (stop - start) - len(survivors)
             if len(survivors) == 0:

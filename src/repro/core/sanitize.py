@@ -1,0 +1,104 @@
+"""Runtime sanitizer for the lower-bound exactness invariant.
+
+PQ Fast Scan is exact only because every quantized lower bound
+under-estimates the exact ADC distance *in code space*: table entries
+floor-quantize, the pruning threshold ceil-quantizes, and int8 sums
+saturate downward. If any step of that discipline is broken (a rounding
+mode flipped, a threshold compensated with the wrong component count, a
+saturating add replaced by a wrapping one), the scanner silently starts
+dropping true neighbors.
+
+Setting ``REPRO_SANITIZE=1`` in the environment turns on a per-chunk
+check inside the scan loops: for every candidate considered against the
+pruning threshold — pruned or not — the sanitizer recomputes the exact
+float ADC distance and verifies
+
+    ``bounds_q[i] <= clip(ceil((exact[i] - components*qmin)/step), 0, 127)``
+
+i.e. the quantized lower bound never exceeds the ceil-quantized code of
+the exact distance. The right-hand side is exactly
+:meth:`~repro.core.quantization.DistanceQuantizer.quantize_threshold`
+evaluated at the exact distance, so the check proves no threshold value
+could ever prune that candidate wrongly. Violations raise
+:class:`~repro.exceptions.InvariantViolation`.
+
+The check computes exact distances for *all* scanned vectors, erasing
+the algorithm's speedup — it is a debugging and CI tool, not a
+production mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import numpy.typing as npt
+
+from ..exceptions import InvariantViolation
+from .quantization import SATURATION, DistanceQuantizer
+
+__all__ = ["sanitizer_enabled", "check_lower_bound_invariant"]
+
+#: Environment variable that enables the sanitizer.
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` is set in the environment.
+
+    Read per scan (not cached at import time) so tests can toggle the
+    variable with ``monkeypatch.setenv``.
+    """
+    return os.environ.get(ENV_VAR, "") == "1"
+
+
+def check_lower_bound_invariant(
+    bounds_q: npt.ArrayLike,
+    exact_distances: npt.ArrayLike,
+    quantizer: DistanceQuantizer,
+    components: int,
+    *,
+    context: str = "",
+) -> None:
+    """Verify quantized lower bounds against exact distances, vectorized.
+
+    Args:
+        bounds_q: integer lower-bound codes, one per candidate (int8
+            from the fast-scan path or int16 from the quantization-only
+            path; any integer dtype is accepted).
+        exact_distances: float ADC distances of the same candidates.
+        quantizer: the quantizer that produced the bounds.
+        components: number of table entries summed into each bound
+            (``m`` for full-code bounds) — the same compensation count
+            :meth:`DistanceQuantizer.quantize_threshold` uses.
+        context: optional scan-location string for the error message.
+
+    Raises:
+        InvariantViolation: if any bound exceeds the ceil-quantized code
+            of its exact distance.
+    """
+    bounds = np.asarray(bounds_q, dtype=np.int64)
+    exact = np.asarray(exact_distances, dtype=np.float64)
+    if bounds.shape != exact.shape:
+        raise InvariantViolation(
+            f"sanitizer shape mismatch: {bounds.shape} bounds vs "
+            f"{exact.shape} exact distances" + (f" ({context})" if context else "")
+        )
+    step = quantizer.bin_size
+    if step == 0.0:
+        allowed = np.where(exact < quantizer.qmax, 0, SATURATION)
+    else:
+        ceiled = np.ceil((exact - components * quantizer.qmin) / step)
+        allowed = np.clip(ceiled, 0, SATURATION).astype(np.int64)
+    bad = np.flatnonzero(bounds > allowed)
+    if len(bad):
+        i = int(bad[0])
+        where = f" at {context}" if context else ""
+        raise InvariantViolation(
+            f"quantized lower bound overshoots exact distance{where}: "
+            f"{len(bad)} of {len(bounds)} candidates violate the invariant; "
+            f"first offender index {i}: bound code {int(bounds[i])} > "
+            f"allowed code {int(allowed[i])} (exact distance {exact[i]!r}, "
+            f"qmin={quantizer.qmin!r}, qmax={quantizer.qmax!r}, "
+            f"components={components})"
+        )

@@ -17,6 +17,7 @@ remaining components index S(c)..S7 (dotted arrows of Figure 13).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..exceptions import ConfigurationError
 from .grouping import Group, GroupedPartition
@@ -37,7 +38,9 @@ class SmallTables:
         quantizer: the distance quantizer fixing qmin/qmax for this query.
     """
 
-    def __init__(self, tables: np.ndarray, c: int, quantizer: DistanceQuantizer):
+    def __init__(
+        self, tables: npt.ArrayLike, c: int, quantizer: DistanceQuantizer
+    ) -> None:
         tables = np.asarray(tables, dtype=np.float64)
         if tables.ndim != 2 or tables.shape[1] != 256:
             raise ConfigurationError("small tables require (m, 256) distance tables")
@@ -96,7 +99,8 @@ class SmallTables:
             for j in range(self.m - self.c):
                 acc += self.min_tables_q[j][high[:, j]].astype(np.int16)
         np.minimum(acc, SATURATION, out=acc)
-        return acc.astype(np.int8)
+        # Clamped to <= 127 on the line above; entries are non-negative.
+        return acc.astype(np.int8)  # reprolint: narrowing=exact
 
     def float_lower_bound(self, code: np.ndarray) -> float:
         """Un-quantized lower bound of one full code (testing aid).

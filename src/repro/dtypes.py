@@ -1,0 +1,68 @@
+"""Dtype-specific array aliases used across the typed packages.
+
+Annotating an array with a *dtype-specific* alias instead of a bare
+``np.ndarray`` serves two enforcement layers at once:
+
+* ``mypy`` (strict config in ``pyproject.toml``) checks the aliases as
+  ``numpy.typing.NDArray`` parameterizations;
+* ``tools.reprolint`` (rule R5) cross-references the alias named in an
+  annotation against the ``dtype=`` argument of the array constructors
+  that produce the value, catching e.g. a function declared to return
+  ``Int8Array`` whose array is built with ``dtype=np.float32``.
+
+The 8-bit aliases matter most: the PQ Fast Scan exactness proof rests on
+int8 table entries that floor-quantize, int8 thresholds that
+ceil-quantize, and saturating int8 sums (Sec. 4.4 / Sec. 5 of the
+paper), so 8-bit values must be visibly 8-bit at every interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "Int8Array",
+    "UInt8Array",
+    "Int16Array",
+    "Int32Array",
+    "Int64Array",
+    "UInt64Array",
+    "Float32Array",
+    "Float64Array",
+    "FloatArray",
+    "BoolArray",
+    "AnyCodeArray",
+]
+
+#: Quantized distance codes 0..127 and saturating-add operands.
+Int8Array = npt.NDArray[np.int8]
+
+#: PQ centroid indexes, nibbles, packed compact-layout bytes.
+UInt8Array = npt.NDArray[np.uint8]
+
+#: Widened accumulators for saturating-add reference semantics.
+Int16Array = npt.NDArray[np.int16]
+
+Int32Array = npt.NDArray[np.int32]
+
+#: Database identifiers, sort keys, row indexes.
+Int64Array = npt.NDArray[np.int64]
+
+#: Word-packed pqcodes (libpq layout).
+UInt64Array = npt.NDArray[np.uint64]
+
+Float32Array = npt.NDArray[np.float32]
+
+#: Exact ADC distances and distance tables.
+Float64Array = npt.NDArray[np.float64]
+
+#: Any floating dtype (tables accepted as float32 or float64).
+FloatArray = npt.NDArray[np.floating[Any]]
+
+BoolArray = npt.NDArray[np.bool_]
+
+#: Codes of any unsigned width (PQ 16x4 nibbles up to PQ 4x16 words).
+AnyCodeArray = npt.NDArray[np.unsignedinteger[Any]]

@@ -40,3 +40,15 @@ class DatasetError(ReproError):
 
 class SimulationError(ReproError):
     """Invalid instruction stream or machine state in the SIMD simulator."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime exactness invariant of the scan pipeline was broken.
+
+    Raised by the ``REPRO_SANITIZE=1`` sanitizer when a quantized lower
+    bound exceeds the ceil-quantized code of the exact distance it is
+    supposed to under-estimate — the condition under which PQ Fast Scan
+    could prune a true nearest neighbor. This always indicates a bug in
+    table quantization, small-table construction, or the scan loop, never
+    a property of the data.
+    """

@@ -28,7 +28,7 @@ class TopKAccumulator:
     kept candidate — the pruning threshold — is O(1) to read.
     """
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         if k < 1:
             raise ConfigurationError("k must be >= 1")
         self.k = k

@@ -46,7 +46,7 @@ class CacheModel:
 
     levels: tuple[CacheLevel, ...]
     memory_latency: float = 200.0
-    _residency: dict = field(default_factory=dict)
+    _residency: dict[str, CacheLevel] = field(default_factory=dict)
 
     def level_for_size(self, size_bytes: int, *, streamed: bool = False) -> CacheLevel:
         """The level a buffer of ``size_bytes`` is resident in.

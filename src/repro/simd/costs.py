@@ -75,7 +75,9 @@ BASE_COSTS: dict[str, InstructionCost] = {
 }
 
 
-def cost_table(overrides: dict[str, InstructionCost] | None = None) -> dict:
+def cost_table(
+    overrides: dict[str, InstructionCost] | None = None,
+) -> dict[str, InstructionCost]:
     """Base cost table with per-architecture overrides applied."""
     table = dict(BASE_COSTS)
     if overrides:

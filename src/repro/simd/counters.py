@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exceptions import ConfigurationError
+
 __all__ = ["PerfCounters"]
 
 
@@ -25,7 +27,7 @@ class PerfCounters:
     l2_loads: int = 0
     l3_loads: int = 0
     register_lookups: int = 0
-    per_op: dict = field(default_factory=dict)
+    per_op: dict[str, int] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -45,7 +47,7 @@ class PerfCounters:
     def per_vector(self, n_vectors: int) -> "PerVectorCounters":
         """Normalize to per-scanned-vector quantities (the paper's unit)."""
         if n_vectors <= 0:
-            raise ValueError("n_vectors must be positive")
+            raise ConfigurationError("n_vectors must be positive")
         return PerVectorCounters(
             instructions=self.instructions / n_vectors,
             uops=self.uops / n_vectors,
@@ -67,7 +69,7 @@ class PerVectorCounters:
     l1_loads: float
     ipc: float
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         return {
             "cycles": self.cycles,
             "cycles w/ load": self.cycles_with_load,

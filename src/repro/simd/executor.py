@@ -45,7 +45,7 @@ def _as_i8(value: np.ndarray) -> np.ndarray:
 class Executor:
     """One simulated core executing a kernel against a CPU model."""
 
-    def __init__(self, cpu: CPUModel):
+    def __init__(self, cpu: CPUModel) -> None:
         self.cpu = cpu
         self.memory = SimMemory(cpu.cache)
         self.counters = PerfCounters()
@@ -60,7 +60,7 @@ class Executor:
 
     # -- register access ------------------------------------------------------
 
-    def reg(self, name: str):
+    def reg(self, name: str) -> object:
         """Current architectural value of a register (for kernel control)."""
         if name not in self.regs:
             raise SimulationError(f"register {name!r} was never written")
@@ -75,7 +75,7 @@ class Executor:
         self,
         op: str,
         dest: str | None,
-        srcs: tuple,
+        srcs: tuple[str, ...],
         extra_latency: float = 0.0,
         is_load: bool = False,
     ) -> None:
@@ -143,7 +143,7 @@ class Executor:
 
     # scalar ----------------------------------------------------------------
 
-    def mov_imm(self, dest: str, imm) -> None:
+    def mov_imm(self, dest: str, imm: float | int) -> None:
         self.regs[dest] = imm
         self._schedule("mov_imm", dest, ())
 
@@ -256,7 +256,8 @@ class Executor:
         tbl = self.regs[table]
         idx = self.regs[indexes]
         out = np.where(idx & 0x80, np.uint8(0), tbl[idx & 0x0F])
-        out = out.astype(np.uint8)
+        # Both branches of the where are already byte values.
+        out = out.astype(np.uint8)  # reprolint: narrowing=exact
         self.regs[dest] = out
         self.counters.register_lookups += 16
         self._schedule("pshufb", dest, (table, indexes))
@@ -264,14 +265,16 @@ class Executor:
 
     def paddsb(self, dest: str, a: str, b: str) -> np.ndarray:
         wide = _as_i8(self.regs[a]).astype(np.int16) + _as_i8(self.regs[b]).astype(np.int16)
-        out = np.clip(wide, -128, 127).astype(np.int8).view(np.uint8)
+        # The clip bounds the int16 sum to the int8 range (paddsb).
+        out = np.clip(wide, -128, 127).astype(np.int8).view(np.uint8)  # reprolint: narrowing=exact
         self.regs[dest] = out
         self._schedule("paddsb", dest, (a, b))
         return out
 
     def pand(self, dest: str, a: str, imm_bytes: np.ndarray | None = None, b: str | None = None) -> np.ndarray:
         other = self.regs[b] if b else np.asarray(imm_bytes, dtype=np.uint8)
-        out = (self.regs[a] & other).astype(np.uint8)
+        # AND of byte registers cannot leave the uint8 range.
+        out = (self.regs[a] & other).astype(np.uint8)  # reprolint: narrowing=exact
         self.regs[dest] = out
         self._schedule("pand", dest, (a, b) if b else (a,))
         return out
@@ -291,7 +294,8 @@ class Executor:
         return out
 
     def pminub(self, dest: str, a: str, b: str) -> np.ndarray:
-        out = np.minimum(self.regs[a], self.regs[b]).astype(np.uint8)
+        # Minimum of two byte registers is itself a byte value.
+        out = np.minimum(self.regs[a], self.regs[b]).astype(np.uint8)  # reprolint: narrowing=exact
         self.regs[dest] = out
         self._schedule("pminub", dest, (a, b))
         return out

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...dtypes import Float64Array, FloatArray, Int64Array
 from ...exceptions import SimulationError
 from ..arch import CPUModel, get_platform
 from ..counters import PerfCounters
@@ -50,8 +51,8 @@ class KernelRun:
     counters: PerfCounters
     cpu: CPUModel
     n_pruned: int = 0
-    topk_ids: np.ndarray | None = None
-    topk_distances: np.ndarray | None = None
+    topk_ids: Int64Array | None = None
+    topk_distances: Float64Array | None = None
 
     @property
     def cycles_per_vector(self) -> float:
@@ -75,7 +76,7 @@ def make_executor(cpu: CPUModel | str) -> Executor:
     return Executor(cpu)
 
 
-def load_tables(ex: Executor, tables: np.ndarray) -> None:
+def load_tables(ex: Executor, tables: FloatArray) -> None:
     """Register the (m, 256) distance tables as the L1-resident buffer."""
     tables = np.ascontiguousarray(np.asarray(tables, dtype=np.float32))
     if tables.ndim != 2:

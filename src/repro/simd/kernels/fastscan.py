@@ -24,6 +24,7 @@ import numpy as np
 
 from ...core.grouping import GroupedPartition
 from ...core.quantization import DistanceQuantizer
+from ...dtypes import FloatArray, UInt8Array
 from ...exceptions import SimulationError
 from ..arch import CPUModel
 from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
@@ -36,7 +37,7 @@ _NIBBLE_MASK = np.full(16, 0x0F, dtype=np.uint8)
 
 def build_block_layout(
     grouped: GroupedPartition,
-) -> tuple[np.ndarray, list[tuple[int, int]], np.ndarray]:
+) -> tuple[UInt8Array, list[tuple[int, int]], UInt8Array]:
     """Compact component-sliced block layout of a grouped partition.
 
     Returns ``(cdb, group_blocks, full_codes)``:
@@ -82,7 +83,7 @@ def build_block_layout(
 
 def fastscan_kernel(
     cpu: CPUModel | str,
-    tables_remapped: np.ndarray,
+    tables_remapped: FloatArray,
     grouped: GroupedPartition,
     *,
     qmax: float | None = None,

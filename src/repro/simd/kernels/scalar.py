@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...dtypes import AnyCodeArray, FloatArray
 from ...scan.layout import pack_codes_words
 from ..arch import CPUModel
 from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
@@ -21,7 +22,7 @@ __all__ = ["naive_kernel", "libpq_kernel"]
 
 
 def naive_kernel(
-    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the naive PQ Scan over ``codes`` on the simulated CPU.
 
@@ -69,7 +70,7 @@ def naive_kernel(
 
 
 def libpq_kernel(
-    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the libpq word-packed PQ Scan on the simulated CPU."""
     ex = make_executor(cpu)

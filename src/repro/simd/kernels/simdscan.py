@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...dtypes import AnyCodeArray, FloatArray, UInt8Array, UInt64Array
 from ...scan.layout import transpose_codes
 from ..arch import CPUModel
+from ..executor import Executor
 from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
 
 __all__ = ["avx_kernel", "gather_kernel"]
@@ -30,7 +32,7 @@ __all__ = ["avx_kernel", "gather_kernel"]
 _LANES = 8
 
 
-def _reduce_block(ex, n_valid: int, base_row: int, min_pos: int) -> int:
+def _reduce_block(ex: Executor, n_valid: int, base_row: int, min_pos: int) -> int:
     """Compare the 8 accumulated lanes against the running minimum."""
     for lane in range(n_valid):
         ex.vextract_f32("lane", "acc", lane)
@@ -46,7 +48,7 @@ def _reduce_block(ex, n_valid: int, base_row: int, min_pos: int) -> int:
     return min_pos
 
 
-def _transposed_words(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _transposed_words(codes: UInt8Array) -> tuple[UInt8Array, UInt64Array]:
     """Transposed blocks plus their uint64 word view (one word per table)."""
     blocks, _ = transpose_codes(codes, lanes=_LANES)
     words = np.ascontiguousarray(blocks.reshape(-1, _LANES)).view("<u8")[:, 0]
@@ -54,7 +56,7 @@ def _transposed_words(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def avx_kernel(
-    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the AVX vertical-add PQ Scan on the simulated CPU."""
     ex = make_executor(cpu)
@@ -101,7 +103,7 @@ def avx_kernel(
 
 
 def gather_kernel(
-    cpu: CPUModel | str, tables: np.ndarray, codes: np.ndarray
+    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the gather-based PQ Scan on the simulated CPU (Haswell+).
 

@@ -19,7 +19,7 @@ __all__ = ["SimMemory"]
 class SimMemory:
     """Named buffers + residency bookkeeping for one simulation run."""
 
-    def __init__(self, cache: CacheModel):
+    def __init__(self, cache: CacheModel) -> None:
         self.cache = cache
         self._buffers: dict[str, np.ndarray] = {}
         self._byte_views: dict[str, np.ndarray] = {}

@@ -1,0 +1,7 @@
+"""Fixture snippets for the reprolint checker tests.
+
+Each ``rN_bad_*.py`` file must be flagged by rule RN and each
+``rN_ok_*.py`` file must pass every rule; the test suite runs them with
+``--all-rules`` (they live outside the scoped ``repro/`` paths). The
+modules are parsed, never imported.
+"""

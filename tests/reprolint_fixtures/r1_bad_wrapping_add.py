@@ -1,0 +1,11 @@
+"""R1 must flag: raw adds on 8-bit arrays wrap modulo 256."""
+
+import numpy as np
+
+
+def broken_fold() -> np.ndarray:
+    a = np.zeros(16, dtype=np.int8)
+    b = np.full(16, 100, dtype=np.int8)
+    total = a + b
+    total += b
+    return total

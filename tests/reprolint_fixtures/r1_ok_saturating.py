@@ -1,0 +1,16 @@
+"""R1 must pass: widened adds and the sanctioned saturating helper."""
+
+import numpy as np
+
+
+def widened_fold() -> np.ndarray:
+    a = np.zeros(16, dtype=np.int8)
+    b = np.full(16, 100, dtype=np.int8)
+    total = a.astype(np.int16) + b.astype(np.int16)
+    total += b.astype(np.int16)
+    return total
+
+
+def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    wide = a.astype(np.int16) + b.astype(np.int16)
+    return np.clip(wide, -128, 127).astype(np.int8)

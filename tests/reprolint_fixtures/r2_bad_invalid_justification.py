@@ -1,0 +1,7 @@
+"""R2 must flag: the justification must name a real rounding direction."""
+
+import numpy as np
+
+
+def narrow(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int8)  # reprolint: narrowing=approximately

@@ -1,0 +1,7 @@
+"""R2 must flag: a narrowing cast outside any sanctioned helper."""
+
+import numpy as np
+
+
+def narrow(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int8)

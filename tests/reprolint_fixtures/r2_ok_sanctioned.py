@@ -1,0 +1,12 @@
+"""R2 must pass: casts inside sanctioned helpers or carrying a pragma."""
+
+import numpy as np
+
+
+def quantize_table(values: np.ndarray) -> np.ndarray:
+    return np.floor(values).astype(np.int8)
+
+
+def masked(values: np.ndarray) -> np.ndarray:
+    nibbles = values & 0x0F
+    return nibbles.astype(np.uint8)  # reprolint: narrowing=exact

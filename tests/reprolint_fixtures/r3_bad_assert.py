@@ -1,0 +1,8 @@
+"""R3 must flag: bare asserts vanish under ``python -O``."""
+
+
+def check(x: int) -> int:
+    assert x > 0
+    if x > 10:
+        raise ValueError("too big")
+    return x

@@ -1,0 +1,9 @@
+"""R3 must pass: library errors come from the repro hierarchy."""
+
+from repro.exceptions import ConfigurationError
+
+
+def check(x: int) -> int:
+    if x <= 0:
+        raise ConfigurationError("x must be positive")
+    return x

@@ -1,0 +1,13 @@
+"""R4 must flag: Python-level element loops over arrays."""
+
+import numpy as np
+
+
+def slow_scan() -> int:
+    codes = np.zeros(64, dtype=np.uint8)
+    total = 0
+    for byte in codes:
+        total = total + int(byte)
+    for i in range(len(codes)):
+        total = total + int(codes[i])
+    return total

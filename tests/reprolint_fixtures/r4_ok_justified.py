@@ -1,0 +1,19 @@
+"""R4 must pass: whitelisted setup code and justified loops."""
+
+import numpy as np
+
+
+def load_tables(tables: np.ndarray) -> list:
+    rows = []
+    flat = np.asarray(tables, dtype=np.float32)
+    for row in flat:
+        rows.append(row)
+    return rows
+
+
+def prepare() -> int:
+    codes = np.zeros(64, dtype=np.uint8)
+    total = 0
+    for byte in codes:  # reprolint: loop=one-time-layout-preparation
+        total = total + int(byte)
+    return total

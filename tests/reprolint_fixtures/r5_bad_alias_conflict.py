@@ -1,0 +1,11 @@
+"""R5 must flag: the declared alias dtype contradicts the constructor."""
+
+import numpy as np
+
+from repro.dtypes import Int8Array
+
+__all__ = ["make"]
+
+
+def make() -> Int8Array:
+    return np.zeros(4, dtype=np.float64)

@@ -1,0 +1,12 @@
+"""R5 must pass: alias annotations agreeing with constructed dtypes."""
+
+import numpy as np
+
+from repro.dtypes import Float32Array
+
+__all__ = ["kernel"]
+
+
+def kernel(tables: Float32Array, scale: float) -> Float32Array:
+    out: Float32Array = np.zeros(16, dtype=np.float32)
+    return out * scale

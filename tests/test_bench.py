@@ -14,6 +14,7 @@ from repro.bench import (
     summarize,
 )
 from repro.bench.workloads import PAPER_PARTITION_SIZES
+from repro.exceptions import ConfigurationError
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +55,7 @@ class TestWorkloads:
         assert "scale 1/5000" in tiny_workload.describe()
 
     def test_unknown_workload_rejected(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             build_workload("sift9000t", cache_dir=tmp_path)
 
 

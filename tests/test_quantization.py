@@ -81,6 +81,23 @@ class TestDistanceQuantizer:
         with pytest.raises(ConfigurationError):
             DistanceQuantizer(qmin=0.0, qmax=float("inf"))
 
+    @pytest.mark.parametrize(
+        "qmin,qmax",
+        [
+            (float("nan"), 1.0),
+            (0.0, float("nan")),
+            (float("-inf"), 1.0),
+            (float("nan"), float("nan")),
+        ],
+    )
+    def test_rejects_every_non_finite_bound(self, qmin, qmax):
+        with pytest.raises(ConfigurationError, match="finite"):
+            DistanceQuantizer(qmin=qmin, qmax=qmax)
+
+    def test_error_message_reports_offending_values(self):
+        with pytest.raises(ConfigurationError, match="nan"):
+            DistanceQuantizer(qmin=float("nan"), qmax=1.0)
+
 
 class TestSaturatingAdd:
     def test_saturates_up(self):

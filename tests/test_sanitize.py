@@ -1,0 +1,134 @@
+"""Tests for the REPRO_SANITIZE runtime sanitizer (repro.core.sanitize)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PQFastScanner
+from repro.core.quantization import SATURATION, DistanceQuantizer
+from repro.core.quantization_only import QuantizationOnlyScanner
+from repro.core.sanitize import check_lower_bound_invariant, sanitizer_enabled
+from repro.exceptions import InvariantViolation
+
+
+class TestToggle:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitizer_enabled()
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitizer_enabled()
+
+    def test_other_values_do_not_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitizer_enabled()
+
+
+class TestCheckFunction:
+    def quantizer(self) -> DistanceQuantizer:
+        return DistanceQuantizer(qmin=1.0, qmax=128.0)  # bin_size = 1.0
+
+    def test_valid_bounds_pass(self):
+        q = self.quantizer()
+        exact = np.array([10.0, 60.0, 500.0])
+        # Tightest admissible bounds: the ceil codes themselves.
+        bounds = np.array(
+            [q.quantize_threshold(v, components=2) for v in exact]
+        )
+        check_lower_bound_invariant(bounds, exact, q, 2)
+
+    def test_overshooting_bound_raises(self):
+        q = self.quantizer()
+        with pytest.raises(InvariantViolation, match="overshoots"):
+            check_lower_bound_invariant(
+                np.array([SATURATION]), np.array([2.0]), q, 2, context="unit"
+            )
+
+    def test_message_names_context_and_codes(self):
+        q = self.quantizer()
+        with pytest.raises(InvariantViolation, match="somewhere"):
+            check_lower_bound_invariant(
+                np.array([50]), np.array([3.0]), q, 2, context="somewhere"
+            )
+
+    def test_shape_mismatch_raises(self):
+        q = self.quantizer()
+        with pytest.raises(InvariantViolation, match="shape mismatch"):
+            check_lower_bound_invariant(
+                np.zeros(3, dtype=np.int8), np.zeros(2), q, 2
+            )
+
+    def test_degenerate_step_passes_and_fails(self):
+        q = DistanceQuantizer(qmin=5.0, qmax=5.0)
+        check_lower_bound_invariant(
+            np.array([0, SATURATION]), np.array([1.0, 9.0]), q, 1
+        )
+        with pytest.raises(InvariantViolation):
+            check_lower_bound_invariant(np.array([1]), np.array([1.0]), q, 1)
+
+    def test_accepts_int16_bounds(self):
+        # The quantization-only path hands int16 accumulators in directly.
+        q = self.quantizer()
+        check_lower_bound_invariant(
+            np.array([3], dtype=np.int16), np.array([50.0]), q, 8
+        )
+
+
+class TestScanUnderSanitizer:
+    def test_fast_scan_results_unchanged(self, monkeypatch, pq, tables, partition):
+        scanner = PQFastScanner(pq, keep=0.01, group_components=2)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = scanner.scan(tables, partition, topk=5)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sanitized = scanner.scan(tables, partition, topk=5)
+        np.testing.assert_array_equal(plain.ids, sanitized.ids)
+        np.testing.assert_allclose(plain.distances, sanitized.distances)
+
+    def test_quantization_only_scan_passes(self, monkeypatch, pq, tables, partition):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        scanner = QuantizationOnlyScanner(pq, keep=0.01)
+        result = scanner.scan(tables, partition, topk=5)
+        assert result.n_scanned == len(partition)
+
+    def test_tampered_table_quantization_is_caught(
+        self, monkeypatch, pq, tables, partition
+    ):
+        """Breaking the floor contract must raise under the sanitizer.
+
+        Inflating every quantized table entry turns the 8-bit sums into
+        over-estimates; the nearest neighbor's bound then overshoots its
+        exact-distance code and the sanitizer must catch it.
+        """
+        original = DistanceQuantizer.quantize_table
+
+        def inflated(self, values):
+            codes = original(self, values).astype(np.int16) + 64
+            return np.clip(codes, 0, SATURATION).astype(np.int8)
+
+        monkeypatch.setattr(DistanceQuantizer, "quantize_table", inflated)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        scanner = PQFastScanner(pq, keep=0.01, group_components=2)
+        with pytest.raises(InvariantViolation):
+            scanner.scan(tables, partition, topk=5)
+
+    def test_tamper_goes_unnoticed_without_sanitizer(
+        self, monkeypatch, pq, tables, partition
+    ):
+        """The same tamper silently degrades results when sanitize is off.
+
+        This is the failure mode that motivates the sanitizer: no
+        exception, just (potentially) wrong neighbors.
+        """
+        original = DistanceQuantizer.quantize_table
+
+        def inflated(self, values):
+            codes = original(self, values).astype(np.int16) + 64
+            return np.clip(codes, 0, SATURATION).astype(np.int8)
+
+        monkeypatch.setattr(DistanceQuantizer, "quantize_table", inflated)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        scanner = PQFastScanner(pq, keep=0.01, group_components=2)
+        result = scanner.scan(tables, partition, topk=5)  # no raise
+        assert result.n_scanned == len(partition)

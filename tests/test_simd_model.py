@@ -7,7 +7,7 @@ from repro.simd import Executor, get_platform
 from repro.simd.cache import NEHALEM_HASWELL_CACHE, CacheModel
 from repro.simd.costs import BASE_COSTS, cost_table
 from repro.simd.counters import PerfCounters
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 
 
 class TestCacheModel:
@@ -87,7 +87,7 @@ class TestPerfCounters:
         assert pv.ipc == pytest.approx(3.0)
 
     def test_per_vector_rejects_zero(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             PerfCounters().per_vector(0)
 
     def test_op_histogram(self):

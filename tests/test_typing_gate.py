@@ -1,0 +1,39 @@
+"""The mypy strict-typing gate (runs when mypy is installed; CI always).
+
+The development container does not ship mypy, so this module skips
+there — CI installs mypy and runs both this test and ``python -m mypy``
+directly. The configuration lives in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_strict_packages_pass():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_package_ships_py_typed_marker():
+    assert (REPO / "src" / "repro" / "py.typed").exists()
+
+
+def test_pyproject_declares_strict_overrides():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    assert "disallow_untyped_defs" in text
+    for package in ("repro.core.*", "repro.simd.*", "repro.scan.*"):
+        assert package in text

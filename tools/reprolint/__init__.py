@@ -1,0 +1,19 @@
+"""reprolint: AST invariant checker for the PQ Fast Scan contracts.
+
+Run as ``python -m tools.reprolint src/``. See
+``docs/static_analysis.md`` for the rules, pragma syntax, and the
+rationale (floor/ceil/saturate discipline of Sec. 4.4 / Sec. 5).
+"""
+
+from .engine import ModuleContext, Pragmas, Violation, check_file, main, run
+from .rules import default_rules
+
+__all__ = [
+    "ModuleContext",
+    "Pragmas",
+    "Violation",
+    "check_file",
+    "default_rules",
+    "main",
+    "run",
+]

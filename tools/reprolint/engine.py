@@ -1,0 +1,301 @@
+"""reprolint engine: file discovery, pragmas, rule dispatch, reporting.
+
+The checker walks Python sources, parses each file once, runs dtype
+inference (:mod:`tools.reprolint.inference`) and dispatches the rule
+classes of :mod:`tools.reprolint.rules`. Each rule decides from the
+file's path whether it applies (scopes follow the contracts' homes:
+saturation rules live in ``repro/core`` and ``repro/simd/kernels``,
+narrowing rules in the typed packages, the assert rule library-wide).
+
+Justification pragmas are line comments of the form::
+
+    codes = packed & 0x0F  # reprolint: narrowing=exact
+    for row in rows:       # reprolint: loop=setup
+    something_odd()        # reprolint: disable=R1,R3
+
+A pragma applies to every physical line its statement spans, so
+multi-line expressions can carry the comment on any of their lines.
+``narrowing=`` must name the rounding direction of the cast —
+``floor`` (table entries), ``ceil`` (thresholds) or ``exact`` (the
+value set provably fits the target dtype).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from .inference import ModuleInference
+
+__all__ = [
+    "Violation",
+    "Pragmas",
+    "ModuleContext",
+    "check_file",
+    "run",
+    "iter_python_files",
+    "NARROWING_JUSTIFICATIONS",
+]
+
+#: Accepted values of the ``narrowing=`` justification pragma.
+NARROWING_JUSTIFICATIONS = ("floor", "ceil", "exact")
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(?P<body>[^#]*)")
+_ENTRY_RE = re.compile(r"(?P<key>[A-Za-z_]+)\s*=\s*(?P<value>[^\s,]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+class Pragmas:
+    """Per-file ``# reprolint:`` pragma map, keyed by physical line."""
+
+    def __init__(self, source: str):
+        self._by_line: dict[int, dict[str, str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if not match:
+                continue
+            entries: dict[str, str] = {}
+            for entry in _ENTRY_RE.finditer(match.group("body")):
+                entries[entry.group("key")] = entry.group("value")
+            if entries:
+                self._by_line[lineno] = entries
+
+    def _lines_of(self, node: ast.AST) -> range:
+        start = getattr(node, "lineno", 0)
+        stop = getattr(node, "end_lineno", start) or start
+        return range(start, stop + 1)
+
+    def get(self, node: ast.AST, key: str) -> str | None:
+        """Value of pragma ``key`` on any line the node spans."""
+        for lineno in self._lines_of(node):
+            entries = self._by_line.get(lineno)
+            if entries and key in entries:
+                return entries[key]
+        return None
+
+    def disabled(self, node: ast.AST, rule: str) -> bool:
+        """True when ``disable=`` on the node's lines names ``rule``."""
+        value = self.get(node, "disable")
+        if value is None:
+            return False
+        return rule in {part.strip() for part in value.split(",")}
+
+
+class ModuleContext:
+    """Everything a rule needs about one file."""
+
+    def __init__(self, path: Path, display_path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = tree
+        self.pragmas = Pragmas(source)
+        self._inference: ModuleInference | None = None
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def inference(self) -> ModuleInference:
+        if self._inference is None:
+            self._inference = ModuleInference(self.tree)
+        return self._inference
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> ast.FunctionDef | None:
+        """Innermost function definition containing ``node``."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current  # type: ignore[return-value]
+            current = self.parents.get(current)
+        return None
+
+    def module_all(self) -> list[str]:
+        """Names listed in the module's ``__all__`` (empty if absent)."""
+        for stmt in self.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                        return [
+                            element.value
+                            for element in stmt.value.elts
+                            if isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ]
+        return []
+
+    def violation(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def check_file(
+    path: Path,
+    rules: list,
+    *,
+    force_all: bool = False,
+    base: Path | None = None,
+) -> list[Violation]:
+    """Run every applicable rule over one file."""
+    try:
+        display = str(path.relative_to(base)) if base else str(path)
+    except ValueError:
+        display = str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="E000",
+                path=display,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, display, source, tree)
+    marker = path.resolve().as_posix()
+    violations: list[Violation] = []
+    for rule in rules:
+        if force_all or rule.applies(marker):
+            violations.extend(rule.check(ctx))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def run(
+    paths: list[Path],
+    *,
+    rules: list | None = None,
+    force_all: bool = False,
+    base: Path | None = None,
+) -> list[Violation]:
+    """Check all files under ``paths``; returns every violation found."""
+    from .rules import default_rules
+
+    active = default_rules() if rules is None else rules
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(
+            check_file(path, active, force_all=force_all, base=base)
+        )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m tools.reprolint [paths...]``."""
+    import argparse
+
+    from .rules import default_rules
+
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "AST invariant checker for the PQ Fast Scan numerical-safety "
+            "contracts (saturating int8 adds, floor/ceil narrowing "
+            "justifications, exception discipline, kernel loop and dtype "
+            "annotations). See docs/static_analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to check"
+    )
+    parser.add_argument(
+        "--all-rules",
+        action="store_true",
+        help="apply every rule to every file, ignoring path scopes",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}: {rule.title}")
+        return 0
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    violations = run(paths, rules=rules, force_all=args.all_rules)
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                [violation.__dict__ for violation in violations], indent=2
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0

@@ -1,0 +1,501 @@
+"""The five numerical-safety rules (R1-R5).
+
+Each rule encodes one contract from the paper's exactness argument
+(Sec. 4.4 / Sec. 5: table entries floor-quantize, thresholds
+ceil-quantize, int8 sums saturate) or from the repository's engineering
+discipline around it. Rules are conservative: they only fire when the
+dtype inference is confident, so unknown constructs never alarm.
+
+Scopes (overridable with ``--all-rules``):
+
+========  =====================================================
+rule      applies to
+========  =====================================================
+R1        ``repro/core/``, ``repro/simd/kernels/``
+R2, R5b   ``repro/core/``, ``repro/simd/``, ``repro/scan/``
+R3        all of ``repro/`` (library code)
+R4, R5    ``repro/simd/kernels/``
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import NARROWING_JUSTIFICATIONS, ModuleContext, Violation
+from .inference import ALIAS_DTYPES, is_8bit, is_wide, resolve_dtype_node
+
+__all__ = [
+    "Rule",
+    "RawInt8AddRule",
+    "NarrowingCastRule",
+    "BareAssertRule",
+    "KernelLoopRule",
+    "KernelAnnotationRule",
+    "default_rules",
+    "SANCTIONED_NARROWING_HELPERS",
+]
+
+_CORE = ("/repro/core/",)
+_KERNELS = ("/repro/simd/kernels/",)
+_TYPED = ("/repro/core/", "/repro/simd/", "/repro/scan/")
+_LIBRARY = ("/repro/",)
+
+#: Helpers allowed to narrow to int8/uint8 without a pragma: the
+#: quantizers own the floor/ceil discipline, the grouping/layout
+#: helpers pack and unpack values that provably fit a nibble or byte.
+SANCTIONED_NARROWING_HELPERS = frozenset(
+    {
+        "quantize_table",
+        "quantize_threshold",
+        "saturating_add",
+        "group_key_digits",
+        "low_nibbles",
+        "tail_high_nibbles",
+        "pack_codes_words",
+        "extract_component",
+    }
+)
+
+#: Kernel functions considered setup code for the loop rule (they
+#: rearrange memory once per scan, outside the hot loop).
+KERNEL_SETUP_WHITELIST = frozenset(
+    {"build_block_layout", "load_tables", "_transposed_words"}
+)
+
+
+class Rule:
+    """Base class: path scoping + pragma-disable handling."""
+
+    id = "R0"
+    title = "abstract rule"
+    scopes: tuple[str, ...] = ()
+
+    def applies(self, path_marker: str) -> bool:
+        return any(scope in path_marker for scope in self.scopes)
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def _report(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Violation | None:
+        if ctx.pragmas.disabled(node, self.id):
+            return None
+        return ctx.violation(self.id, node, message)
+
+
+class RawInt8AddRule(Rule):
+    """R1: no raw ``+``/``+=`` on int8/uint8 arrays — use saturating_add.
+
+    A raw NumPy add on 8-bit operands wraps modulo 256; the exactness
+    proof requires ``paddsb`` saturation semantics
+    (:func:`repro.core.quantization.saturating_add`). An add is flagged
+    when at least one operand is a confident int8/uint8 and no operand
+    is provably >= 16 bits or floating (which would promote the result
+    out of wrap danger).
+    """
+
+    id = "R1"
+    title = "no raw + / += on int8/uint8 arrays; use saturating_add"
+    scopes = _CORE + _KERNELS
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        inference = ctx.inference
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                left = inference.dtype_of(node.left)
+                right = inference.dtype_of(node.right)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                left = inference.dtype_of(node.target)
+                right = inference.dtype_of(node.value)
+            else:
+                continue
+            if not (is_8bit(left) or is_8bit(right)):
+                continue
+            if is_wide(left) or is_wide(right):
+                continue
+            function = ctx.enclosing_function(node)
+            if function is not None and function.name == "saturating_add":
+                continue
+            violation = self._report(
+                ctx,
+                node,
+                "raw add on 8-bit array operands "
+                f"({left or '?'} + {right or '?'}) wraps instead of "
+                "saturating; use repro.core.quantization.saturating_add "
+                "or widen explicitly with .astype(np.int16)",
+            )
+            if violation:
+                violations.append(violation)
+        return violations
+
+
+class NarrowingCastRule(Rule):
+    """R2: narrowing ``.astype`` to int8/uint8 needs a sanctioned home.
+
+    Casting to an 8-bit dtype silently truncates: values outside
+    [-128, 127] wrap, and the rounding direction of in-range values is
+    whatever preceded the cast. The exactness argument requires every
+    such cast to be floor (table entries), ceil (thresholds) or
+    provably exact — so the cast must either live inside a sanctioned
+    helper or carry ``# reprolint: narrowing=<floor|ceil|exact>``.
+    """
+
+    id = "R2"
+    title = "narrowing .astype to int8/uint8 requires helper or pragma"
+    scopes = _TYPED
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                continue
+            target = None
+            if node.args:
+                target = resolve_dtype_node(node.args[0])
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    target = resolve_dtype_node(keyword.value)
+            if target not in ("int8", "uint8"):
+                continue
+            function = ctx.enclosing_function(node)
+            if function is not None and function.name in SANCTIONED_NARROWING_HELPERS:
+                continue
+            justification = ctx.pragmas.get(node, "narrowing")
+            if justification in NARROWING_JUSTIFICATIONS:
+                continue
+            if justification is not None:
+                violation = self._report(
+                    ctx,
+                    node,
+                    f"invalid narrowing justification {justification!r}; "
+                    f"expected one of {', '.join(NARROWING_JUSTIFICATIONS)}",
+                )
+            else:
+                violation = self._report(
+                    ctx,
+                    node,
+                    f".astype({target}) narrows outside a sanctioned "
+                    "quantizer/grouping helper; route through "
+                    "DistanceQuantizer.quantize_table/quantize_threshold or "
+                    "annotate the rounding direction with "
+                    "'# reprolint: narrowing=<floor|ceil|exact>'",
+                )
+            if violation:
+                violations.append(violation)
+        return violations
+
+
+class BareAssertRule(Rule):
+    """R3: no bare ``assert`` in library code.
+
+    ``python -O`` strips asserts, so an invariant guarded by one
+    silently stops being checked in optimized deployments. Library code
+    must raise from :mod:`repro.exceptions` instead; opt-in runtime
+    checking belongs to the ``REPRO_SANITIZE`` hook.
+    """
+
+    id = "R3"
+    title = "no bare assert in library code; raise from repro.exceptions"
+    scopes = _LIBRARY
+
+    #: Builtin exceptions that should be repro.exceptions subclasses
+    #: when raised by library code.
+    _BUILTIN_RAISES = ("ValueError", "TypeError", "RuntimeError", "AssertionError")
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                violation = self._report(
+                    ctx,
+                    node,
+                    "bare assert is stripped under 'python -O'; raise a "
+                    "repro.exceptions error (or gate the check behind "
+                    "REPRO_SANITIZE)",
+                )
+                if violation:
+                    violations.append(violation)
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = None
+                if isinstance(node.exc, ast.Call) and isinstance(
+                    node.exc.func, ast.Name
+                ):
+                    name = node.exc.func.id
+                elif isinstance(node.exc, ast.Name):
+                    name = node.exc.id
+                if name in self._BUILTIN_RAISES:
+                    violation = self._report(
+                        ctx,
+                        node,
+                        f"library code raises builtin {name}; use the "
+                        "repro.exceptions hierarchy so callers can catch "
+                        "ReproError",
+                    )
+                    if violation:
+                        violations.append(violation)
+        return violations
+
+
+class KernelLoopRule(Rule):
+    """R4: no Python-level per-vector loops in kernel modules.
+
+    Kernel modules either drive the cycle-level executor (every
+    iteration issues simulated instructions) or must stay vectorized.
+    A ``for`` loop directly over an ndarray, or over
+    ``range(len(<ndarray>))``, degrades to per-element Python — flagged
+    unless the enclosing function is whitelisted setup code or the loop
+    carries ``# reprolint: loop=<reason>``.
+    """
+
+    id = "R4"
+    title = "no Python for-loops over vectors in kernel modules"
+    scopes = _KERNELS
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        inference = ctx.inference
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            reason = self._vector_iteration(node.iter, inference)
+            if reason is None:
+                continue
+            function = ctx.enclosing_function(node)
+            if function is not None and function.name in KERNEL_SETUP_WHITELIST:
+                continue
+            if ctx.pragmas.get(node, "loop") is not None:
+                continue
+            violation = self._report(
+                ctx,
+                node,
+                f"{reason}; vectorize with numpy or issue simulated "
+                "instructions, or justify with '# reprolint: loop=<reason>'",
+            )
+            if violation:
+                violations.append(violation)
+        return violations
+
+    def _vector_iteration(self, iterator: ast.expr, inference) -> str | None:
+        dtype = inference.dtype_of(iterator)
+        if dtype is not None and dtype not in ("pyint", "pyfloat", "bool"):
+            return f"for-loop iterates a {dtype} array element by element"
+        if (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+            and len(iterator.args) == 1
+        ):
+            arg = iterator.args[0]
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and arg.args
+            ):
+                inner = inference.dtype_of(arg.args[0])
+                if inner is not None and inner not in ("pyint", "pyfloat"):
+                    return (
+                        f"for-loop over range(len(<{inner} array>)) scans "
+                        "elements in Python"
+                    )
+        return None
+
+
+class KernelAnnotationRule(Rule):
+    """R5: kernel entry points carry dtype annotations that match.
+
+    Every function exported from a kernel module (``__all__``) must be
+    fully annotated, array parameters/returns must use the
+    dtype-specific aliases of :mod:`repro.dtypes` (never bare
+    ``np.ndarray``), and array constructors must state their dtype.
+    Wherever an alias annotation meets a constructor with a known
+    dtype, the two are cross-referenced.
+    """
+
+    id = "R5"
+    title = "kernel entry points need dtype annotations matching constructors"
+    scopes = _KERNELS
+
+    #: Constructors that must pass an explicit dtype in kernel modules.
+    _CONSTRUCTORS = ("empty", "zeros", "ones", "full")
+
+    def check(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        exported = set(ctx.module_all())
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name in exported:
+                violations.extend(self._check_signature(ctx, stmt))
+        violations.extend(self._check_constructors(ctx))
+        violations.extend(_cross_reference_aliases(self, ctx))
+        return violations
+
+    def _check_signature(
+        self, ctx: ModuleContext, function: ast.FunctionDef
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        arguments = [
+            *function.args.posonlyargs,
+            *function.args.args,
+            *function.args.kwonlyargs,
+        ]
+        for argument in arguments:
+            if argument.arg in ("self", "cls"):
+                continue
+            if argument.annotation is None:
+                violation = self._report(
+                    ctx,
+                    argument,
+                    f"kernel entry point {function.name!r}: parameter "
+                    f"{argument.arg!r} lacks a type annotation",
+                )
+                if violation:
+                    violations.append(violation)
+            elif self._names_bare_ndarray(argument.annotation):
+                violation = self._report(
+                    ctx,
+                    argument,
+                    f"kernel entry point {function.name!r}: parameter "
+                    f"{argument.arg!r} is annotated with bare np.ndarray; "
+                    "use a dtype-specific alias from repro.dtypes "
+                    "(Int8Array, UInt8Array, FloatArray, ...)",
+                )
+                if violation:
+                    violations.append(violation)
+        if function.returns is None:
+            violation = self._report(
+                ctx,
+                function,
+                f"kernel entry point {function.name!r} lacks a return "
+                "annotation",
+            )
+            if violation:
+                violations.append(violation)
+        elif self._names_bare_ndarray(function.returns):
+            violation = self._report(
+                ctx,
+                function,
+                f"kernel entry point {function.name!r} returns bare "
+                "np.ndarray; use a dtype-specific alias from repro.dtypes",
+            )
+            if violation:
+                violations.append(violation)
+        return violations
+
+    def _names_bare_ndarray(self, annotation: ast.expr) -> bool:
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Attribute) and node.attr == "ndarray":
+                return True
+            if isinstance(node, ast.Name) and node.id == "ndarray":
+                return True
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if "ndarray" in node.value:
+                    return True
+        return False
+
+    def _check_constructors(self, ctx: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._CONSTRUCTORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("np", "numpy")
+            ):
+                continue
+            has_dtype = any(keyword.arg == "dtype" for keyword in node.keywords)
+            minimum_args = 3 if node.func.attr == "full" else 2
+            if not has_dtype and len(node.args) < minimum_args:
+                violation = self._report(
+                    ctx,
+                    node,
+                    f"np.{node.func.attr}(...) in a kernel module must pass "
+                    "an explicit dtype (implicit float64 hides narrowing "
+                    "boundaries)",
+                )
+                if violation:
+                    violations.append(violation)
+        return violations
+
+
+def _alias_accepts(declared: str, actual: str) -> bool:
+    if declared == actual:
+        return True
+    if declared == "floatany":
+        return actual in ("float16", "float32", "float64", "pyfloat")
+    if declared == "uintany":
+        return actual.startswith("uint")
+    return actual in ("pyint", "pyfloat")
+
+
+def _cross_reference_aliases(rule: Rule, ctx: ModuleContext) -> list[Violation]:
+    """Shared R5 check: alias annotations vs constructed dtypes."""
+    violations: list[Violation] = []
+    inference = ctx.inference
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            declared = _annotation_alias(node.annotation)
+            if declared is None:
+                continue
+            actual = inference.dtype_of(node.value)
+            if actual is None or _alias_accepts(declared[1], actual):
+                continue
+            violation = rule._report(
+                ctx,
+                node,
+                f"annotation {declared[0]} (= {declared[1]}) conflicts with "
+                f"constructed dtype {actual}",
+            )
+            if violation:
+                violations.append(violation)
+        elif isinstance(node, ast.FunctionDef) and node.returns is not None:
+            declared = _annotation_alias(node.returns)
+            if declared is None:
+                continue
+            for child in ast.walk(node):
+                if not (isinstance(child, ast.Return) and child.value is not None):
+                    continue
+                actual = inference.dtype_of(child.value)
+                if actual is None or _alias_accepts(declared[1], actual):
+                    continue
+                violation = rule._report(
+                    ctx,
+                    child,
+                    f"function {node.name!r} declared to return "
+                    f"{declared[0]} (= {declared[1]}) but returns a value "
+                    f"inferred as {actual}",
+                )
+                if violation:
+                    violations.append(violation)
+    return violations
+
+
+def _annotation_alias(annotation: ast.expr) -> tuple[str, str] | None:
+    """(alias name, dtype) named by an annotation, if it is an alias."""
+    if isinstance(annotation, ast.Name) and annotation.id in ALIAS_DTYPES:
+        return annotation.id, ALIAS_DTYPES[annotation.id]
+    if isinstance(annotation, ast.Attribute) and annotation.attr in ALIAS_DTYPES:
+        return annotation.attr, ALIAS_DTYPES[annotation.attr]
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        if text in ALIAS_DTYPES:
+            return text, ALIAS_DTYPES[text]
+    return None
+
+
+def default_rules() -> list[Rule]:
+    """All rules in id order."""
+    return [
+        RawInt8AddRule(),
+        NarrowingCastRule(),
+        BareAssertRule(),
+        KernelLoopRule(),
+        KernelAnnotationRule(),
+    ]
