@@ -1,0 +1,41 @@
+"""Batched multi-query engine: queries/sec vs worker count (Section 5.8).
+
+Pytest wrapper around :mod:`repro.bench.throughput`. The CLI form
+
+    PYTHONPATH=src python -m repro.bench.throughput --min-speedup 2.0
+
+is the headline run (scale 1/2000, 128 queries, nprobe 4); this wrapper
+uses a smaller configuration suitable for CI smoke runs and asserts a
+conservative speedup floor so machine variance doesn't flake the suite.
+Byte-identity of batched vs sequential results is always a hard
+assertion — that is the engine's correctness contract, not a
+performance number.
+"""
+
+import os
+
+from repro.bench.throughput import render_report, run_benchmark
+from repro.bench import save_report
+
+
+def bench_speedup_floor() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.3"))
+
+
+def test_throughput_batched_vs_sequential():
+    data = run_benchmark(
+        scale=4000,
+        n_queries=64,
+        topk=100,
+        nprobe=4,
+        worker_counts=(1, 2, 4),
+        repeats=3,
+        scanner_name="naive",
+    )
+    save_report("throughput_smoke", render_report(data), data)
+
+    assert data["all_identical"], "batched results diverged from sequential"
+    floor = bench_speedup_floor()
+    assert data["speedup"] >= floor, (
+        f"batched engine speedup {data['speedup']:.2f}x below {floor:.2f}x"
+    )

@@ -55,13 +55,26 @@ from .scan import (
     ScanResult,
 )
 from .persistence import load_index, load_quantizer, save_index, save_quantizer
-from .search import ANNSearcher, SearchResult
+from .search import (
+    ANNSearcher,
+    BatchExecutor,
+    BatchPlan,
+    BatchPlanner,
+    BatchReport,
+    PartitionJob,
+    SearchResult,
+)
+from .simd import WorkerStats, aggregate_worker_stats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ANNSearcher",
     "AVXScanner",
+    "BatchExecutor",
+    "BatchPlan",
+    "BatchPlanner",
+    "BatchReport",
     "CentroidAssignment",
     "ConfigurationError",
     "DatasetError",
@@ -79,6 +92,7 @@ __all__ = [
     "OptimizedProductQuantizer",
     "PQFastScanner",
     "Partition",
+    "PartitionJob",
     "ProductQuantizer",
     "QuantizationOnlyScanner",
     "ReproError",
@@ -92,7 +106,9 @@ __all__ = [
     "SyntheticSIFT",
     "VectorDataset",
     "VectorQuantizer",
+    "WorkerStats",
     "adc_distances",
+    "aggregate_worker_stats",
     "exact_neighbors",
     "load_index",
     "load_quantizer",

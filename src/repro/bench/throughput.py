@@ -1,0 +1,303 @@
+"""Batched-engine throughput benchmark (queries/sec vs workers).
+
+Section 5.8 of the paper argues that once single-query scan cost is
+driven down, multi-query throughput is the figure of merit — concurrent
+PQ Fast Scan instances become memory-bandwidth-bound within a handful of
+cores. This benchmark measures the software half of that story: how many
+queries/sec the partition-major batch engine (:mod:`repro.search`)
+sustains against the sequential per-query loop, across worker counts.
+
+The engine's win on a single core comes from amortization — one routing
+pass, one distance-table build and one set of partition-code gathers per
+(partition, batch) instead of per query — and the worker sweep shows the
+thread-pool scaling on top (NumPy releases the GIL inside its kernels).
+Every batched run is verified byte-identical to the sequential baseline
+before its timing counts.
+
+Run as a module for the CLI::
+
+    PYTHONPATH=src python -m repro.bench.throughput --scale 4000 \
+        --n-queries 128 --nprobe 4 --min-speedup 2.0
+
+Writes ``results/throughput.{txt,json}`` via the standard reporting
+helpers plus a ``BENCH_throughput.json`` summary at the repo root (or
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..scan.base import PartitionScanner
+from ..scan.naive import NaiveScanner
+from ..core.fast_scan import PQFastScanner
+from ..search import ANNSearcher, BatchExecutor, SearchResult
+from .reporting import format_table, save_report
+from .workloads import Workload, build_workload
+
+__all__ = ["ThroughputRun", "measure_throughput", "run_benchmark", "main"]
+
+
+class ThroughputRun:
+    """One timed configuration of the engine (or the sequential loop).
+
+    Attributes:
+        label: configuration name (e.g. ``"batched w=4"``).
+        n_workers: worker threads (0 marks the sequential baseline).
+        wall_time_s: best-of-repeats wall time for the whole batch.
+        queries_per_second: batch size / wall time.
+        identical: batched results matched the sequential baseline
+            byte-for-byte (always True for the baseline itself).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        n_workers: int,
+        wall_time_s: float,
+        n_queries: int,
+        identical: bool,
+    ):
+        self.label = label
+        self.n_workers = n_workers
+        self.wall_time_s = wall_time_s
+        self.n_queries = n_queries
+        self.identical = identical
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_queries / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "n_workers": self.n_workers,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_second": self.queries_per_second,
+            "identical": self.identical,
+        }
+
+
+def _results_equal(a: Sequence[SearchResult], b: Sequence[SearchResult]) -> bool:
+    """Byte-level equality of two result lists."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if (
+            ra.ids.tobytes() != rb.ids.tobytes()
+            or ra.distances.tobytes() != rb.distances.tobytes()
+            or ra.n_scanned != rb.n_scanned
+            or ra.n_pruned != rb.n_pruned
+            or ra.probed != rb.probed
+        ):
+            return False
+    return True
+
+
+def measure_throughput(
+    workload: Workload,
+    scanner: PartitionScanner,
+    *,
+    n_queries: int = 64,
+    topk: int = 100,
+    nprobe: int = 4,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 3,
+) -> list[ThroughputRun]:
+    """Time the sequential loop and the batch engine at each worker count.
+
+    Returns the baseline run first, then one run per worker count, each
+    the best (minimum wall time) of ``repeats`` repetitions. Caches are
+    warmed (workload partitions prepared, NumPy kernels JIT-free but
+    first-touch paged in) by an untimed pilot run of each configuration.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("n_queries must be >= 1")
+    queries = workload.queries[:n_queries]
+    if len(queries) < n_queries:
+        raise ConfigurationError(
+            f"workload has only {len(queries)} queries, need {n_queries}"
+        )
+    searcher = ANNSearcher(workload.index, scanner=scanner)
+
+    def time_best(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Pilot (untimed): warm scanner caches and page in the workload.
+    baseline = searcher.search_batch_sequential(queries, topk=topk, nprobe=nprobe)
+    runs = [
+        ThroughputRun(
+            "sequential",
+            0,
+            time_best(
+                lambda: searcher.search_batch_sequential(
+                    queries, topk=topk, nprobe=nprobe
+                )
+            ),
+            n_queries,
+            True,
+        )
+    ]
+    for workers in worker_counts:
+        executor = BatchExecutor(workload.index, scanner, n_workers=workers)
+        batched = executor.run(queries, topk=topk, nprobe=nprobe)
+        identical = _results_equal(baseline, batched)
+        runs.append(
+            ThroughputRun(
+                f"batched w={workers}",
+                workers,
+                time_best(lambda: executor.run(queries, topk=topk, nprobe=nprobe)),
+                n_queries,
+                identical,
+            )
+        )
+    return runs
+
+
+def run_benchmark(
+    *,
+    scale: int = 4000,
+    n_queries: int = 128,
+    topk: int = 100,
+    nprobe: int = 4,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 3,
+    scanner_name: str = "naive",
+    seed: int = 11,
+) -> dict:
+    """Build the workload, sweep workers, and return the report payload."""
+    workload = build_workload(
+        "sift100m", scale=scale, n_queries=max(n_queries, 64), seed=seed
+    )
+    if scanner_name == "naive":
+        scanner: PartitionScanner = NaiveScanner()
+    elif scanner_name == "fastpq":
+        scanner = PQFastScanner(workload.pq, keep=0.005, seed=0)
+    else:
+        raise ConfigurationError(f"unknown scanner {scanner_name!r}")
+
+    runs = measure_throughput(
+        workload,
+        scanner,
+        n_queries=n_queries,
+        topk=topk,
+        nprobe=nprobe,
+        worker_counts=worker_counts,
+        repeats=repeats,
+    )
+    baseline = runs[0]
+    best = max(runs[1:], key=lambda r: r.queries_per_second)
+    speedup = (
+        best.queries_per_second / baseline.queries_per_second
+        if baseline.queries_per_second > 0
+        else 0.0
+    )
+    return {
+        "workload": workload.describe(),
+        "scale": scale,
+        "scanner": scanner_name,
+        "n_queries": n_queries,
+        "topk": topk,
+        "nprobe": nprobe,
+        "repeats": repeats,
+        "runs": [r.as_dict() for r in runs],
+        "baseline_qps": baseline.queries_per_second,
+        "best_qps": best.queries_per_second,
+        "best_workers": best.n_workers,
+        "speedup": speedup,
+        "all_identical": all(r.identical for r in runs),
+    }
+
+
+def render_report(data: dict) -> str:
+    """Format the worker sweep as the standard fixed-width table."""
+    rows = []
+    baseline_qps = data["baseline_qps"]
+    for run in data["runs"]:
+        rows.append(
+            [
+                run["label"],
+                run["wall_time_s"] * 1000,
+                run["queries_per_second"],
+                run["queries_per_second"] / baseline_qps if baseline_qps else 0.0,
+                "yes" if run["identical"] else "NO",
+            ]
+        )
+    return format_table(
+        ["configuration", "batch wall [ms]", "queries/s", "vs sequential",
+         "byte-identical"],
+        rows,
+        title=(
+            f"Batched engine throughput — {data['workload']}, "
+            f"nprobe={data['nprobe']}, topk={data['topk']}, "
+            f"scanner={data['scanner']}"
+        ),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched multi-query engine throughput benchmark"
+    )
+    parser.add_argument("--scale", type=int, default=4000,
+                        help="divisor on the paper's SIFT100M size")
+    parser.add_argument("--n-queries", type=int, default=128)
+    parser.add_argument("--topk", type=int, default=100)
+    parser.add_argument("--nprobe", type=int, default=4)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scanner", choices=["naive", "fastpq"],
+                        default="naive")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_throughput.json"),
+                        help="summary JSON path (repo-root convention)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero if best batched speedup is below"
+                             " this (CI gate)")
+    args = parser.parse_args(argv)
+
+    data = run_benchmark(
+        scale=args.scale,
+        n_queries=args.n_queries,
+        topk=args.topk,
+        nprobe=args.nprobe,
+        worker_counts=tuple(args.workers),
+        repeats=args.repeats,
+        scanner_name=args.scanner,
+        seed=args.seed,
+    )
+    table = render_report(data)
+    save_report("throughput", table, data)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"[summary written to {args.output}]")
+
+    if not data["all_identical"]:
+        print("FAIL: batched results diverged from the sequential baseline")
+        return 1
+    if args.min_speedup and data["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {data['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    print(f"speedup {data['speedup']:.2f}x (best at {data['best_workers']} workers)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

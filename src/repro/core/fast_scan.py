@@ -34,6 +34,7 @@ SIMD implementation performs between register reloads.
 from __future__ import annotations
 
 import weakref
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -131,6 +132,10 @@ class PQFastScanner(PartitionScanner):
         self._prepared: weakref.WeakKeyDictionary[Partition, GroupedPartition] = (
             weakref.WeakKeyDictionary()
         )
+        #: Times :meth:`prepared` served a cached grouped layout.
+        self.prepared_hits: int = 0
+        #: Times :meth:`prepared` had to build a grouped layout.
+        self.prepared_misses: int = 0
 
     # -- database-side preparation ---------------------------------------------
 
@@ -178,12 +183,32 @@ class PQFastScanner(PartitionScanner):
 
         The cache holds weak references, so grouped copies are released
         together with the partitions they mirror.
+        :attr:`prepared_hits` / :attr:`prepared_misses` count cache
+        reuse across queries (a batch over ``q`` queries probing one
+        partition should cost one miss and ``q - 1`` hits at most).
         """
         cached = self._prepared.get(partition)
         if cached is None:
+            self.prepared_misses += 1
             cached = self.prepare(partition)
             self._prepared[partition] = cached
+        else:
+            self.prepared_hits += 1
         return cached
+
+    def warm(self, partitions: Iterable[Partition]) -> int:
+        """Pre-build the grouped layouts (and the lazy assignment).
+
+        The batch executor calls this from the coordinating thread
+        before fanning partition jobs across workers, so the
+        :meth:`prepared` cache and :attr:`assignment` are only *read*
+        concurrently. Returns the number of layouts newly built.
+        """
+        _ = self.assignment
+        before = self.prepared_misses
+        for partition in partitions:
+            self.prepared(partition)
+        return self.prepared_misses - before
 
     def _components_for(self, partition_size: int | None) -> int:
         if self.group_components is not None:
@@ -205,6 +230,18 @@ class PQFastScanner(PartitionScanner):
     ) -> FastScanResult:
         """Scan an already-prepared partition."""
         tables_r = self.assignment.remap_tables(np.asarray(tables, dtype=np.float64))
+        return self.scan_prepared(tables_r, grouped, topk)
+
+    def scan_prepared(
+        self, tables_r: np.ndarray, grouped: GroupedPartition, topk: int = 1
+    ) -> FastScanResult:
+        """Scan with *already remapped* tables (batch-friendly entry).
+
+        The batch executor remaps the whole ``(b, m, k*)`` table stack of
+        a partition in one :meth:`CentroidAssignment.remap_tables` call
+        and then feeds each row here, skipping the per-query remap that
+        :meth:`scan_grouped` performs.
+        """
         n = len(grouped)
         if n == 0:
             return FastScanResult(

@@ -109,12 +109,15 @@ class CentroidAssignment:
 
         ``D_new[j, i] = D_old[j, orders[j][i]]`` so that
         ``D_new[j, new_code] == D_old[j, old_code]`` — ADC distances are
-        bit-identical before and after reassignment.
+        bit-identical before and after reassignment. Accepts a single
+        ``(m, k*)`` table set or a batched ``(..., m, k*)`` stack (the
+        batch engine remaps all tables of a partition in one call; a
+        gather per row is bit-identical to per-query remapping).
         """
         tables = np.asarray(tables, dtype=np.float64)
         out = tables.copy()
         for j, order in self.orders.items():
-            out[j] = tables[j][order]
+            out[..., j, :] = tables[..., j, :][..., order]
         return out
 
     def apply_to_quantizer(self, pq: ProductQuantizer) -> None:

@@ -129,12 +129,33 @@ class IVFADCIndex:
     def route(self, query: np.ndarray, nprobe: int = 1) -> list[int]:
         """Step 1: ids of the ``nprobe`` most relevant partitions."""
         query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ConfigurationError("route expects a single 1-D query")
+        return [int(p) for p in self.route_batch(query[None, :], nprobe=nprobe)[0]]
+
+    def route_batch(self, queries: np.ndarray, nprobe: int = 1) -> np.ndarray:
+        """Step 1 for a whole batch: ``(b, nprobe)`` partition ids.
+
+        One vectorized centroid-distance computation covers every query;
+        each row is bit-identical to what :meth:`route` returns for that
+        query alone (the distances are computed with per-row elementwise
+        operations, so routing does not depend on the batch size).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
         if nprobe < 1 or nprobe > self.n_partitions:
             raise ConfigurationError(
                 f"nprobe must be in [1, {self.n_partitions}], got {nprobe}"
             )
-        dists = self.coarse.distances_to_codebook(query)
-        return list(np.argsort(dists, kind="stable")[:nprobe])
+        codebook = self.coarse.codebook
+        x_sq = np.einsum("qd,qd->q", queries, queries)
+        c_sq = np.einsum("id,id->i", codebook, codebook)
+        cross = np.einsum("qd,id->qi", queries, codebook)
+        dists = x_sq[:, None] + c_sq[None, :] - 2.0 * cross
+        np.maximum(dists, 0.0, out=dists)
+        order = np.argsort(dists, axis=1, kind="stable")[:, :nprobe]
+        return order.astype(np.int64, copy=False)
 
     def distance_tables_for(self, query: np.ndarray, partition_id: int) -> np.ndarray:
         """Step 2: per-partition distance tables for ``query``.
@@ -144,6 +165,19 @@ class IVFADCIndex:
         code of that cell.
         """
         query = np.asarray(query, dtype=np.float64)
+        return self.distance_tables_for_batch(query[None, :], partition_id)[0]
+
+    def distance_tables_for_batch(
+        self, queries: np.ndarray, partition_id: int
+    ) -> np.ndarray:
+        """Step 2 for all queries probing one partition, ``(b, m, k*)``.
+
+        The residual shift and the table computation are shared across
+        the batch; row ``i`` is bit-identical to
+        ``distance_tables_for(queries[i], partition_id)``, which the
+        batched execution engine relies on for exactness.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
         if self.encode_residuals:
-            query = query - self.coarse.codebook[partition_id]
-        return self.pq.distance_tables(query)
+            queries = queries - self.coarse.codebook[partition_id]
+        return self.pq.distance_tables_batch(queries)

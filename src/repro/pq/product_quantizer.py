@@ -180,10 +180,35 @@ class ProductQuantizer:
         query = np.asarray(query, dtype=np.float64)
         if query.ndim != 1 or query.shape[0] != self.d:
             raise DimensionMismatchError(self.d, query.shape[-1], what="query")
-        tables = np.empty((self.m, self.ksub), dtype=np.float64)
+        return self.distance_tables_batch(query[None, :])[0]
+
+    def distance_tables_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Distance tables for a whole query batch, shape ``(b, m, k*)``.
+
+        Row ``i`` is bit-identical to ``distance_tables(queries[i])``:
+        every term is computed with per-row elementwise operations and
+        einsum reductions whose summation order depends only on the row
+        itself, never on the batch size. (A BLAS matmul would not give
+        that guarantee — gemm and gemv may reduce in different orders —
+        and the batched execution engine relies on mixing per-query and
+        batched table computation freely without perturbing ADC
+        distances.)
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise DimensionMismatchError(
+                self.d, queries.shape[-1] if queries.ndim else 0, what="query"
+            )
+        tables = np.empty((len(queries), self.m, self.ksub), dtype=np.float64)
         for j, sq in enumerate(self.subquantizers):
-            sub = query[j * self.dsub : (j + 1) * self.dsub]
-            tables[j] = sq.distances_to_codebook(sub)
+            sub = queries[:, j * self.dsub : (j + 1) * self.dsub]
+            codebook = sq.codebook
+            x_sq = np.einsum("qd,qd->q", sub, sub)
+            c_sq = np.einsum("id,id->i", codebook, codebook)
+            cross = np.einsum("qd,id->qi", sub, codebook)
+            block = x_sq[:, None] + c_sq[None, :] - 2.0 * cross
+            np.maximum(block, 0.0, out=block)
+            tables[:, j, :] = block
         return tables
 
     def quantization_error(self, vectors: np.ndarray) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import DimensionMismatchError
 from ..ivf.partition import Partition
 from ..pq.adc import adc_distance_single, adc_distances
 from .base import InstructionProfile, PartitionScanner, ScanResult
@@ -37,6 +38,33 @@ class NaiveScanner(PartitionScanner):
         distances = adc_distances(tables, partition.codes)
         ids, dists = select_topk(distances, partition.ids, topk)
         return ScanResult(ids=ids, distances=dists, n_scanned=len(partition))
+
+    def scan_batch(
+        self, tables: np.ndarray, partition: Partition, topk: int = 1
+    ) -> list[ScanResult]:
+        """Scan one partition for a whole query batch at once.
+
+        ``tables`` is the ``(b, m, k*)`` stack of per-query distance
+        tables. The codes are gathered once per component for the whole
+        batch, and the per-component contributions accumulate in the
+        same left-to-right order as :func:`~repro.pq.adc.adc_distances`,
+        so result ``i`` is bit-identical to ``scan(tables[i], ...)``.
+        """
+        tables = np.asarray(tables, dtype=np.float64)
+        if tables.ndim != 3:
+            raise DimensionMismatchError(3, tables.ndim, what="array rank")
+        codes = partition.codes
+        if codes.shape[1] != tables.shape[1]:
+            raise DimensionMismatchError(tables.shape[1], codes.shape[1], what="code")
+        distances = np.take(tables[:, 0, :], codes[:, 0], axis=1)
+        for j in range(1, tables.shape[1]):
+            distances += np.take(tables[:, j, :], codes[:, j], axis=1)
+        n = len(partition)
+        results = []
+        for row in distances:
+            ids, dists = select_topk(row, partition.ids, topk)
+            results.append(ScanResult(ids=ids, distances=dists, n_scanned=n))
+        return results
 
     def scan_scalar(
         self, tables: np.ndarray, partition: Partition, topk: int = 1

@@ -62,15 +62,46 @@ class TopKAccumulator:
             return True
         return False
 
+    #: Below this many surviving candidates the per-candidate heap path
+    #: beats rebuilding the heap from a bulk top-k selection.
+    _BULK_MIN = 8
+
     def offer_many(self, distances: np.ndarray, identifiers: np.ndarray) -> None:
-        """Bulk offer; vectorized pre-filter then per-candidate heap pushes."""
+        """Bulk offer: vectorized pre-filter, then a bulk top-k merge.
+
+        Candidates that survive the threshold filter are merged with the
+        current heap contents through :func:`select_topk`, which applies
+        the same (distance, id) ordering as per-candidate heap pushes —
+        the final kept set is identical either way. Tiny survivor sets
+        (common in the PQ Fast Scan chunk loop, where >95% of vectors
+        are pruned) still use the O(s log k) heap path.
+        """
         distances = np.asarray(distances, dtype=np.float64)
         identifiers = np.asarray(identifiers, dtype=np.int64)
         if len(distances) != len(identifiers):
             raise ConfigurationError("distances and identifiers length mismatch")
         keep = distances <= self.threshold
-        for d, i in zip(distances[keep], identifiers[keep]):
-            self.offer(d, i)
+        n_kept = int(keep.sum())
+        if n_kept == 0:
+            return
+        if n_kept < self._BULK_MIN:
+            for d, i in zip(distances[keep], identifiers[keep]):
+                self.offer(d, i)
+            return
+        cand_d = distances[keep]
+        cand_i = identifiers[keep]
+        if self._heap:
+            held_d = np.fromiter(
+                (-d for d, _ in self._heap), np.float64, count=len(self._heap)
+            )
+            held_i = np.fromiter(
+                (-i for _, i in self._heap), np.int64, count=len(self._heap)
+            )
+            cand_d = np.concatenate([held_d, cand_d])
+            cand_i = np.concatenate([held_i, cand_i])
+        ids, dists = select_topk(cand_d, cand_i, self.k)
+        self._heap = [(-float(d), -int(i)) for d, i in zip(dists, ids)]
+        heapq.heapify(self._heap)
 
     def result(self) -> tuple[np.ndarray, np.ndarray]:
         """Final ``(ids, distances)`` sorted by (distance, id) ascending."""

@@ -22,7 +22,7 @@ from ..exceptions import ConfigurationError
 from .arch import PLATFORMS, CPUModel, get_platform
 from .cache import CacheLevel, CacheModel, NEHALEM_HASWELL_CACHE
 from .costs import BASE_COSTS, InstructionCost, cost_table
-from .counters import PerfCounters
+from .counters import PerfCounters, WorkerStats, aggregate_worker_stats
 from .executor import Executor
 from .kernels import (
     SCAN_KERNELS,
@@ -45,6 +45,8 @@ __all__ = [
     "NEHALEM_HASWELL_CACHE",
     "PLATFORMS",
     "PerfCounters",
+    "WorkerStats",
+    "aggregate_worker_stats",
     "SCAN_KERNELS",
     "avx_kernel",
     "cost_table",

@@ -8,11 +8,12 @@ produces the same set.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["PerfCounters"]
+__all__ = ["PerfCounters", "WorkerStats", "aggregate_worker_stats"]
 
 
 @dataclass
@@ -44,6 +45,25 @@ class PerfCounters:
     def count_op(self, op: str) -> None:
         self.per_op[op] = self.per_op.get(op, 0) + 1
 
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate another counter set into this one (in place).
+
+        Used to aggregate per-worker counters after a multi-threaded
+        run: each worker accumulates into its own instance, and the
+        coordinator merges them once the pool has drained.
+        """
+        self.instructions += other.instructions
+        self.uops += other.uops
+        self.cycles += other.cycles
+        self.cycles_with_load += other.cycles_with_load
+        self.l1_loads += other.l1_loads
+        self.l2_loads += other.l2_loads
+        self.l3_loads += other.l3_loads
+        self.register_lookups += other.register_lookups
+        for op, count in other.per_op.items():
+            self.per_op[op] = self.per_op.get(op, 0) + count
+        return self
+
     def per_vector(self, n_vectors: int) -> "PerVectorCounters":
         """Normalize to per-scanned-vector quantities (the paper's unit)."""
         if n_vectors <= 0:
@@ -56,6 +76,69 @@ class PerfCounters:
             l1_loads=self.l1_loads / n_vectors,
             ipc=self.ipc,
         )
+
+
+@dataclass
+class WorkerStats:
+    """Work accumulated by one executor worker over a query batch.
+
+    The batch execution engine (see :mod:`repro.search`) fans
+    partition-scan jobs over a thread pool; each worker owns one
+    ``WorkerStats`` instance (no shared mutable state between threads)
+    and the coordinator aggregates them after the pool drains. The
+    per-worker split is what the Section 5.8 bandwidth analysis needs:
+    vectors scanned per worker per second is the per-core scan speed
+    whose aggregate hits the memory wall.
+
+    Attributes:
+        worker_id: 0-based worker index (-1 for aggregated totals).
+        n_jobs: partition-scan jobs executed.
+        n_scans: (query, partition) scans performed.
+        n_vectors_scanned: vectors considered across all scans.
+        n_vectors_pruned: vectors discarded by lower bounds.
+        busy_time_s: wall time spent inside jobs by this worker.
+    """
+
+    worker_id: int
+    n_jobs: int = 0
+    n_scans: int = 0
+    n_vectors_scanned: int = 0
+    n_vectors_pruned: int = 0
+    busy_time_s: float = 0.0
+
+    def record_job(
+        self,
+        *,
+        n_scans: int,
+        n_vectors_scanned: int,
+        n_vectors_pruned: int,
+        busy_time_s: float,
+    ) -> None:
+        """Account one finished partition-scan job."""
+        self.n_jobs += 1
+        self.n_scans += n_scans
+        self.n_vectors_scanned += n_vectors_scanned
+        self.n_vectors_pruned += n_vectors_pruned
+        self.busy_time_s += busy_time_s
+
+    @property
+    def scan_speed_vps(self) -> float:
+        """Vectors scanned per busy second (0 when idle)."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.n_vectors_scanned / self.busy_time_s
+
+
+def aggregate_worker_stats(stats: Iterable[WorkerStats]) -> WorkerStats:
+    """Sum per-worker stats into one total (``worker_id = -1``)."""
+    total = WorkerStats(worker_id=-1)
+    for s in stats:
+        total.n_jobs += s.n_jobs
+        total.n_scans += s.n_scans
+        total.n_vectors_scanned += s.n_vectors_scanned
+        total.n_vectors_pruned += s.n_vectors_pruned
+        total.busy_time_s += s.busy_time_s
+    return total
 
 
 @dataclass(frozen=True)

@@ -174,6 +174,42 @@ class TestConfiguration:
         b = fast_scanner.prepared(partition)
         assert a is b
 
+    def test_prepared_cache_counters(self, pq, partition):
+        scanner = PQFastScanner(pq, keep=0.01, seed=0)
+        assert (scanner.prepared_hits, scanner.prepared_misses) == (0, 0)
+        scanner.prepared(partition)
+        assert (scanner.prepared_hits, scanner.prepared_misses) == (0, 1)
+        scanner.prepared(partition)
+        scanner.prepared(partition)
+        assert (scanner.prepared_hits, scanner.prepared_misses) == (2, 1)
+
+    def test_warm_builds_layouts_once(self, pq, index):
+        scanner = PQFastScanner(pq, keep=0.01, seed=0)
+        built = scanner.warm(index.partitions)
+        assert built == len(index.partitions)
+        assert scanner.prepared_misses == len(index.partitions)
+        # Warming again touches only the cache.
+        assert scanner.warm(index.partitions) == 0
+        assert scanner.prepared_misses == len(index.partitions)
+
+    def test_prepared_cache_released_on_gc(self, pq, dataset):
+        import gc
+
+        from repro import Partition
+
+        scanner = PQFastScanner(pq, keep=0.01, seed=0)
+        codes = pq.encode(dataset.base[:600])
+        partition = Partition(codes, np.arange(600))
+        scanner.prepared(partition)
+        assert scanner.prepared_misses == 1
+        del partition
+        gc.collect()
+        # The weakref cache must not keep dead partitions alive: a fresh
+        # equivalent partition is a miss, not a stale hit.
+        partition2 = Partition(codes, np.arange(600))
+        scanner.prepared(partition2)
+        assert scanner.prepared_misses == 2
+
     def test_empty_partition(self, fast_scanner, tables):
         from repro import Partition
 

@@ -60,6 +60,30 @@ class TestIVFADCIndex:
         with pytest.raises(ConfigurationError):
             index.route(query, nprobe=99)
 
+    def test_route_batch_matches_per_query_route(self, index, dataset):
+        """The vectorized router is bitwise-equal to per-query routing."""
+        probed = index.route_batch(dataset.queries, nprobe=2)
+        assert probed.shape == (len(dataset.queries), 2)
+        assert probed.dtype == np.int64
+        for query, row in zip(dataset.queries, probed):
+            assert index.route(query, nprobe=2) == [int(p) for p in row]
+
+    def test_route_batch_rejects_bad_input(self, index, dataset):
+        with pytest.raises(ConfigurationError):
+            index.route_batch(dataset.queries, nprobe=0)
+        with pytest.raises(ConfigurationError):
+            index.route_batch(dataset.queries, nprobe=99)
+
+    def test_distance_tables_batch_matches_per_query(self, index, dataset):
+        """Batched residual tables are bitwise rows of the per-query call."""
+        queries = dataset.queries[:4]
+        for pid in range(index.n_partitions):
+            batch = index.distance_tables_for_batch(queries, pid)
+            assert batch.shape[0] == len(queries)
+            for i, query in enumerate(queries):
+                single = index.distance_tables_for(query, pid)
+                assert batch[i].tobytes() == single.tobytes()
+
     def test_residual_tables_give_true_adc(self, index, pq, dataset, query):
         """Distance tables shifted per cell: ADC equals the distance to
         the residual reconstruction plus nothing else (exact ADC)."""

@@ -50,6 +50,47 @@ class TestTopKAccumulator:
             b.offer(d, i)
         np.testing.assert_array_equal(a.result()[0], b.result()[0])
 
+    def test_offer_many_bulk_path_with_ties(self, rng):
+        """The bulk merge must keep exact (distance, id) tie-breaking."""
+        dists = np.repeat(rng.uniform(size=40), 5)  # heavy ties
+        ids = rng.permutation(len(dists))
+        a = TopKAccumulator(15)
+        a.offer_many(dists, ids)
+        b = TopKAccumulator(15)
+        for d, i in zip(dists, ids):
+            b.offer(d, i)
+        np.testing.assert_array_equal(a.result()[0], b.result()[0])
+        np.testing.assert_array_equal(a.result()[1], b.result()[1])
+
+    def test_offer_many_on_prefilled_heap(self, rng):
+        """Bulk merging into a heap that already holds candidates."""
+        first = rng.uniform(size=50)
+        second = rng.uniform(size=200)
+        ids1 = np.arange(50)
+        ids2 = np.arange(50, 250)
+        a = TopKAccumulator(20)
+        a.offer_many(first, ids1)
+        a.offer_many(second, ids2)
+        b = TopKAccumulator(20)
+        for d, i in zip(np.concatenate([first, second]),
+                        np.concatenate([ids1, ids2])):
+            b.offer(d, i)
+        np.testing.assert_array_equal(a.result()[0], b.result()[0])
+        np.testing.assert_array_equal(a.result()[1], b.result()[1])
+        assert a.threshold == b.threshold
+
+    def test_offer_many_small_batches_use_heap_path(self):
+        """Below the bulk threshold the per-offer path is equivalent."""
+        a = TopKAccumulator(4)
+        b = TopKAccumulator(4)
+        for start in range(0, 12, 3):  # batches of 3 < _BULK_MIN
+            dists = np.array([1.0, 0.5, 2.0]) + start
+            ids = np.arange(start, start + 3)
+            a.offer_many(dists, ids)
+            for d, i in zip(dists, ids):
+                b.offer(d, i)
+        np.testing.assert_array_equal(a.result()[0], b.result()[0])
+
     def test_rejects_bad_k(self):
         with pytest.raises(ConfigurationError):
             TopKAccumulator(0)
