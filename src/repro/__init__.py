@@ -37,6 +37,12 @@ from .exceptions import (
     SimulationError,
 )
 from .ivf import IVFADCIndex, MultiIndex, Partition
+from .obs import (
+    Observability,
+    get_observability,
+    observability_session,
+    set_observability,
+)
 from .pq import (
     KMeans,
     OptimizedProductQuantizer,
@@ -89,6 +95,7 @@ __all__ = [
     "MultiIndex",
     "NaiveScanner",
     "NotFittedError",
+    "Observability",
     "OptimizedProductQuantizer",
     "PQFastScanner",
     "Partition",
@@ -110,10 +117,13 @@ __all__ = [
     "adc_distances",
     "aggregate_worker_stats",
     "exact_neighbors",
+    "get_observability",
     "load_index",
     "load_quantizer",
+    "observability_session",
     "optimized_assignment",
     "recall_at",
+    "set_observability",
     "save_index",
     "save_quantizer",
     "__version__",

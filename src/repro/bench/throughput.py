@@ -35,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import observability_session, to_prometheus
 from ..scan.base import PartitionScanner
 from ..scan.naive import NaiveScanner
 from ..core.fast_scan import PQFastScanner
@@ -206,6 +207,14 @@ def run_benchmark(
         if baseline.queries_per_second > 0
         else 0.0
     )
+    observability = _instrumented_run(
+        workload,
+        scanner,
+        n_queries=n_queries,
+        topk=topk,
+        nprobe=nprobe,
+        n_workers=max(best.n_workers, 1),
+    )
     return {
         "workload": workload.describe(),
         "scale": scale,
@@ -220,6 +229,37 @@ def run_benchmark(
         "best_workers": best.n_workers,
         "speedup": speedup,
         "all_identical": all(r.identical for r in runs),
+        "observability": observability,
+    }
+
+
+def _instrumented_run(
+    workload: Workload,
+    scanner: PartitionScanner,
+    *,
+    n_queries: int,
+    topk: int,
+    nprobe: int,
+    n_workers: int,
+) -> dict:
+    """One untimed batch with observability on; returns the exported view.
+
+    Runs *after* the timed sweep so the metrics session cannot perturb
+    the numbers that gate CI; the timed runs execute against the default
+    (disabled) observability instance.
+    """
+    queries = workload.queries[:n_queries]
+    with observability_session() as obs:
+        executor = BatchExecutor(
+            workload.index, scanner, n_workers=n_workers, observability=obs
+        )
+        _, report = executor.run_with_report(queries, topk=topk, nprobe=nprobe)
+    return {
+        "n_workers": n_workers,
+        "report": report.as_dict(),
+        "stage_latency": obs.tracer.stage_summary(),
+        "metrics": obs.metrics.snapshot(),
+        "prometheus": to_prometheus(obs.metrics),
     }
 
 
@@ -281,10 +321,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         scanner_name=args.scanner,
         seed=args.seed,
     )
+    # The Prometheus text goes to its own snapshot file (what a
+    # /metrics endpoint would serve); the JSON summary keeps the
+    # structured metrics snapshot.
+    prom_text = data["observability"].pop("prometheus")
+    prom_path = Path("results/throughput_metrics.prom")
+    prom_path.parent.mkdir(parents=True, exist_ok=True)
+    prom_path.write_text(prom_text)
+
     table = render_report(data)
     save_report("throughput", table, data)
     args.output.write_text(json.dumps(data, indent=2) + "\n")
     print(f"[summary written to {args.output}]")
+    print(f"[metrics snapshot written to {prom_path}]")
 
     if not data["all_identical"]:
         print("FAIL: batched results diverged from the sequential baseline")

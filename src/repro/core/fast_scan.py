@@ -41,6 +41,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
 from ..ivf.partition import Partition
+from ..obs import get_observability
 from ..pq.adc import adc_distances
 from ..pq.product_quantizer import ProductQuantizer
 from ..scan.base import InstructionProfile, PartitionScanner, ScanResult
@@ -190,10 +191,12 @@ class PQFastScanner(PartitionScanner):
         cached = self._prepared.get(partition)
         if cached is None:
             self.prepared_misses += 1
+            get_observability().record_cache_access(False)
             cached = self.prepare(partition)
             self._prepared[partition] = cached
         else:
             self.prepared_hits += 1
+            get_observability().record_cache_access(True)
         return cached
 
     def warm(self, partitions: Iterable[Partition]) -> int:
@@ -313,6 +316,9 @@ class PQFastScanner(PartitionScanner):
                 )
 
         ids, dists = acc.result()
+        obs = get_observability()
+        if obs.enabled:
+            obs.record_scan(self.name, n_scanned=n, n_pruned=n_pruned)
         return FastScanResult(
             ids=ids,
             distances=dists,

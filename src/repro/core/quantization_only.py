@@ -16,6 +16,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
 from ..ivf.partition import Partition
+from ..obs import get_observability
 from ..pq.adc import adc_distances
 from ..pq.product_quantizer import ProductQuantizer
 from ..scan.base import InstructionProfile, PartitionScanner
@@ -98,6 +99,9 @@ class QuantizationOnlyScanner(PartitionScanner):
             threshold_q = quantizer.quantize_threshold(acc.threshold, components=self.pq.m)
 
         result_ids, result_dists = acc.result()
+        obs = get_observability()
+        if obs.enabled:
+            obs.record_scan(self.name, n_scanned=n, n_pruned=n_pruned)
         return FastScanResult(
             ids=result_ids,
             distances=result_dists,

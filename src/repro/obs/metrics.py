@@ -1,0 +1,385 @@
+"""Metric primitives and the registry aggregating them.
+
+Three Prometheus-style metric kinds cover everything the query path
+reports:
+
+* :class:`Counter` — monotonically increasing totals (vectors scanned,
+  vectors pruned, prepared-cache hits/misses, queries served);
+* :class:`Gauge` — last-observed values (the live pruning-rate gauge
+  backing the paper's >95% claim, per-worker scan speed);
+* :class:`Histogram` — bucketed latency distributions (per-stage span
+  durations, whole-batch wall time).
+
+All metrics are label-aware (``counter.inc(5, scanner="fastpq")``) and
+thread-safe: the batch executor's workers increment them concurrently.
+A :class:`MetricsRegistry` owns one family per metric name and is the
+unit the exporters (:mod:`repro.obs.export`) serialize.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections.abc import Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LabelKey",
+    "Metric",
+    "MetricsRegistry",
+]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, tuned for the sub-millisecond-to-seconds
+#: range spanned by partition scans and whole-batch wall times.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelKey = tuple[str, ...]
+
+
+class Metric:
+    """Base class: name/label validation and per-family locking."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _METRIC_NAME.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label):
+                raise ConfigurationError(
+                    f"metric {name}: invalid label name {label!r}"
+                )
+        self.name = name
+        self.help = help
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, str]) -> LabelKey:
+        """Validate ``labels`` against the declared names, return the key."""
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_dict(self, key: LabelKey) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(Metric):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current total of the labelled child (0 if never incremented)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        """All (labels, value) children, label-sorted."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(self._label_dict(key), value) for key, value in items]
+
+
+class Gauge(Metric):
+    """A value that can go up and down; reports the last set value."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(self._label_dict(key), value) for key, value in items]
+
+
+class _HistogramChild:
+    """Bucket counts, sum and count of one labelled histogram series."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        # One slot per finite bucket plus the implicit +Inf bucket.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Cumulative-bucket latency histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs >= 1 bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name}: +Inf bucket is implicit, do not pass it"
+            )
+        self.buckets = bounds
+        self._children: dict[LabelKey, _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _HistogramChild(len(self.buckets))
+                self._children[key] = child
+            slot = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = i
+                    break
+            child.bucket_counts[slot] += 1
+            child.total += value
+            child.count += 1
+
+    def snapshot_child(
+        self, **labels: str
+    ) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count) of a series."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                return [0] * (len(self.buckets) + 1), 0.0, 0
+            return self._cumulative(child), child.total, child.count
+
+    def samples(
+        self,
+    ) -> list[tuple[dict[str, str], list[int], float, int]]:
+        """(labels, cumulative counts incl. +Inf, sum, count) per series."""
+        with self._lock:
+            items = [
+                (key, self._cumulative(child), child.total, child.count)
+                for key, child in sorted(self._children.items())
+            ]
+        return [
+            (self._label_dict(key), counts, total, count)
+            for key, counts, total, count in items
+        ]
+
+    def _cumulative(self, child: _HistogramChild) -> list[int]:
+        counts: list[int] = []
+        running = 0
+        for raw in child.bucket_counts:
+            running += raw
+            counts.append(running)
+        return counts
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families, keyed by name.
+
+    Re-requesting an existing name returns the same object, provided the
+    kind and label names match (mismatches raise
+    :class:`~repro.exceptions.ConfigurationError` — two call sites
+    silently disagreeing about a metric is a bug, not a merge).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._get_or_create(Counter, name, help, labelnames)
+        if not isinstance(metric, Counter):  # pragma: no cover - guarded
+            raise ConfigurationError(f"{name} is not a counter")
+        return metric
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._get_or_create(Gauge, name, help, labelnames)
+        if not isinstance(metric, Gauge):  # pragma: no cover - guarded
+            raise ConfigurationError(f"{name} is not a gauge")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = Histogram(name, help, labelnames, buckets)
+                self._metrics[name] = metric
+                return metric
+        self._check_compatible(existing, "histogram", labelnames)
+        if not isinstance(existing, Histogram):  # pragma: no cover - guarded
+            raise ConfigurationError(f"{name} is not a histogram")
+        if existing.buckets != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"histogram {name} re-registered with different buckets"
+            )
+        return existing
+
+    def collect(self) -> list[Metric]:
+        """All registered families, name-sorted."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> Metric | None:
+        """The family registered under ``name``, if any."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe dump of every family and series."""
+        counters: dict[str, object] = {}
+        gauges: dict[str, object] = {}
+        histograms: dict[str, object] = {}
+        for metric in self.collect():
+            if isinstance(metric, Counter):
+                counters[metric.name] = [
+                    {"labels": labels, "value": value}
+                    for labels, value in metric.samples()
+                ]
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = [
+                    {"labels": labels, "value": value}
+                    for labels, value in metric.samples()
+                ]
+            elif isinstance(metric, Histogram):
+                series = []
+                for labels, counts, total, count in metric.samples():
+                    bucket_map = {
+                        _format_bound(bound): cumulative
+                        for bound, cumulative in zip(metric.buckets, counts)
+                    }
+                    bucket_map["+Inf"] = counts[-1]
+                    series.append(
+                        {
+                            "labels": labels,
+                            "buckets": bucket_map,
+                            "sum": total,
+                            "count": count,
+                        }
+                    )
+                histograms[metric.name] = series
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _get_or_create(
+        self,
+        factory: type[Counter] | type[Gauge],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+    ) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = factory(name, help, labelnames)
+                self._metrics[name] = metric
+                return metric
+        self._check_compatible(existing, factory.kind, labelnames)
+        return existing
+
+    def _check_compatible(
+        self, existing: Metric, kind: str, labelnames: Sequence[str]
+    ) -> None:
+        if existing.kind != kind:
+            raise ConfigurationError(
+                f"metric {existing.name} already registered as "
+                f"{existing.kind}, requested {kind}"
+            )
+        if existing.labelnames != tuple(labelnames):
+            raise ConfigurationError(
+                f"metric {existing.name} already registered with labels "
+                f"{existing.labelnames}, requested {tuple(labelnames)}"
+            )
+
+
+def _format_bound(bound: float) -> str:
+    """Bucket bound as Prometheus prints it."""
+    return repr(bound)

@@ -8,10 +8,29 @@ answers queries identically to the original.
 
     save_index(index, "catalog.npz")
     index = load_index("catalog.npz")
+
+Crash-safety contract:
+
+* **Atomic writes** — ``save_*`` serializes into a temporary file in the
+  destination directory and ``os.replace``-s it into place, so a crash
+  mid-write can never leave a truncated artifact under the target name;
+  readers observe either the old file or the new one.
+* **Bounded failure modes** — ``load_*`` raises
+  :class:`~repro.exceptions.DatasetError` for *every* malformed input
+  (missing file, truncated/corrupt archive, foreign ``.npz``, missing
+  fields, wrong dtypes or shapes) instead of leaking ``zipfile`` or
+  ``KeyError`` internals, and validates partition payloads eagerly so a
+  hand-edited archive fails at load time, not deep inside a scan kernel.
+* **No leaked handles** — the ``np.load`` archive is closed before
+  ``load_*`` returns; every returned array is materialized.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -30,19 +49,22 @@ _VERSION = 1
 
 def save_quantizer(pq: ProductQuantizer, path: str | Path) -> None:
     """Persist a fitted :class:`ProductQuantizer` to ``path`` (.npz)."""
-    np.savez_compressed(
+    _atomic_savez(
         Path(path),
-        magic=np.array([_MAGIC]),
-        version=np.array([_VERSION]),
-        kind=np.array(["quantizer"]),
-        codebooks=pq.codebooks,
+        {
+            "magic": np.array([_MAGIC]),
+            "version": np.array([_VERSION]),
+            "kind": np.array(["quantizer"]),
+            "codebooks": pq.codebooks,
+        },
     )
 
 
 def load_quantizer(path: str | Path) -> ProductQuantizer:
     """Load a :class:`ProductQuantizer` saved by :func:`save_quantizer`."""
     data = _load_checked(path, expected_kind="quantizer")
-    return ProductQuantizer.from_codebooks(data["codebooks"])
+    codebooks = _require(data, "codebooks", path)
+    return ProductQuantizer.from_codebooks(codebooks)
 
 
 def save_index(index: IVFADCIndex, path: str | Path) -> None:
@@ -59,24 +81,33 @@ def save_index(index: IVFADCIndex, path: str | Path) -> None:
     for pid, part in enumerate(index.partitions):
         payload[f"codes_{pid}"] = part.codes
         payload[f"ids_{pid}"] = part.ids
-    np.savez_compressed(Path(path), **payload)
+    _atomic_savez(Path(path), payload)
 
 
 def load_index(path: str | Path) -> IVFADCIndex:
-    """Load an :class:`IVFADCIndex` saved by :func:`save_index`."""
+    """Load an :class:`IVFADCIndex` saved by :func:`save_index`.
+
+    Partition payloads are validated eagerly: code dtype, code width
+    (``codes.shape[1]`` must equal ``pq.n_subquantizers``), id dtype and
+    the codes/ids length agreement are checked here so malformed or
+    hand-edited archives raise :class:`~repro.exceptions.DatasetError`
+    at load time instead of crashing inside the scan kernels.
+    """
     data = _load_checked(path, expected_kind="index")
-    pq = ProductQuantizer.from_codebooks(data["codebooks"])
+    codebooks = _require(data, "codebooks", path)
+    pq = ProductQuantizer.from_codebooks(codebooks)
     index = IVFADCIndex(
         pq,
-        n_partitions=int(data["n_partitions"][0]),
-        encode_residuals=bool(data["encode_residuals"][0]),
+        n_partitions=int(_require(data, "n_partitions", path)[0]),
+        encode_residuals=bool(_require(data, "encode_residuals", path)[0]),
     )
-    index._coarse = VectorQuantizer.from_codebook(data["coarse"])
+    index._coarse = VectorQuantizer.from_codebook(_require(data, "coarse", path))
     partitions = []
     total = 0
     for pid in range(index.n_partitions):
-        codes = data[f"codes_{pid}"]
-        ids = data[f"ids_{pid}"]
+        codes = _require(data, f"codes_{pid}", path)
+        ids = _require(data, f"ids_{pid}", path)
+        _validate_partition(path, pid, codes, ids, pq)
         partitions.append(Partition(codes, ids, partition_id=pid))
         total += len(ids)
     index._partitions = partitions
@@ -84,21 +115,109 @@ def load_index(path: str | Path) -> IVFADCIndex:
     return index
 
 
-def _load_checked(path: str | Path, expected_kind: str):
+# -- internals -----------------------------------------------------------------
+
+
+def _atomic_savez(path: Path, payload: dict[str, np.ndarray]) -> None:
+    """Write ``payload`` as a compressed ``.npz``, atomically.
+
+    The archive is serialized into a ``NamedTemporaryFile`` in the
+    destination directory (same filesystem, so the final rename cannot
+    degrade to a copy) and moved over ``path`` with :func:`os.replace`
+    only after the write completed and was flushed to disk. A crash at
+    any earlier point leaves the previous file — if any — untouched.
+    """
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # Passing the open handle (not a name) stops numpy from
+            # appending ".npz" to the temporary file's name.
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _load_checked(path: str | Path, expected_kind: str) -> dict[str, np.ndarray]:
+    """Open, validate and fully materialize a repro ``.npz`` artifact.
+
+    The ``NpzFile`` is used as a context manager and every member array
+    is decompressed before it closes, so no file handle outlives this
+    call (``np.load`` keeps the archive open for lazy member access
+    otherwise — a leak per load, and an open-file lock on Windows).
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"{path}: no such file")
-    data = np.load(path, allow_pickle=False)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            data = {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, zipfile.LargeZipFile, zlib.error, EOFError) as exc:
+        raise DatasetError(f"{path}: corrupt or truncated archive ({exc})") from exc
+    except (OSError, ValueError) as exc:
+        raise DatasetError(f"{path}: unreadable archive ({exc})") from exc
     if "magic" not in data or str(data["magic"][0]) != _MAGIC:
         raise DatasetError(f"{path}: not a repro artifact")
-    version = int(data["version"][0])
+    version = int(_require(data, "version", path)[0])
     if version > _VERSION:
         raise DatasetError(
             f"{path}: written by a newer format version ({version})"
         )
-    kind = str(data["kind"][0])
+    kind = str(_require(data, "kind", path)[0])
     if kind != expected_kind:
         raise DatasetError(
             f"{path}: contains a {kind!r}, expected {expected_kind!r}"
         )
     return data
+
+
+def _require(
+    data: dict[str, np.ndarray], name: str, path: str | Path
+) -> np.ndarray:
+    try:
+        return data[name]
+    except KeyError:
+        raise DatasetError(f"{path}: missing field {name!r}") from None
+
+
+def _validate_partition(
+    path: str | Path,
+    pid: int,
+    codes: np.ndarray,
+    ids: np.ndarray,
+    pq: ProductQuantizer,
+) -> None:
+    if codes.ndim != 2:
+        raise DatasetError(
+            f"{path}: codes_{pid} must be 2-D (n, m), got shape {codes.shape}"
+        )
+    if codes.dtype != pq.code_dtype:
+        raise DatasetError(
+            f"{path}: codes_{pid} has dtype {codes.dtype}, expected "
+            f"{np.dtype(pq.code_dtype)} for {pq.bits}-bit codes"
+        )
+    if codes.shape[1] != pq.n_subquantizers:
+        raise DatasetError(
+            f"{path}: codes_{pid} has {codes.shape[1]} components per code, "
+            f"expected m={pq.n_subquantizers}"
+        )
+    if ids.ndim != 1:
+        raise DatasetError(
+            f"{path}: ids_{pid} must be 1-D, got shape {ids.shape}"
+        )
+    if not np.issubdtype(ids.dtype, np.integer):
+        raise DatasetError(
+            f"{path}: ids_{pid} has non-integer dtype {ids.dtype}"
+        )
+    if len(codes) != len(ids):
+        raise DatasetError(
+            f"{path}: partition {pid} codes/ids length mismatch "
+            f"({len(codes)} vs {len(ids)})"
+        )

@@ -134,6 +134,11 @@ class ProductQuantizer:
         return np.stack([sq.codebook for sq in self.subquantizers])
 
     @property
+    def n_subquantizers(self) -> int:
+        """Alias of :attr:`m`: sub-quantizers (components) per code."""
+        return self.m
+
+    @property
     def total_bits(self) -> int:
         """Bits per pqcode, ``m * log2(k*)`` (64 for PQ 8×8)."""
         return self.m * self.bits

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..exceptions import DimensionMismatchError
 from ..ivf.partition import Partition
+from ..obs import get_observability
 from ..pq.adc import adc_distance_single, adc_distances
 from .base import InstructionProfile, PartitionScanner, ScanResult
 from .topk import TopKAccumulator, select_topk
@@ -37,6 +38,9 @@ class NaiveScanner(PartitionScanner):
     ) -> ScanResult:
         distances = adc_distances(tables, partition.codes)
         ids, dists = select_topk(distances, partition.ids, topk)
+        obs = get_observability()
+        if obs.enabled:
+            obs.record_scan(self.name, n_scanned=len(partition), n_pruned=0)
         return ScanResult(ids=ids, distances=dists, n_scanned=len(partition))
 
     def scan_batch(
@@ -64,6 +68,9 @@ class NaiveScanner(PartitionScanner):
         for row in distances:
             ids, dists = select_topk(row, partition.ids, topk)
             results.append(ScanResult(ids=ids, distances=dists, n_scanned=n))
+        obs = get_observability()
+        if obs.enabled:
+            obs.record_scan(self.name, n_scanned=n * len(results), n_pruned=0)
         return results
 
     def scan_scalar(

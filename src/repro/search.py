@@ -38,6 +38,7 @@ import numpy as np
 from .core.fast_scan import PQFastScanner
 from .exceptions import ConfigurationError, SimulationError
 from .ivf.inverted_index import IVFADCIndex
+from .obs import Observability, get_observability
 from .scan.base import PartitionScanner, ScanResult
 from .scan.naive import NaiveScanner
 from .scan.topk import select_topk
@@ -213,6 +214,20 @@ class BatchReport:
             return 0.0
         return self.n_queries / self.wall_time_s
 
+    def as_dict(self) -> dict:
+        """JSON-safe dump (benchmark reports, observability exports)."""
+        return {
+            "n_queries": self.n_queries,
+            "nprobe": self.nprobe,
+            "topk": self.topk,
+            "n_workers": self.n_workers,
+            "n_jobs": self.n_jobs,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_second": self.queries_per_second,
+            "totals": self.totals.as_dict(),
+            "worker_stats": [stats.as_dict() for stats in self.worker_stats],
+        }
+
 
 class BatchExecutor:
     """Partition-major batch executor with worker-pool parallelism.
@@ -240,10 +255,20 @@ class BatchExecutor:
     builds, argpartition) happens inside NumPy, which releases the GIL
     on large operations, so partition jobs overlap on multicore hosts.
 
+    Every run is traced through :mod:`repro.obs`: the route, warm,
+    per-job table-build and scan, and merge stages each produce a span
+    (and a ``repro_stage_latency_seconds`` observation), and the
+    finished :class:`BatchReport` feeds the batch/worker metrics. With
+    the default (disabled) observability instance all of this reduces
+    to an attribute check per stage.
+
     Args:
         index: the routed index.
         scanner: Step-3 scanner shared by all workers.
         n_workers: worker threads (1 = run inline on the caller).
+        observability: explicit observability handle; default is the
+            process-wide :func:`repro.obs.get_observability` instance,
+            resolved at each run.
     """
 
     def __init__(
@@ -252,12 +277,14 @@ class BatchExecutor:
         scanner: PartitionScanner,
         *,
         n_workers: int = 1,
+        observability: Observability | None = None,
     ):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.index = index
         self.scanner = scanner
         self.n_workers = n_workers
+        self.observability = observability
         self.planner = BatchPlanner(index)
 
     def run(
@@ -271,9 +298,15 @@ class BatchExecutor:
         self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
     ) -> tuple[list[SearchResult], BatchReport]:
         """Like :meth:`run`, also returning execution statistics."""
+        obs = (
+            self.observability
+            if self.observability is not None
+            else get_observability()
+        )
         start = time.perf_counter()
-        plan = self.planner.plan(queries, topk=topk, nprobe=nprobe)
-        results, worker_stats = self._execute(plan)
+        with obs.span("route"):
+            plan = self.planner.plan(queries, topk=topk, nprobe=nprobe)
+        results, worker_stats = self._execute(plan, obs)
         report = BatchReport(
             n_queries=plan.n_queries,
             nprobe=plan.nprobe,
@@ -283,19 +316,21 @@ class BatchExecutor:
             wall_time_s=time.perf_counter() - start,
             worker_stats=worker_stats,
         )
+        obs.record_batch(report.n_queries, report.wall_time_s, report.worker_stats)
         return results, report
 
     # -- internals ----------------------------------------------------------
 
     def _execute(
-        self, plan: BatchPlan
+        self, plan: BatchPlan, obs: Observability
     ) -> tuple[list[SearchResult], list[WorkerStats]]:
         # Warm shared scanner state from the coordinating thread so
         # workers only read it (PQFastScanner.prepared cache and lazy
         # assignment are not guarded by locks).
         warm = getattr(self.scanner, "warm", None)
         if callable(warm):
-            warm(self.index.partitions[job.partition_id] for job in plan.jobs)
+            with obs.span("warm"):
+                warm(self.index.partitions[job.partition_id] for job in plan.jobs)
 
         n_slots = max(self.n_workers, 1)
         worker_stats = [WorkerStats(worker_id=i) for i in range(n_slots)]
@@ -306,10 +341,12 @@ class BatchExecutor:
         def run_job(job: PartitionJob, worker_id: int) -> None:
             t0 = time.perf_counter()
             partition = self.index.partitions[job.partition_id]
-            tables = self.index.distance_tables_for_batch(
-                plan.queries[job.query_rows], job.partition_id
-            )
-            results = self._scan_partition(tables, partition, plan.topk)
+            with obs.span("tables"):
+                tables = self.index.distance_tables_for_batch(
+                    plan.queries[job.query_rows], job.partition_id
+                )
+            with obs.span("scan"):
+                results = self._scan_partition(tables, partition, plan.topk)
             for row, position, result in zip(
                 job.query_rows, job.probe_positions, results
             ):
@@ -332,7 +369,9 @@ class BatchExecutor:
                 for future in slots:
                     future.result()
 
-        return self._merge(plan, partials), worker_stats
+        with obs.span("merge"):
+            merged = self._merge(plan, partials)
+        return merged, worker_stats
 
     def _scan_partition(
         self, tables: np.ndarray, partition, topk: int
@@ -433,15 +472,21 @@ class ANNSearcher:
             self._check_rerank(topk, rerank)
             shortlist = self.search(query, topk=rerank, nprobe=nprobe)
             return self._rerank_one(query, shortlist, topk)
-        probed = self.index.route(query, nprobe=nprobe)
+        obs = get_observability()
+        with obs.span("route"):
+            probed = self.index.route(query, nprobe=nprobe)
         all_ids: list[np.ndarray] = []
         all_dists: list[np.ndarray] = []
         n_scanned = 0
         n_pruned = 0
         for pid in probed:
-            tables = self.index.distance_tables_for(query, pid)
+            with obs.span("tables"):
+                tables = self.index.distance_tables_for(query, pid)
             partition = self.index.partitions[pid]
-            result: ScanResult = self.scanner.scan(tables, partition, topk=topk)
+            with obs.span("scan"):
+                result: ScanResult = self.scanner.scan(
+                    tables, partition, topk=topk
+                )
             all_ids.append(result.ids)
             all_dists.append(result.distances)
             n_scanned += result.n_scanned
@@ -450,7 +495,8 @@ class ANNSearcher:
         dists = (
             np.concatenate(all_dists) if all_dists else np.empty(0, dtype=np.float64)
         )
-        merged_ids, merged_dists = select_topk(dists, ids, topk)
+        with obs.span("merge"):
+            merged_ids, merged_dists = select_topk(dists, ids, topk)
         return SearchResult(
             ids=merged_ids,
             distances=merged_dists,

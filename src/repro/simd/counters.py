@@ -64,6 +64,21 @@ class PerfCounters:
             self.per_op[op] = self.per_op.get(op, 0) + count
         return self
 
+    def as_dict(self) -> dict[str, float | int | dict[str, int]]:
+        """JSON-safe dump (benchmark reports, observability exports)."""
+        return {
+            "instructions": self.instructions,
+            "uops": self.uops,
+            "cycles": self.cycles,
+            "cycles_with_load": self.cycles_with_load,
+            "l1_loads": self.l1_loads,
+            "l2_loads": self.l2_loads,
+            "l3_loads": self.l3_loads,
+            "register_lookups": self.register_lookups,
+            "ipc": self.ipc,
+            "per_op": dict(self.per_op),
+        }
+
     def per_vector(self, n_vectors: int) -> "PerVectorCounters":
         """Normalize to per-scanned-vector quantities (the paper's unit)."""
         if n_vectors <= 0:
@@ -127,6 +142,26 @@ class WorkerStats:
         if self.busy_time_s <= 0:
             return 0.0
         return self.n_vectors_scanned / self.busy_time_s
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of this worker's scanned vectors that were pruned."""
+        if self.n_vectors_scanned <= 0:
+            return 0.0
+        return self.n_vectors_pruned / self.n_vectors_scanned
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-safe dump (benchmark reports, observability exports)."""
+        return {
+            "worker_id": self.worker_id,
+            "n_jobs": self.n_jobs,
+            "n_scans": self.n_scans,
+            "n_vectors_scanned": self.n_vectors_scanned,
+            "n_vectors_pruned": self.n_vectors_pruned,
+            "busy_time_s": self.busy_time_s,
+            "scan_speed_vps": self.scan_speed_vps,
+            "pruned_fraction": self.pruned_fraction,
+        }
 
 
 def aggregate_worker_stats(stats: Iterable[WorkerStats]) -> WorkerStats:

@@ -1,17 +1,22 @@
 """Tests for model/index persistence."""
 
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro import (
     ANNSearcher,
     NaiveScanner,
+    PQFastScanner,
+    QuantizationOnlyScanner,
     load_index,
     load_quantizer,
     save_index,
     save_quantizer,
 )
 from repro.exceptions import DatasetError
+from repro.obs import observability_session
 
 
 class TestQuantizerPersistence:
@@ -76,3 +81,234 @@ class TestFormatValidation:
         np.savez(path, data=np.zeros(3))
         with pytest.raises(DatasetError):
             load_quantizer(path)
+
+
+class TestArchiveHandleHygiene:
+    """Regression: ``np.load`` archives must not outlive ``load_*``."""
+
+    @staticmethod
+    def _spy_np_load(monkeypatch):
+        opened = []
+        real_load = np.load
+
+        def spying_load(*args, **kwargs):
+            archive = real_load(*args, **kwargs)
+            opened.append(archive)
+            return archive
+
+        monkeypatch.setattr(np, "load", spying_load)
+        return opened
+
+    def test_load_index_closes_archive(self, index, tmp_path, monkeypatch):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        opened = self._spy_np_load(monkeypatch)
+        load_index(path)
+        assert opened, "load_index never called np.load"
+        # NpzFile.zip is set to None by close(); a leaked handle keeps it.
+        assert all(archive.zip is None for archive in opened)
+
+    def test_load_quantizer_closes_archive(self, pq, tmp_path, monkeypatch):
+        path = tmp_path / "pq.npz"
+        save_quantizer(pq, path)
+        opened = self._spy_np_load(monkeypatch)
+        load_quantizer(path)
+        assert opened and all(archive.zip is None for archive in opened)
+
+    def test_loaded_arrays_usable_after_close(self, index, tmp_path):
+        # Arrays must be materialized, not lazy views into a closed zip.
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        for part in loaded.partitions:
+            assert part.codes.sum() >= 0
+            assert part.ids.sum() >= 0
+
+
+class TestAtomicWrites:
+    """Regression: a crash mid-save must never clobber the target path."""
+
+    def test_crash_mid_write_preserves_previous(
+        self, index, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        good_bytes = path.read_bytes()
+
+        def crashing_savez(handle, **payload):
+            handle.write(b"partial garbage")
+            raise RuntimeError("simulated crash mid-serialization")
+
+        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        with pytest.raises(RuntimeError):
+            save_index(index, path)
+        assert path.read_bytes() == good_bytes
+        loaded = load_index(path)
+        assert len(loaded) == len(index)
+
+    def test_crash_leaves_no_temp_files(self, index, tmp_path, monkeypatch):
+        path = tmp_path / "index.npz"
+
+        def crashing_savez(handle, **payload):
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        with pytest.raises(RuntimeError):
+            save_index(index, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_only_target(self, pq, tmp_path):
+        path = tmp_path / "pq.npz"
+        save_quantizer(pq, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["pq.npz"]
+
+    def test_truncated_archive_raises_dataset_error(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        # DatasetError, not a leaked zipfile.BadZipFile.
+        with pytest.raises(DatasetError, match="corrupt or truncated"):
+            load_index(path)
+
+    def test_garbage_bytes_raise_dataset_error(self, tmp_path):
+        path = tmp_path / "index.npz"
+        path.write_bytes(b"\x00" * 256)
+        with pytest.raises(DatasetError):
+            load_index(path)
+
+    def test_zipfile_internals_never_leak(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:40])
+        try:
+            load_index(path)
+        except zipfile.BadZipFile:  # pragma: no cover - the old bug
+            pytest.fail("zipfile.BadZipFile leaked out of load_index")
+        except DatasetError:
+            pass
+
+
+def _tamper(path, **overrides):
+    """Rewrite the archive with some members replaced (hand-edit sim)."""
+    with np.load(path, allow_pickle=False) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    payload.update(overrides)
+    for name in [k for k, v in overrides.items() if v is None]:
+        del payload[name]
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **{k: v for k, v in payload.items()})
+
+
+class TestPartitionValidation:
+    """Regression: malformed partition payloads fail at load time."""
+
+    @pytest.fixture()
+    def saved(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        return path
+
+    def test_wrong_code_dtype(self, saved):
+        with np.load(saved) as archive:
+            codes = archive["codes_0"]
+        _tamper(saved, codes_0=codes.astype(np.float64))
+        with pytest.raises(DatasetError, match="dtype"):
+            load_index(saved)
+
+    def test_wrong_code_width(self, saved):
+        with np.load(saved) as archive:
+            codes = archive["codes_0"]
+        _tamper(saved, codes_0=codes[:, :-1])
+        with pytest.raises(DatasetError, match="components per code"):
+            load_index(saved)
+
+    def test_codes_ids_length_mismatch(self, saved):
+        with np.load(saved) as archive:
+            ids = archive["ids_0"]
+        _tamper(saved, ids_0=ids[:-1])
+        with pytest.raises(DatasetError, match="length mismatch"):
+            load_index(saved)
+
+    def test_non_integer_ids(self, saved):
+        with np.load(saved) as archive:
+            ids = archive["ids_0"]
+        _tamper(saved, ids_0=ids.astype(np.float32))
+        with pytest.raises(DatasetError, match="non-integer"):
+            load_index(saved)
+
+    def test_codes_wrong_ndim(self, saved):
+        with np.load(saved) as archive:
+            codes = archive["codes_0"]
+        _tamper(saved, codes_0=codes.ravel())
+        with pytest.raises(DatasetError, match="2-D"):
+            load_index(saved)
+
+    def test_ids_wrong_ndim(self, saved):
+        with np.load(saved) as archive:
+            ids = archive["ids_0"]
+        _tamper(saved, ids_0=ids[:, None])
+        with pytest.raises(DatasetError, match="1-D"):
+            load_index(saved)
+
+    def test_missing_partition_field(self, saved):
+        _tamper(saved, codes_1=None)
+        with pytest.raises(DatasetError, match="missing field"):
+            load_index(saved)
+
+
+class TestRoundTripSearchParity:
+    """Reloaded index + each scanner answers byte-identically."""
+
+    @staticmethod
+    def _scanner_for(name, idx):
+        if name == "naive":
+            return NaiveScanner()
+        if name == "fastpq":
+            return PQFastScanner(idx.pq, keep=0.01, seed=0)
+        return QuantizationOnlyScanner(idx.pq, keep=0.01)
+
+    @pytest.mark.parametrize("scanner_name", ["naive", "fastpq", "qonly"])
+    def test_search_batch_byte_identical_after_reload(
+        self, index, dataset, tmp_path, scanner_name
+    ):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        original = ANNSearcher(index, self._scanner_for(scanner_name, index))
+        restored = ANNSearcher(loaded, self._scanner_for(scanner_name, loaded))
+        a = original.search_batch(
+            dataset.queries, topk=10, nprobe=2, n_workers=2
+        )
+        b = restored.search_batch(
+            dataset.queries, topk=10, nprobe=2, n_workers=2
+        )
+        assert len(a) == len(b) == len(dataset.queries)
+        for ra, rb in zip(a, b):
+            assert ra.ids.tobytes() == rb.ids.tobytes()
+            assert ra.distances.tobytes() == rb.distances.tobytes()
+            assert ra.n_scanned == rb.n_scanned
+            assert ra.n_pruned == rb.n_pruned
+            assert ra.probed == rb.probed
+
+    def test_observability_counters_survive_reload(
+        self, index, dataset, tmp_path
+    ):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        n = len(dataset.queries)
+        with observability_session() as obs:
+            ANNSearcher(index, NaiveScanner()).search_batch(
+                dataset.queries, topk=10, nprobe=2
+            )
+            loaded = load_index(path)
+            ANNSearcher(loaded, NaiveScanner()).search_batch(
+                dataset.queries, topk=10, nprobe=2
+            )
+        # One metrics session spans the reload: totals keep accumulating.
+        assert obs.metrics.get("repro_queries_total").value() == 2 * n
+        assert obs.metrics.get("repro_batches_total").value() == 2
+        scanned = obs.metrics.get("repro_vectors_scanned_total")
+        assert scanned.value(scanner="naive") == 2 * n * len(index)
