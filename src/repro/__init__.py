@@ -5,7 +5,17 @@ Scan: register-resident small lookup tables computing lower bounds that
 prune >95% of exact distance computations, returning exactly the same
 neighbors as plain PQ Scan.
 
-Public API highlights::
+Public API highlights — the :class:`Engine` facade covers build, search,
+sharding and persistence::
+
+    from repro import Engine, EngineConfig
+
+    engine = Engine.build(base, EngineConfig(n_partitions=64, n_shards=4))
+    results = engine.search(queries, k=10)
+    engine.save("catalog.d")
+    engine = Engine.load("catalog.d")
+
+The layers underneath remain public for component-level work::
 
     from repro import ProductQuantizer, IVFADCIndex, PQFastScanner
 
@@ -60,7 +70,14 @@ from .scan import (
     NaiveScanner,
     ScanResult,
 )
-from .persistence import load_index, load_quantizer, save_index, save_quantizer
+from .persistence import (
+    load_index,
+    load_quantizer,
+    load_sharded_index,
+    save_index,
+    save_quantizer,
+    save_sharded_index,
+)
 from .search import (
     ANNSearcher,
     BatchExecutor,
@@ -69,10 +86,20 @@ from .search import (
     BatchReport,
     PartitionJob,
     SearchResult,
+    merge_partials,
 )
-from .simd import WorkerStats, aggregate_worker_stats
+from .shard import (
+    IndexShard,
+    ScatterGatherExecutor,
+    ShardedIndex,
+    ShardedResponse,
+    ShardRouter,
+    ShardStatus,
+)
+from .engine import SCANNER_KINDS, Engine, EngineConfig
+from .simd import WorkerStats, aggregate_worker_stats, combine_worker_stats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANNSearcher",
@@ -86,10 +113,13 @@ __all__ = [
     "DatasetError",
     "DimensionMismatchError",
     "DistanceQuantizer",
+    "Engine",
+    "EngineConfig",
     "FastScanResult",
     "GatherScanner",
     "GroupedPartition",
     "IVFADCIndex",
+    "IndexShard",
     "KMeans",
     "LibpqScanner",
     "MultiIndex",
@@ -104,9 +134,15 @@ __all__ = [
     "QuantizationOnlyScanner",
     "ReproError",
     "SCANNERS",
+    "SCANNER_KINDS",
     "SameSizeKMeans",
     "ScanResult",
+    "ScatterGatherExecutor",
     "SearchResult",
+    "ShardRouter",
+    "ShardStatus",
+    "ShardedIndex",
+    "ShardedResponse",
     "SimulationError",
     "SmallTables",
     "SymmetricDistance",
@@ -116,15 +152,19 @@ __all__ = [
     "WorkerStats",
     "adc_distances",
     "aggregate_worker_stats",
+    "combine_worker_stats",
     "exact_neighbors",
     "get_observability",
     "load_index",
     "load_quantizer",
+    "load_sharded_index",
+    "merge_partials",
     "observability_session",
     "optimized_assignment",
     "recall_at",
     "set_observability",
     "save_index",
     "save_quantizer",
+    "save_sharded_index",
     "__version__",
 ]

@@ -1,0 +1,296 @@
+"""Sharded scatter-gather benchmark (queries/sec vs shard count).
+
+The serving-scale counterpart of :mod:`repro.bench.throughput`: how does
+the scatter-gather engine (:mod:`repro.shard`) compare with the single
+partition-major engine on the same workload, across shard counts? Every
+sharded run is verified byte-identical to the unsharded baseline before
+its timing counts — the exactness contract is the whole point of
+sharding by partition instead of re-building per shard.
+
+Run as a module for the CLI::
+
+    PYTHONPATH=src python -m repro.bench.sharded --scale 4000 \
+        --n-queries 128 --nprobe 4 --shards 1 2 4
+
+Writes ``results/sharded.{txt,json}`` via the standard reporting helpers
+plus a ``BENCH_sharded.json`` summary at the repo root (or ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.fast_scan import PQFastScanner
+from ..exceptions import ConfigurationError
+from ..scan.base import PartitionScanner
+from ..scan.naive import NaiveScanner
+from ..search import ANNSearcher
+from ..shard import ScatterGatherExecutor, ShardedIndex
+from .reporting import format_table, save_report
+from .throughput import _results_equal
+from .workloads import Workload, build_workload
+
+__all__ = ["ShardedRun", "measure_sharded", "run_benchmark", "main"]
+
+
+class ShardedRun:
+    """One timed shard-count configuration.
+
+    Attributes:
+        label: configuration name (e.g. ``"sharded s=4"``).
+        n_shards: shard count (0 marks the unsharded baseline).
+        wall_time_s: best-of-repeats wall time for the whole batch.
+        queries_per_second: batch size / wall time.
+        identical: results matched the unsharded baseline byte-for-byte.
+        partial: any shard degraded during the verification run (must be
+            False on a healthy benchmark host).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        n_shards: int,
+        wall_time_s: float,
+        n_queries: int,
+        identical: bool,
+        partial: bool = False,
+    ):
+        self.label = label
+        self.n_shards = n_shards
+        self.wall_time_s = wall_time_s
+        self.n_queries = n_queries
+        self.identical = identical
+        self.partial = partial
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_queries / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "n_shards": self.n_shards,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_second": self.queries_per_second,
+            "identical": self.identical,
+            "partial": self.partial,
+        }
+
+
+def measure_sharded(
+    workload: Workload,
+    scanner_factory: Callable[[], PartitionScanner],
+    *,
+    n_queries: int = 64,
+    topk: int = 100,
+    nprobe: int = 4,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    n_workers: int = 1,
+    repeats: int = 3,
+) -> list[ShardedRun]:
+    """Time the unsharded engine, then scatter-gather per shard count.
+
+    Returns the baseline first, then one run per shard count, each the
+    best (minimum wall time) of ``repeats`` repetitions after an untimed
+    verification pass that also warms the scanner caches.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("n_queries must be >= 1")
+    queries = workload.queries[:n_queries]
+    if len(queries) < n_queries:
+        raise ConfigurationError(
+            f"workload has only {len(queries)} queries, need {n_queries}"
+        )
+
+    def time_best(fn: Callable[[], object]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    searcher = ANNSearcher(workload.index, scanner=scanner_factory())
+    baseline = searcher.search(
+        queries, topk=topk, nprobe=nprobe, n_workers=n_workers
+    )
+    runs = [
+        ShardedRun(
+            "unsharded",
+            0,
+            time_best(
+                lambda: searcher.search(
+                    queries, topk=topk, nprobe=nprobe, n_workers=n_workers
+                )
+            ),
+            n_queries,
+            True,
+        )
+    ]
+    for n_shards in shard_counts:
+        if n_shards > workload.index.n_partitions:
+            continue
+        sharded = ShardedIndex.from_index(workload.index, n_shards=n_shards)
+        executor = ScatterGatherExecutor(
+            sharded, scanner_factory, n_workers=n_workers
+        )
+        response = executor.run(queries, topk=topk, nprobe=nprobe)
+        identical = not response.partial and _results_equal(
+            baseline, response.results
+        )
+        runs.append(
+            ShardedRun(
+                f"sharded s={n_shards}",
+                n_shards,
+                time_best(
+                    lambda: executor.run(queries, topk=topk, nprobe=nprobe)
+                ),
+                n_queries,
+                identical,
+                partial=response.partial,
+            )
+        )
+    return runs
+
+
+def run_benchmark(
+    *,
+    scale: int = 4000,
+    n_queries: int = 128,
+    topk: int = 100,
+    nprobe: int = 4,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    n_workers: int = 1,
+    repeats: int = 3,
+    scanner_name: str = "naive",
+    seed: int = 11,
+) -> dict:
+    """Build the workload, sweep shard counts, return the report payload."""
+    workload = build_workload(
+        "sift100m", scale=scale, n_queries=max(n_queries, 64), seed=seed
+    )
+    if scanner_name == "naive":
+        scanner_factory: Callable[[], PartitionScanner] = NaiveScanner
+    elif scanner_name == "fastpq":
+        def scanner_factory() -> PartitionScanner:
+            return PQFastScanner(workload.pq, keep=0.005, seed=0)
+    else:
+        raise ConfigurationError(f"unknown scanner {scanner_name!r}")
+
+    runs = measure_sharded(
+        workload,
+        scanner_factory,
+        n_queries=n_queries,
+        topk=topk,
+        nprobe=nprobe,
+        shard_counts=shard_counts,
+        n_workers=n_workers,
+        repeats=repeats,
+    )
+    baseline = runs[0]
+    sharded_runs = runs[1:]
+    best = max(sharded_runs, key=lambda r: r.queries_per_second)
+    overhead = (
+        baseline.queries_per_second / best.queries_per_second
+        if best.queries_per_second > 0
+        else float("inf")
+    )
+    return {
+        "workload": workload.describe(),
+        "scale": scale,
+        "scanner": scanner_name,
+        "n_queries": n_queries,
+        "topk": topk,
+        "nprobe": nprobe,
+        "n_workers": n_workers,
+        "repeats": repeats,
+        "runs": [r.as_dict() for r in runs],
+        "baseline_qps": baseline.queries_per_second,
+        "best_sharded_qps": best.queries_per_second,
+        "best_shards": best.n_shards,
+        "scatter_gather_overhead": overhead,
+        "all_identical": all(r.identical for r in runs),
+    }
+
+
+def render_report(data: dict) -> str:
+    """Format the shard sweep as the standard fixed-width table."""
+    rows = []
+    baseline_qps = data["baseline_qps"]
+    for run in data["runs"]:
+        rows.append(
+            [
+                run["label"],
+                run["wall_time_s"] * 1000,
+                run["queries_per_second"],
+                run["queries_per_second"] / baseline_qps if baseline_qps else 0.0,
+                "yes" if run["identical"] else "NO",
+            ]
+        )
+    return format_table(
+        ["configuration", "batch wall [ms]", "queries/s", "vs unsharded",
+         "byte-identical"],
+        rows,
+        title=(
+            f"Scatter-gather engine — {data['workload']}, "
+            f"nprobe={data['nprobe']}, topk={data['topk']}, "
+            f"scanner={data['scanner']}, workers/shard={data['n_workers']}"
+        ),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded scatter-gather engine benchmark"
+    )
+    parser.add_argument("--scale", type=int, default=4000,
+                        help="divisor on the paper's SIFT100M size")
+    parser.add_argument("--n-queries", type=int, default=128)
+    parser.add_argument("--topk", type=int, default=100)
+    parser.add_argument("--nprobe", type=int, default=4)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads per shard")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scanner", choices=["naive", "fastpq"],
+                        default="naive")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_sharded.json"),
+                        help="summary JSON path (repo-root convention)")
+    args = parser.parse_args(argv)
+
+    data = run_benchmark(
+        scale=args.scale,
+        n_queries=args.n_queries,
+        topk=args.topk,
+        nprobe=args.nprobe,
+        shard_counts=tuple(args.shards),
+        n_workers=args.workers,
+        repeats=args.repeats,
+        scanner_name=args.scanner,
+        seed=args.seed,
+    )
+    table = render_report(data)
+    save_report("sharded", table, data)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"[summary written to {args.output}]")
+
+    if not data["all_identical"]:
+        print("FAIL: sharded results diverged from the unsharded baseline")
+        return 1
+    print(
+        f"scatter-gather overhead {data['scatter_gather_overhead']:.2f}x "
+        f"(best at {data['best_shards']} shards)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -139,14 +139,16 @@ def measure_throughput(
         return best
 
     # Pilot (untimed): warm scanner caches and page in the workload.
-    baseline = searcher.search_batch_sequential(queries, topk=topk, nprobe=nprobe)
+    baseline = searcher.search(
+        queries, topk=topk, nprobe=nprobe, executor="sequential"
+    )
     runs = [
         ThroughputRun(
             "sequential",
             0,
             time_best(
-                lambda: searcher.search_batch_sequential(
-                    queries, topk=topk, nprobe=nprobe
+                lambda: searcher.search(
+                    queries, topk=topk, nprobe=nprobe, executor="sequential"
                 )
             ),
             n_queries,

@@ -104,6 +104,7 @@ class PQFastScanner(PartitionScanner):
     def __init__(
         self,
         pq: ProductQuantizer,
+        /,
         *,
         keep: float = 0.005,
         group_components: int | None = None,

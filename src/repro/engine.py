@@ -1,0 +1,428 @@
+"""repro.Engine — the one-stop facade over the query pipeline.
+
+Everything the library can do — train a product quantizer, build an
+IVFADC index, shard it, scan with any Step-3 scanner, persist and
+reload — is reachable through three calls::
+
+    from repro import Engine, EngineConfig
+
+    engine = Engine.build(vectors, EngineConfig(n_partitions=64, n_shards=4))
+    results = engine.search(queries, k=10)
+    engine.save("catalog.d")
+    engine = Engine.load("catalog.d")
+
+:class:`EngineConfig` is a frozen dataclass: one immutable value object
+holds every build-time and query-time knob, validated on construction,
+so a configuration is hashable, comparable and printable — and cannot
+drift between the build and the queries it serves.
+
+The facade adds no new algorithmic behavior: it wires the existing
+:class:`~repro.search.ANNSearcher` (unsharded) and
+:class:`~repro.shard.ScatterGatherExecutor` (sharded) together, and the
+byte-identity contract of those layers carries through — the same
+config answers identically whether ``n_shards`` is 1 or 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from .core import PQFastScanner, QuantizationOnlyScanner
+from .exceptions import ConfigurationError
+from .ivf.inverted_index import IVFADCIndex
+from .obs import Observability
+from .persistence import (
+    load_index,
+    load_sharded_index,
+    save_index,
+    save_sharded_index,
+)
+from .pq.product_quantizer import ProductQuantizer
+from .scan import SCANNERS, PartitionScanner
+from .search import ANNSearcher, SearchResult
+from .shard import ScatterGatherExecutor, ShardedIndex, ShardedResponse
+
+__all__ = ["Engine", "EngineConfig", "SCANNER_KINDS"]
+
+#: Scanner kinds accepted by :attr:`EngineConfig.scanner`.
+SCANNER_KINDS = ("naive", "libpq", "avx", "gather", "fastpq", "qonly")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable configuration of an :class:`Engine`.
+
+    Build-time fields (``m`` … ``seed``) shape the index; query-time
+    fields (``scanner`` … ``backoff_s``) shape how batches execute. All
+    fields are keyword-friendly with production-ready defaults.
+
+    Attributes:
+        m: PQ sub-quantizer count (the paper targets PQ 8×8).
+        bits: bits per sub-quantizer index (8 for byte codes).
+        n_partitions: coarse Voronoi cells of the IVFADC index.
+        n_shards: shards the index is split across (1 = unsharded).
+        shard_layout: ``"modulo"`` or ``"contiguous"`` partition
+            placement (see :meth:`~repro.shard.ShardedIndex.from_index`).
+        encode_residuals: IVFADC residual encoding (paper default True).
+        max_iter: k-means iterations for PQ training.
+        coarse_max_iter: k-means iterations for the coarse quantizer.
+        seed: RNG seed for PQ and coarse training.
+        keep_vectors: retain the raw vectors inside the engine to enable
+            exact re-ranking (``rerank=`` in :meth:`Engine.search`).
+        scanner: Step-3 scanner kind, one of :data:`SCANNER_KINDS`.
+        keep: PQ Fast Scan's keep fraction (ignored by baselines).
+        nprobe: default partitions probed per query.
+        n_workers: worker threads (per shard, when sharded).
+        deadline_s: per-shard gather deadline (None = wait forever).
+        max_retries: transient-failure retries per shard per batch.
+        backoff_s: initial retry backoff, doubled per attempt.
+    """
+
+    m: int = 8
+    bits: int = 8
+    n_partitions: int = 8
+    n_shards: int = 1
+    shard_layout: str = "modulo"
+    encode_residuals: bool = True
+    max_iter: int = 20
+    coarse_max_iter: int = 20
+    seed: int = 0
+    keep_vectors: bool = False
+    scanner: str = "fastpq"
+    keep: float = 0.005
+    nprobe: int = 1
+    n_workers: int = 1
+    deadline_s: float | None = None
+    max_retries: int = 1
+    backoff_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {self.m}")
+        if self.bits < 1 or self.bits > 16:
+            raise ConfigurationError(f"bits must be in [1, 16], got {self.bits}")
+        if self.n_partitions < 1:
+            raise ConfigurationError(
+                f"n_partitions must be >= 1, got {self.n_partitions}"
+            )
+        if not 1 <= self.n_shards <= self.n_partitions:
+            raise ConfigurationError(
+                f"n_shards must be in [1, n_partitions={self.n_partitions}], "
+                f"got {self.n_shards}"
+            )
+        if self.shard_layout not in ("modulo", "contiguous"):
+            raise ConfigurationError(
+                f"unknown shard_layout {self.shard_layout!r}"
+            )
+        if self.scanner not in SCANNER_KINDS:
+            raise ConfigurationError(
+                f"unknown scanner {self.scanner!r}; choose from {SCANNER_KINDS}"
+            )
+        if not 0.0 <= self.keep <= 1.0:
+            raise ConfigurationError(f"keep must be in [0, 1], got {self.keep}")
+        if not 1 <= self.nprobe <= self.n_partitions:
+            raise ConfigurationError(
+                f"nprobe must be in [1, n_partitions={self.n_partitions}], "
+                f"got {self.nprobe}"
+            )
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive (or None), got {self.deadline_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+
+    def scanner_factory(
+        self, pq: ProductQuantizer
+    ) -> Callable[[], PartitionScanner]:
+        """A zero-argument factory building fresh scanner instances.
+
+        Fresh instances matter for sharded execution: scanner caches are
+        per-instance and not locked for cross-thread writes, so each
+        shard needs its own scanner.
+        """
+        if self.scanner == "fastpq":
+            return lambda: PQFastScanner(pq, keep=self.keep)
+        if self.scanner == "qonly":
+            return lambda: QuantizationOnlyScanner(pq, keep=self.keep)
+        cls = SCANNERS[self.scanner]
+        return lambda: cls()
+
+
+class Engine:
+    """Facade bundling build, sharding, search and persistence.
+
+    Construct through :meth:`build` or :meth:`load`; the raw constructor
+    is for advanced wiring (pre-built index / sharded layout).
+
+    Args:
+        index: the populated global :class:`IVFADCIndex` view.
+        config: the engine's :class:`EngineConfig`.
+        sharded: the sharded layout when ``config.n_shards > 1``.
+        vectors: raw database vectors for exact re-ranking (optional).
+    """
+
+    def __init__(
+        self,
+        index: IVFADCIndex,
+        config: EngineConfig,
+        *,
+        sharded: ShardedIndex | None = None,
+        vectors: np.ndarray | None = None,
+        observability: Observability | None = None,
+    ):
+        if (sharded is None) != (config.n_shards == 1):
+            raise ConfigurationError(
+                "sharded layout must be provided exactly when "
+                f"config.n_shards > 1 (n_shards={config.n_shards})"
+            )
+        self.index = index
+        self.config = config
+        self.sharded = sharded
+        self.vectors = None if vectors is None else np.asarray(vectors, float)
+        self.observability = observability
+        factory = config.scanner_factory(index.pq)
+        self._searcher = ANNSearcher(index, factory(), vectors=self.vectors)
+        self._scatter: ScatterGatherExecutor | None = None
+        if sharded is not None:
+            self._scatter = ScatterGatherExecutor(
+                sharded,
+                factory,
+                n_workers=config.n_workers,
+                deadline_s=config.deadline_s,
+                max_retries=config.max_retries,
+                backoff_s=config.backoff_s,
+                observability=observability,
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        config: EngineConfig | None = None,
+        *,
+        ids: np.ndarray | None = None,
+        observability: Observability | None = None,
+    ) -> "Engine":
+        """Train, encode and index ``vectors`` under ``config``.
+
+        The product quantizer and the coarse quantizer are trained on
+        ``vectors`` themselves (the paper's experimental setup); pass
+        ``ids`` to control the database ids returned by searches.
+        """
+        config = config if config is not None else EngineConfig()
+        vectors = np.asarray(vectors, dtype=np.float64)
+        pq = ProductQuantizer(
+            m=config.m,
+            bits=config.bits,
+            max_iter=config.max_iter,
+            seed=config.seed,
+        ).fit(vectors)
+        index = IVFADCIndex(
+            pq,
+            n_partitions=config.n_partitions,
+            encode_residuals=config.encode_residuals,
+            coarse_max_iter=config.coarse_max_iter,
+            seed=config.seed,
+        ).add(vectors, ids=ids)
+        sharded = None
+        if config.n_shards > 1:
+            sharded = ShardedIndex.from_index(
+                index, n_shards=config.n_shards, layout=config.shard_layout
+            )
+        return cls(
+            index,
+            config,
+            sharded=sharded,
+            vectors=vectors if config.keep_vectors else None,
+            observability=observability,
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        config: EngineConfig | None = None,
+        *,
+        observability: Observability | None = None,
+    ) -> "Engine":
+        """Load an engine from a :meth:`save` artifact.
+
+        A directory loads as a sharded layout, a file as an unsharded
+        index. ``config`` supplies the query-time settings; its
+        build-time fields (and ``n_shards`` for sharded artifacts) are
+        overridden by what the artifact actually contains. Loading an
+        *unsharded* file with ``config.n_shards > 1`` re-shards the
+        index in memory (cheap: partitions are shared, not copied).
+        """
+        config = config if config is not None else EngineConfig()
+        path = Path(path)
+        if path.is_dir():
+            sharded = load_sharded_index(path)
+            index = _global_view(sharded)
+            config = replace(
+                config,
+                m=index.pq.m,
+                bits=index.pq.bits,
+                n_partitions=sharded.n_partitions,
+                n_shards=sharded.n_shards,
+                encode_residuals=sharded.encode_residuals,
+                nprobe=min(config.nprobe, sharded.n_partitions),
+            )
+            return cls(
+                index, config, sharded=sharded, observability=observability
+            )
+        index = load_index(path)
+        config = replace(
+            config,
+            m=index.pq.m,
+            bits=index.pq.bits,
+            n_partitions=index.n_partitions,
+            n_shards=min(config.n_shards, index.n_partitions),
+            encode_residuals=index.encode_residuals,
+            nprobe=min(config.nprobe, index.n_partitions),
+        )
+        sharded = None
+        if config.n_shards > 1:
+            sharded = ShardedIndex.from_index(
+                index, n_shards=config.n_shards, layout=config.shard_layout
+            )
+        return cls(index, config, sharded=sharded, observability=observability)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the engine's index: a directory when sharded, a file
+        otherwise (both atomic — see :mod:`repro.persistence`)."""
+        if self.sharded is not None:
+            save_sharded_index(self.sharded, path)
+        else:
+            save_index(self.index, path)
+
+    # -- queries ------------------------------------------------------------
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+        rerank: int = 0,
+    ) -> SearchResult | list[SearchResult]:
+        """Top-``k`` nearest neighbors for one query (1-D) or a batch (2-D).
+
+        Sharded engines scatter the batch and raise if any shard
+        degraded — use :meth:`search_detailed` when partial results are
+        acceptable. ``rerank`` (exact re-ranking of an ADC short-list)
+        requires ``keep_vectors=True`` at build time and an unsharded
+        engine.
+        """
+        nprobe = nprobe if nprobe is not None else self.config.nprobe
+        queries = np.asarray(queries, dtype=np.float64)
+        if self._scatter is None or queries.ndim == 1:
+            return self._searcher.search(
+                queries,
+                topk=k,
+                nprobe=nprobe,
+                rerank=rerank,
+                n_workers=self.config.n_workers,
+            )
+        if rerank:
+            raise ConfigurationError(
+                "rerank is not supported on the sharded batch path; "
+                "use an unsharded engine (n_shards=1) for re-ranking"
+            )
+        response = self._scatter.run(queries, topk=k, nprobe=nprobe)
+        if response.partial:
+            degraded = [s.as_dict() for s in response.shard_statuses if not s.ok]
+            raise ConfigurationError(
+                f"sharded search degraded: {degraded}; call "
+                "search_detailed() to accept partial results"
+            )
+        return response.results
+
+    def search_detailed(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+    ) -> ShardedResponse:
+        """Batch search returning the full :class:`ShardedResponse`.
+
+        This is the graceful-degradation entry point: shard timeouts and
+        failures yield ``partial=True`` plus per-shard statuses instead
+        of an exception. Unsharded engines answer through an implicit
+        single-shard layout (still byte-identical).
+        """
+        nprobe = nprobe if nprobe is not None else self.config.nprobe
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if self._scatter is None:
+            # Lazily wrap the unsharded index as one healthy shard so
+            # callers get a uniform response type.
+            single = ShardedIndex.from_index(self.index, n_shards=1)
+            self._scatter = ScatterGatherExecutor(
+                single,
+                self.config.scanner_factory(self.index.pq),
+                n_workers=self.config.n_workers,
+                deadline_s=self.config.deadline_s,
+                max_retries=self.config.max_retries,
+                backoff_s=self.config.backoff_s,
+                observability=self.observability,
+            )
+        return self._scatter.run(queries, topk=k, nprobe=nprobe)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    def __len__(self) -> int:
+        """Vectors indexed by the engine."""
+        return len(self.index)
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(n={len(self)}, m={self.config.m}, bits={self.config.bits}, "
+            f"n_partitions={self.config.n_partitions}, "
+            f"n_shards={self.config.n_shards}, "
+            f"scanner={self.config.scanner!r})"
+        )
+
+
+def _global_view(sharded: ShardedIndex) -> IVFADCIndex:
+    """A single :class:`IVFADCIndex` over a sharded layout's partitions.
+
+    Shares the quantizer, coarse codebook and partition objects — no
+    copies — so unsharded (single-query, rerank) code paths work on
+    engines loaded from sharded artifacts.
+    """
+    reference = sharded.shards[0].index
+    index = IVFADCIndex(
+        reference.pq,
+        n_partitions=sharded.n_partitions,
+        encode_residuals=sharded.encode_residuals,
+        coarse_max_iter=reference.coarse_max_iter,
+        seed=reference.seed,
+    )
+    index._coarse = reference.coarse
+    index._partitions = sharded.partitions
+    index._n_total = len(sharded)
+    return index

@@ -22,7 +22,7 @@ one attribute check when off::
     from repro.obs import observability_session
 
     with observability_session() as obs:          # enabled, fresh registry
-        searcher.search_batch(queries, topk=100, nprobe=4, n_workers=4)
+        searcher.search(queries, topk=100, nprobe=4, n_workers=4)
         print(obs.export_prometheus())
 
 Key exported series (all prefixed ``repro_``):
@@ -40,6 +40,12 @@ metric                                          kind       labels
 ``repro_batch_wall_seconds``                    histogram  —
 ``repro_worker_scan_speed_vps``                 gauge      ``worker``
 ``repro_worker_busy_seconds``                   gauge      ``worker``
+``repro_shard_latency_seconds``                 histogram  ``shard``
+``repro_shard_timeouts_total``                  counter    ``shard``
+``repro_shard_failures_total``                  counter    ``shard``
+``repro_shard_retries_total``                   counter    ``shard``
+``repro_gathers_total`` / ``repro_partial_results_total``  counter —
+``repro_partial_result_rate``                   gauge      —
 ==============================================  =========  ==================
 """
 
@@ -172,6 +178,38 @@ class Observability:
             help="Busy time per worker over the last batch.",
             labelnames=("worker",),
         )
+        self._shard_latency = m.histogram(
+            "repro_shard_latency_seconds",
+            help="Per-shard wall time within one scatter-gather batch.",
+            labelnames=("shard",),
+        )
+        self._shard_timeouts = m.counter(
+            "repro_shard_timeouts_total",
+            help="Shards abandoned at the gather deadline.",
+            labelnames=("shard",),
+        )
+        self._shard_failures = m.counter(
+            "repro_shard_failures_total",
+            help="Shards that exhausted their retry budget.",
+            labelnames=("shard",),
+        )
+        self._shard_retries = m.counter(
+            "repro_shard_retries_total",
+            help="Transient shard failures that were retried.",
+            labelnames=("shard",),
+        )
+        self._gathers = m.counter(
+            "repro_gathers_total",
+            help="Scatter-gather batches completed (partial or not).",
+        )
+        self._partials = m.counter(
+            "repro_partial_results_total",
+            help="Scatter-gather batches that returned partial results.",
+        )
+        self._partial_rate = m.gauge(
+            "repro_partial_result_rate",
+            help="Lifetime partial/total gather ratio (degradation rate).",
+        )
 
     # -- instrumentation points ---------------------------------------------
 
@@ -222,6 +260,33 @@ class Observability:
             worker = str(stats.worker_id)
             self._worker_speed.set(stats.scan_speed_vps, worker=worker)
             self._worker_busy.set(stats.busy_time_s, worker=worker)
+
+    def record_shard(self, shard: str, latency_s: float, state: str) -> None:
+        """Account one shard's outcome in a scatter-gather batch."""
+        if not self.enabled:
+            return
+        self._shard_latency.observe(latency_s, shard=shard)
+        if state == "timeout":
+            self._shard_timeouts.inc(1.0, shard=shard)
+        elif state == "failed":
+            self._shard_failures.inc(1.0, shard=shard)
+
+    def record_shard_retry(self, shard: str) -> None:
+        """Account one transient shard failure that is being retried."""
+        if not self.enabled:
+            return
+        self._shard_retries.inc(1.0, shard=shard)
+
+    def record_gather(self, partial: bool) -> None:
+        """Account one finished gather and refresh the degradation rate."""
+        if not self.enabled:
+            return
+        self._gathers.inc(1.0)
+        if partial:
+            self._partials.inc(1.0)
+        total = self._gathers.value()
+        if total > 0:
+            self._partial_rate.set(self._partials.value() / total)
 
     # -- export conveniences ------------------------------------------------
 
@@ -275,7 +340,7 @@ def observability_session(
     and to use in tests and benchmarks::
 
         with observability_session() as obs:
-            searcher.search_batch(queries)
+            searcher.search(queries)
         text = obs.export_prometheus()   # readable after exit too
     """
     obs = Observability(enabled=enabled, registry=registry, max_spans=max_spans)

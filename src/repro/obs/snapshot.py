@@ -74,13 +74,14 @@ def run_snapshot(
     queries = workload.queries[:n_queries]
     with observability_session() as obs:
         searcher = ANNSearcher(workload.index, scanner=scanner)
-        results = searcher.search_batch(
+        results = searcher.search(
             queries, topk=topk, nprobe=nprobe, n_workers=n_workers
         )
+    batch = results if isinstance(results, list) else [results]
     summary: dict[str, object] = {
         "workload": workload.describe(),
         "scanner": scanner_name,
-        "n_queries": len(results),
+        "n_queries": len(batch),
         "topk": topk,
         "nprobe": nprobe,
         "n_workers": n_workers,

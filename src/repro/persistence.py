@@ -32,16 +32,27 @@ import tempfile
 import zipfile
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .exceptions import DatasetError
+from .exceptions import ConfigurationError, DatasetError
 from .ivf.inverted_index import IVFADCIndex
 from .ivf.partition import Partition
 from .pq.product_quantizer import ProductQuantizer
 from .pq.quantizer import VectorQuantizer
 
-__all__ = ["save_quantizer", "load_quantizer", "save_index", "load_index"]
+if TYPE_CHECKING:  # import cycle: repro.shard imports repro.search
+    from .shard.sharded_index import ShardedIndex
+
+__all__ = [
+    "save_quantizer",
+    "load_quantizer",
+    "save_index",
+    "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+]
 
 _MAGIC = "repro-pq"
 _VERSION = 1
@@ -115,7 +126,97 @@ def load_index(path: str | Path) -> IVFADCIndex:
     return index
 
 
+def save_sharded_index(sharded: "ShardedIndex", path: str | Path) -> None:
+    """Persist a :class:`~repro.shard.ShardedIndex` to directory ``path``.
+
+    Layout: one self-contained ``shard_NNNN.npz`` per shard (each a full
+    :func:`save_index` artifact, so a single shard file can be shipped to
+    and loaded on its serving host alone) plus a ``manifest.npz`` naming
+    the shard count and each shard's owned partitions.
+
+    Crash-safety follows the same contract as :func:`save_index`: every
+    file is written atomically, and the manifest is written *last* — a
+    crash mid-save leaves either a previous complete layout (old
+    manifest, old shard files still present) or no manifest at all,
+    never a manifest pointing at missing shard files.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    for shard in sharded.shards:
+        save_index(shard.index, directory / _shard_filename(shard.shard_id))
+    manifest: dict[str, np.ndarray] = {
+        "magic": np.array([_MAGIC]),
+        "version": np.array([_VERSION]),
+        "kind": np.array(["sharded-index"]),
+        "n_shards": np.array([sharded.n_shards]),
+        "n_partitions": np.array([sharded.n_partitions]),
+    }
+    for shard in sharded.shards:
+        manifest[f"owned_{shard.shard_id}"] = np.array(
+            shard.partition_ids, dtype=np.int64
+        )
+    _atomic_savez(directory / "manifest.npz", manifest)
+
+
+def load_sharded_index(path: str | Path) -> "ShardedIndex":
+    """Load a :class:`~repro.shard.ShardedIndex` saved by :func:`save_sharded_index`.
+
+    Every shard file is validated by :func:`load_index`; the cross-shard
+    invariants (shared quantizer and coarse codebooks, exactly-once
+    partition ownership) are re-checked eagerly by the
+    :class:`~repro.shard.ShardedIndex` constructor, and any violation —
+    e.g. shard files from different builds mixed in one directory —
+    surfaces as a :class:`~repro.exceptions.DatasetError` here, not as a
+    wrong answer at query time.
+    """
+    from .shard.sharded_index import IndexShard, ShardedIndex
+
+    directory = Path(path)
+    if not directory.exists():
+        raise DatasetError(f"{directory}: no such directory")
+    if not directory.is_dir():
+        raise DatasetError(
+            f"{directory}: not a directory (sharded indexes are saved as "
+            "a directory of shard files plus a manifest)"
+        )
+    manifest = _load_checked(directory / "manifest.npz", expected_kind="sharded-index")
+    n_shards = int(_require(manifest, "n_shards", directory)[0])
+    n_partitions = int(_require(manifest, "n_partitions", directory)[0])
+    if n_shards < 1:
+        raise DatasetError(f"{directory}: manifest has n_shards={n_shards}")
+    shards = []
+    for shard_id in range(n_shards):
+        shard_path = directory / _shard_filename(shard_id)
+        index = load_index(shard_path)
+        if index.n_partitions != n_partitions:
+            raise DatasetError(
+                f"{shard_path}: has {index.n_partitions} partitions, "
+                f"manifest says {n_partitions}"
+            )
+        owned = _require(manifest, f"owned_{shard_id}", directory)
+        if owned.ndim != 1 or not np.issubdtype(owned.dtype, np.integer):
+            raise DatasetError(
+                f"{directory}: manifest field owned_{shard_id} must be a "
+                "1-D integer array"
+            )
+        shards.append(
+            IndexShard(
+                shard_id=shard_id,
+                index=index,
+                partition_ids=tuple(int(pid) for pid in owned),
+            )
+        )
+    try:
+        return ShardedIndex(shards)
+    except ConfigurationError as exc:
+        raise DatasetError(f"{directory}: inconsistent shard set ({exc})") from exc
+
+
 # -- internals -----------------------------------------------------------------
+
+
+def _shard_filename(shard_id: int) -> str:
+    return f"shard_{shard_id:04d}.npz"
 
 
 def _atomic_savez(path: Path, payload: dict[str, np.ndarray]) -> None:

@@ -23,13 +23,14 @@ thread pool. Section 5.8 of the paper shows concurrent PQ Fast Scan
 queries become memory-bandwidth-bound around 8 cores; this engine is
 the layer that actually produces that concurrent-query traffic. The
 merge is deterministic, so batched results are byte-identical to the
-sequential per-query loop (kept as
-:meth:`ANNSearcher.search_batch_sequential` for baselines and tests).
+sequential per-query loop (kept as ``executor="sequential"`` on
+:meth:`ANNSearcher.search` for baselines and tests).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -52,6 +53,7 @@ __all__ = [
     "BatchReport",
     "PartitionJob",
     "SearchResult",
+    "merge_partials",
 ]
 
 
@@ -181,6 +183,59 @@ class BatchPlanner:
 # -- batch execution -----------------------------------------------------------
 
 
+def merge_partials(
+    plan: BatchPlan,
+    partials: list[list[ScanResult | None]],
+    *,
+    require_complete: bool = True,
+) -> list[SearchResult]:
+    """Deterministic per-query merge of partition-scan partials.
+
+    ``partials[row][position]`` holds the :class:`ScanResult` of query
+    ``row`` against its ``position``-th probed partition (or ``None`` if
+    that scan never ran). The merge concatenates the available scans in
+    probe order and selects the topk with the global (distance, id)
+    ordering — exactly what a single scan over the union of the probed
+    partitions would return, and therefore byte-identical regardless of
+    how the scans were scheduled (sequentially, across a worker pool, or
+    across shards).
+
+    With ``require_complete`` (the executor default) a missing scan is a
+    scheduling bug and raises :class:`SimulationError`. The sharded
+    scatter-gather path passes ``require_complete=False`` to degrade
+    gracefully: a failed shard's scans are simply absent from the merge
+    and the response is flagged partial instead.
+    """
+    out = []
+    for row in range(plan.n_queries):
+        scans = partials[row]
+        if require_complete and any(scan is None for scan in scans):
+            raise SimulationError(
+                f"batch plan left query {row} with unscanned probes"
+            )
+        all_ids = [scan.ids for scan in scans if scan is not None]
+        all_dists = [scan.distances for scan in scans if scan is not None]
+        ids = (
+            np.concatenate(all_ids) if all_ids else np.empty(0, dtype=np.int64)
+        )
+        dists = (
+            np.concatenate(all_dists)
+            if all_dists
+            else np.empty(0, dtype=np.float64)
+        )
+        merged_ids, merged_dists = select_topk(dists, ids, plan.topk)
+        out.append(
+            SearchResult(
+                ids=merged_ids,
+                distances=merged_dists,
+                n_scanned=sum(s.n_scanned for s in scans if s is not None),
+                n_pruned=sum(s.n_pruned for s in scans if s is not None),
+                probed=tuple(int(p) for p in plan.probed[row]),
+            )
+        )
+    return out
+
+
 @dataclass
 class BatchReport:
     """Execution statistics of one batched run.
@@ -263,22 +318,44 @@ class BatchExecutor:
     to an attribute check per stage.
 
     Args:
-        index: the routed index.
-        scanner: Step-3 scanner shared by all workers.
+        index: the routed index (positional-only).
+        scanner: Step-3 scanner shared by all workers (positional-only).
         n_workers: worker threads (1 = run inline on the caller).
         observability: explicit observability handle; default is the
             process-wide :func:`repro.obs.get_observability` instance,
             resolved at each run.
+
+    The two pipeline objects are positional-only and every configuration
+    argument is keyword-only, so call sites cannot transpose them
+    silently.
     """
 
     def __init__(
         self,
         index: IVFADCIndex,
         scanner: PartitionScanner,
-        *,
+        /,
+        *legacy_args: int,
         n_workers: int = 1,
         observability: Observability | None = None,
     ):
+        if legacy_args:
+            # Shim for the pre-1.1 call shape BatchExecutor(index,
+            # scanner, 4): worker counts passed positionally are easy to
+            # confuse with other integers, so they are keyword-only now.
+            if len(legacy_args) > 1:
+                raise ConfigurationError(
+                    "BatchExecutor takes at most one positional argument "
+                    "besides index and scanner (the deprecated n_workers); "
+                    "pass configuration as keywords"
+                )
+            warnings.warn(
+                "passing n_workers positionally is deprecated; use "
+                "BatchExecutor(index, scanner, n_workers=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            n_workers = int(legacy_args[0])
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.index = index
@@ -306,7 +383,9 @@ class BatchExecutor:
         start = time.perf_counter()
         with obs.span("route"):
             plan = self.planner.plan(queries, topk=topk, nprobe=nprobe)
-        results, worker_stats = self._execute(plan, obs)
+        partials, worker_stats = self.scan_plan(plan, obs=obs)
+        with obs.span("merge"):
+            results = merge_partials(plan, partials)
         report = BatchReport(
             n_queries=plan.n_queries,
             nprobe=plan.nprobe,
@@ -319,11 +398,24 @@ class BatchExecutor:
         obs.record_batch(report.n_queries, report.wall_time_s, report.worker_stats)
         return results, report
 
-    # -- internals ----------------------------------------------------------
+    def scan_plan(
+        self, plan: BatchPlan, *, obs: Observability | None = None
+    ) -> tuple[list[list[ScanResult | None]], list[WorkerStats]]:
+        """Execute ``plan.jobs`` and return the raw per-probe partials.
 
-    def _execute(
-        self, plan: BatchPlan, obs: Observability
-    ) -> tuple[list[SearchResult], list[WorkerStats]]:
+        This is the scan half of :meth:`run_with_report`, exposed so the
+        sharded scatter-gather layer can execute a shard-local job
+        subset against a *global* plan: the returned grid is always
+        ``(n_queries, nprobe)`` with ``None`` at probe positions no job
+        of this plan covered. Callers merge grids (or a single complete
+        grid) with :func:`merge_partials`.
+        """
+        if obs is None:
+            obs = (
+                self.observability
+                if self.observability is not None
+                else get_observability()
+            )
         # Warm shared scanner state from the coordinating thread so
         # workers only read it (PQFastScanner.prepared cache and lazy
         # assignment are not guarded by locks).
@@ -369,9 +461,9 @@ class BatchExecutor:
                 for future in slots:
                     future.result()
 
-        with obs.span("merge"):
-            merged = self._merge(plan, partials)
-        return merged, worker_stats
+        return partials, worker_stats
+
+    # -- internals ----------------------------------------------------------
 
     def _scan_partition(
         self, tables: np.ndarray, partition, topk: int
@@ -388,39 +480,6 @@ class BatchExecutor:
         if callable(scan_batch):
             return list(scan_batch(tables, partition, topk))
         return [scanner.scan(tables[i], partition, topk=topk) for i in range(len(tables))]
-
-    def _merge(
-        self, plan: BatchPlan, partials: list[list[ScanResult | None]]
-    ) -> list[SearchResult]:
-        """Deterministic merge, identical to the sequential per-query loop."""
-        out = []
-        for row in range(plan.n_queries):
-            scans = partials[row]
-            if any(scan is None for scan in scans):
-                raise SimulationError(
-                    f"batch plan left query {row} with unscanned probes"
-                )
-            all_ids = [scan.ids for scan in scans if scan is not None]
-            all_dists = [scan.distances for scan in scans if scan is not None]
-            ids = (
-                np.concatenate(all_ids) if all_ids else np.empty(0, dtype=np.int64)
-            )
-            dists = (
-                np.concatenate(all_dists)
-                if all_dists
-                else np.empty(0, dtype=np.float64)
-            )
-            merged_ids, merged_dists = select_topk(dists, ids, plan.topk)
-            out.append(
-                SearchResult(
-                    ids=merged_ids,
-                    distances=merged_dists,
-                    n_scanned=sum(s.n_scanned for s in scans if s is not None),
-                    n_pruned=sum(s.n_pruned for s in scans if s is not None),
-                    probed=tuple(int(p) for p in plan.probed[row]),
-                )
-            )
-        return out
 
 
 # -- the one-call search API ---------------------------------------------------
@@ -452,25 +511,70 @@ class ANNSearcher:
         self.scanner = scanner if scanner is not None else NaiveScanner()
         self.vectors = None if vectors is None else np.asarray(vectors, float)
 
+    #: Executor kinds accepted by :meth:`search` for multi-query input.
+    EXECUTORS = ("batch", "sequential")
+
     def search(
         self,
-        query: np.ndarray,
+        queries: np.ndarray,
         topk: int = 10,
         nprobe: int = 1,
         rerank: int = 0,
-    ) -> SearchResult:
-        """Search the ``nprobe`` most relevant partitions for ``query``.
+        *,
+        executor: str = "batch",
+        n_workers: int = 1,
+    ) -> SearchResult | list[SearchResult]:
+        """Search the ``nprobe`` most relevant partitions per query.
+
+        The one entry point for both shapes of input:
+
+        * a 1-D query returns a single :class:`SearchResult`;
+        * a ``(b, d)`` batch returns one :class:`SearchResult` per row,
+          executed by the partition-major batch engine
+          (``executor="batch"``, the default, with ``n_workers``
+          threads) or by the per-query reference loop
+          (``executor="sequential"`` — the baseline benchmarks and the
+          equivalence tests compare against).
+
+        Results are byte-identical across executors and worker counts.
 
         ``rerank > 0`` retrieves a shortlist of that many ADC candidates,
         recomputes their exact distances against the stored original
         vectors and returns the best ``topk`` of those — requires the
         searcher to have been built with ``vectors``.
         """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            return self._search_one(queries, topk, nprobe, rerank)
+        if queries.ndim != 2:
+            raise ConfigurationError(
+                f"queries must be 1-D or 2-D, got shape {queries.shape}"
+            )
+        if executor not in self.EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}, expected one of {self.EXECUTORS}"
+            )
+        if executor == "sequential":
+            return [
+                self._search_one(q, topk, nprobe, rerank) for q in queries
+            ]
+        return self._search_many(
+            queries, topk, nprobe, rerank, n_workers=n_workers
+        )
+
+    def _search_one(
+        self,
+        query: np.ndarray,
+        topk: int = 10,
+        nprobe: int = 1,
+        rerank: int = 0,
+    ) -> SearchResult:
+        """Single-query Algorithm-1 loop (route → tables → scan → merge)."""
         if topk < 1:
             raise ConfigurationError("topk must be >= 1")
         if rerank:
             self._check_rerank(topk, rerank)
-            shortlist = self.search(query, topk=rerank, nprobe=nprobe)
+            shortlist = self._search_one(query, topk=rerank, nprobe=nprobe)
             return self._rerank_one(query, shortlist, topk)
         obs = get_observability()
         with obs.span("route"):
@@ -505,24 +609,16 @@ class ANNSearcher:
             probed=tuple(int(p) for p in probed),
         )
 
-    def search_batch(
+    def _search_many(
         self,
         queries: np.ndarray,
-        topk: int = 10,
-        nprobe: int = 1,
-        rerank: int = 0,
+        topk: int,
+        nprobe: int,
+        rerank: int,
         *,
         n_workers: int = 1,
     ) -> list[SearchResult]:
-        """Search several queries through the partition-major batch engine.
-
-        Returns one result per query, byte-identical to
-        :meth:`search_batch_sequential` (and thus to per-query
-        :meth:`search` calls) for any ``n_workers``.
-        """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
+        """Batch path: the partition-major engine, one result per query."""
         if len(queries) == 0:
             return []
         if topk < 1:
@@ -537,6 +633,37 @@ class ANNSearcher:
             ]
         return executor.run(queries, topk=topk, nprobe=nprobe)
 
+    # -- deprecated entry points (PR 4 API collapse) ------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        topk: int = 10,
+        nprobe: int = 1,
+        rerank: int = 0,
+        *,
+        n_workers: int = 1,
+    ) -> list[SearchResult]:
+        """Deprecated alias of :meth:`search` with a 2-D batch.
+
+        .. deprecated:: 1.1
+            Call ``search(queries, ...)`` instead; this shim returns
+            byte-identical results and will be removed in a later
+            release.
+        """
+        warnings.warn(
+            "ANNSearcher.search_batch is deprecated; search() now accepts "
+            "query batches directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        return self._search_many(
+            queries, topk, nprobe, rerank, n_workers=n_workers
+        )
+
     def search_batch_sequential(
         self,
         queries: np.ndarray,
@@ -544,17 +671,24 @@ class ANNSearcher:
         nprobe: int = 1,
         rerank: int = 0,
     ) -> list[SearchResult]:
-        """The pre-engine per-query loop.
+        """Deprecated alias of ``search(..., executor="sequential")``.
 
-        Kept as the reference implementation: benchmarks report the
-        engine's throughput against it, and the equivalence tests assert
-        byte-identical results.
+        .. deprecated:: 1.1
+            The per-query reference loop is now selected with the
+            ``executor`` keyword; this shim returns byte-identical
+            results and will be removed in a later release.
         """
+        warnings.warn(
+            'ANNSearcher.search_batch_sequential is deprecated; use '
+            'search(queries, ..., executor="sequential")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
         return [
-            self.search(q, topk=topk, nprobe=nprobe, rerank=rerank)
+            self._search_one(q, topk=topk, nprobe=nprobe, rerank=rerank)
             for q in queries
         ]
 

@@ -1,0 +1,440 @@
+"""Scatter-gather execution across the shards of a :class:`ShardedIndex`.
+
+The query path of a sharded deployment:
+
+1. **Route** the whole batch once on the shared coarse codebook and
+   build the global partition-major plan (the same
+   :class:`~repro.search.BatchPlanner` the single-index engine uses).
+2. **Scatter**: split the plan's partition jobs by owning shard and run
+   each shard's job subset on that shard's own
+   :class:`~repro.search.BatchExecutor` (each shard runs the
+   partition-major engine internally, with its own worker pool and its
+   own scanner instance).
+3. **Gather** under a deadline: wait for every shard up to
+   ``deadline_s`` from scatter start. A shard that raises is retried
+   with exponential backoff (transient-failure policy); a shard that
+   exceeds the deadline is abandoned.
+4. **Merge** the collected partials with the engine's deterministic
+   (distance, id) merge.
+
+Graceful degradation is the contract: shard timeouts and exhausted
+retries do **not** raise. The response carries ``partial=True`` plus a
+per-shard :class:`ShardStatus`, and the merged results cover every scan
+that did complete. When all shards are healthy the response is
+byte-identical to the unsharded engine on the same data — the scans,
+tables and merge are the very same code paths, only scheduled
+differently.
+
+Configuration errors (bad topk, unknown executor state) still raise:
+they are caller bugs, not operational faults.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, cast
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ivf.inverted_index import IVFADCIndex
+from ..obs import Observability, get_observability
+from ..scan.base import PartitionScanner, ScanResult
+from ..search import (
+    BatchExecutor,
+    BatchPlan,
+    BatchPlanner,
+    SearchResult,
+    merge_partials,
+)
+from ..simd.counters import WorkerStats, combine_worker_stats
+from .sharded_index import ShardedIndex
+
+__all__ = [
+    "STATE_FAILED",
+    "STATE_OK",
+    "STATE_TIMEOUT",
+    "ScatterGatherExecutor",
+    "ShardRouter",
+    "ShardStatus",
+    "ShardedResponse",
+]
+
+#: Shard completed all its jobs (also used for shards with no jobs).
+STATE_OK = "ok"
+#: Shard exceeded the gather deadline and was abandoned.
+STATE_TIMEOUT = "timeout"
+#: Shard kept raising after exhausting its retry budget.
+STATE_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Outcome of one shard's participation in one scatter-gather run.
+
+    Attributes:
+        shard_id: the shard this status describes.
+        state: :data:`STATE_OK`, :data:`STATE_TIMEOUT` or
+            :data:`STATE_FAILED`.
+        attempts: scan attempts made (0 when the shard had no jobs;
+            > 1 means transient failures were retried).
+        latency_s: wall time from scatter start until the shard finished
+            or was given up on.
+        n_jobs: partition jobs assigned to the shard for this batch.
+        error: message of the last exception for failed shards.
+    """
+
+    shard_id: int
+    state: str
+    attempts: int
+    latency_s: float
+    n_jobs: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state == STATE_OK
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe dump (benchmark reports, observability exports)."""
+        return {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "latency_s": self.latency_s,
+            "n_jobs": self.n_jobs,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ShardedResponse:
+    """Gathered outcome of one sharded query batch.
+
+    Attributes:
+        results: one merged :class:`SearchResult` per query. With
+            ``partial=True`` the results only cover scans from healthy
+            shards (the ``probed`` tuple still lists every *intended*
+            partition).
+        partial: True when at least one shard timed out or failed.
+        shard_statuses: per-shard outcome, indexed by shard id.
+        wall_time_s: end-to-end scatter-gather time (plan to merge).
+        worker_stats: per-worker-slot totals combined across shards.
+    """
+
+    results: list[SearchResult]
+    partial: bool
+    shard_statuses: tuple[ShardStatus, ...]
+    wall_time_s: float
+    worker_stats: list[WorkerStats] = field(default_factory=list)
+
+    def status_for(self, shard_id: int) -> ShardStatus:
+        """The :class:`ShardStatus` of ``shard_id``."""
+        return self.shard_statuses[shard_id]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_queries / self.wall_time_s
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe summary (without the per-query result arrays)."""
+        return {
+            "n_queries": self.n_queries,
+            "partial": self.partial,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_second": self.queries_per_second,
+            "shards": [status.as_dict() for status in self.shard_statuses],
+            "worker_stats": [stats.as_dict() for stats in self.worker_stats],
+        }
+
+
+class ShardRouter:
+    """Builds the global plan and its per-shard sub-plans.
+
+    The global plan is produced by the standard
+    :class:`~repro.search.BatchPlanner` over the sharded index's routing
+    view, so probe lists (and therefore results) are bit-identical to
+    the unsharded engine. Each sub-plan shares the global ``queries`` /
+    ``probed`` arrays and keeps only the jobs whose partition the shard
+    owns — query rows and probe positions stay in global coordinates,
+    which is what lets the gathered partials drop straight into the
+    global merge grid.
+    """
+
+    def __init__(self, sharded: ShardedIndex, /):
+        self.sharded = sharded
+        # The planner only touches route_batch and partition sizes, both
+        # of which ShardedIndex serves with global semantics.
+        self._planner = BatchPlanner(cast(IVFADCIndex, sharded))
+
+    def plan(
+        self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
+    ) -> tuple[BatchPlan, dict[int, BatchPlan]]:
+        """Return ``(global_plan, {shard_id: sub_plan})``.
+
+        Shards whose partitions are not probed by any query of the batch
+        get no sub-plan (and no scatter task).
+        """
+        plan = self._planner.plan(queries, topk=topk, nprobe=nprobe)
+        subplans: dict[int, BatchPlan] = {}
+        for shard in self.sharded.shards:
+            jobs = tuple(
+                job
+                for job in plan.jobs
+                if self.sharded.owner_of(job.partition_id) == shard.shard_id
+            )
+            if jobs:
+                subplans[shard.shard_id] = BatchPlan(
+                    queries=plan.queries,
+                    topk=plan.topk,
+                    nprobe=plan.nprobe,
+                    probed=plan.probed,
+                    jobs=jobs,
+                )
+        return plan, subplans
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """What one scatter task reports back to the gatherer."""
+
+    state: str
+    partials: list[list[ScanResult | None]] | None
+    worker_stats: list[WorkerStats]
+    attempts: int
+    latency_s: float
+    error: str | None = None
+
+
+class ScatterGatherExecutor:
+    """Fans query batches across shards; gathers with graceful degradation.
+
+    Args:
+        sharded: the sharded layout (positional-only).
+        scanners: one Step-3 scanner per shard (a sequence of length
+            ``n_shards``), or a zero-argument factory called once per
+            shard. Per-shard instances matter: scanner caches
+            (:meth:`~repro.core.PQFastScanner.prepared`) are not locked
+            for cross-thread mutation, and shards scan concurrently.
+        n_workers: worker threads *per shard* for the shard-internal
+            partition-major engine.
+        deadline_s: per-shard deadline measured from scatter start;
+            shards still running at the deadline are abandoned and the
+            response is flagged partial. ``None`` waits indefinitely.
+        max_retries: transient-failure retries per shard (a shard gets
+            ``max_retries + 1`` attempts before it is marked failed).
+        backoff_s: initial retry backoff, doubled per attempt.
+        observability: explicit observability handle; default is the
+            process-wide instance, resolved at each run.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        scanners: Sequence[PartitionScanner] | Callable[[], PartitionScanner],
+        /,
+        *,
+        n_workers: int = 1,
+        deadline_s: float | None = None,
+        max_retries: int = 1,
+        backoff_s: float = 0.02,
+        observability: Observability | None = None,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive (or None), got {deadline_s}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {backoff_s}")
+        if callable(scanners):
+            shard_scanners: list[PartitionScanner] = [
+                scanners() for _ in sharded.shards
+            ]
+        else:
+            shard_scanners = list(scanners)
+            if len(shard_scanners) != sharded.n_shards:
+                raise ConfigurationError(
+                    f"need one scanner per shard: got {len(shard_scanners)} "
+                    f"for {sharded.n_shards} shards"
+                )
+        self.sharded = sharded
+        self.scanners = tuple(shard_scanners)
+        self.n_workers = n_workers
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.observability = observability
+        self.router = ShardRouter(sharded)
+        self._executors = tuple(
+            BatchExecutor(shard.index, scanner, n_workers=n_workers)
+            for shard, scanner in zip(sharded.shards, self.scanners)
+        )
+
+    def run(
+        self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
+    ) -> ShardedResponse:
+        """Scatter ``queries`` across shards and gather under the deadline."""
+        obs = (
+            self.observability
+            if self.observability is not None
+            else get_observability()
+        )
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        start = time.perf_counter()
+        if len(queries) == 0:
+            return ShardedResponse(
+                results=[],
+                partial=False,
+                shard_statuses=tuple(
+                    ShardStatus(s.shard_id, STATE_OK, 0, 0.0)
+                    for s in self.sharded.shards
+                ),
+                wall_time_s=time.perf_counter() - start,
+            )
+        with obs.span("route"):
+            plan, subplans = self.router.plan(queries, topk=topk, nprobe=nprobe)
+
+        partials: list[list[ScanResult | None]] = [
+            [None] * plan.nprobe for _ in range(plan.n_queries)
+        ]
+        statuses: list[ShardStatus] = []
+        stats_per_shard: list[list[WorkerStats]] = []
+
+        # Scatter. The pool is NOT used as a context manager: a stalled
+        # shard must not block the gatherer's return, so shutdown below
+        # is wait=False and abandoned tasks finish (or die with the
+        # process) in the background.
+        pool = ThreadPoolExecutor(
+            max_workers=max(len(subplans), 1),
+            thread_name_prefix="repro-shard",
+        )
+        try:
+            futures: dict[int, Future[_ShardOutcome]] = {
+                shard_id: pool.submit(self._run_shard, shard_id, subplan, obs)
+                for shard_id, subplan in subplans.items()
+            }
+            for shard in self.sharded.shards:
+                shard_id = shard.shard_id
+                future = futures.get(shard_id)
+                if future is None:
+                    statuses.append(ShardStatus(shard_id, STATE_OK, 0, 0.0))
+                    continue
+                n_jobs = len(subplans[shard_id].jobs)
+                remaining: float | None = None
+                if self.deadline_s is not None:
+                    remaining = max(
+                        self.deadline_s - (time.perf_counter() - start), 0.0
+                    )
+                try:
+                    outcome = future.result(timeout=remaining)
+                except FutureTimeoutError:
+                    future.cancel()
+                    latency = time.perf_counter() - start
+                    statuses.append(
+                        ShardStatus(
+                            shard_id,
+                            STATE_TIMEOUT,
+                            attempts=1,
+                            latency_s=latency,
+                            n_jobs=n_jobs,
+                            error=f"deadline of {self.deadline_s}s exceeded",
+                        )
+                    )
+                    obs.record_shard(str(shard_id), latency, STATE_TIMEOUT)
+                    continue
+                statuses.append(
+                    ShardStatus(
+                        shard_id,
+                        outcome.state,
+                        attempts=outcome.attempts,
+                        latency_s=outcome.latency_s,
+                        n_jobs=n_jobs,
+                        error=outcome.error,
+                    )
+                )
+                obs.record_shard(str(shard_id), outcome.latency_s, outcome.state)
+                if outcome.state == STATE_OK and outcome.partials is not None:
+                    for row in range(plan.n_queries):
+                        for position in range(plan.nprobe):
+                            scan = outcome.partials[row][position]
+                            if scan is not None:
+                                partials[row][position] = scan
+                    stats_per_shard.append(outcome.worker_stats)
+        finally:
+            pool.shutdown(wait=False)
+
+        partial = any(not status.ok for status in statuses)
+        with obs.span("merge"):
+            results = merge_partials(
+                plan, partials, require_complete=not partial
+            )
+        wall_time_s = time.perf_counter() - start
+        worker_stats = combine_worker_stats(stats_per_shard)
+        obs.record_batch(plan.n_queries, wall_time_s, worker_stats)
+        obs.record_gather(partial)
+        return ShardedResponse(
+            results=results,
+            partial=partial,
+            shard_statuses=tuple(statuses),
+            wall_time_s=wall_time_s,
+            worker_stats=worker_stats,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_shard(
+        self, shard_id: int, subplan: BatchPlan, obs: Observability
+    ) -> _ShardOutcome:
+        """One scatter task: scan the shard's jobs, retrying transients.
+
+        :class:`~repro.exceptions.ConfigurationError` propagates (caller
+        bug); any other exception consumes one attempt and is retried
+        after an exponentially growing backoff until the budget runs
+        out, at which point the shard reports :data:`STATE_FAILED`.
+        """
+        t0 = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                shard_partials, worker_stats = self._executors[
+                    shard_id
+                ].scan_plan(subplan, obs=obs)
+                return _ShardOutcome(
+                    state=STATE_OK,
+                    partials=shard_partials,
+                    worker_stats=worker_stats,
+                    attempts=attempts,
+                    latency_s=time.perf_counter() - t0,
+                )
+            except ConfigurationError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - fault boundary
+                if attempts > self.max_retries:
+                    return _ShardOutcome(
+                        state=STATE_FAILED,
+                        partials=None,
+                        worker_stats=[],
+                        attempts=attempts,
+                        latency_s=time.perf_counter() - t0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                obs.record_shard_retry(str(shard_id))
+                time.sleep(self.backoff_s * (2 ** (attempts - 1)))

@@ -22,7 +22,12 @@ from ..exceptions import ConfigurationError
 from .arch import PLATFORMS, CPUModel, get_platform
 from .cache import CacheLevel, CacheModel, NEHALEM_HASWELL_CACHE
 from .costs import BASE_COSTS, InstructionCost, cost_table
-from .counters import PerfCounters, WorkerStats, aggregate_worker_stats
+from .counters import (
+    PerfCounters,
+    WorkerStats,
+    aggregate_worker_stats,
+    combine_worker_stats,
+)
 from .executor import Executor
 from .kernels import (
     SCAN_KERNELS,
@@ -47,6 +52,7 @@ __all__ = [
     "PerfCounters",
     "WorkerStats",
     "aggregate_worker_stats",
+    "combine_worker_stats",
     "SCAN_KERNELS",
     "avx_kernel",
     "cost_table",

@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["PerfCounters", "WorkerStats", "aggregate_worker_stats"]
+__all__ = [
+    "PerfCounters",
+    "WorkerStats",
+    "aggregate_worker_stats",
+    "combine_worker_stats",
+]
 
 
 @dataclass
@@ -174,6 +179,29 @@ def aggregate_worker_stats(stats: Iterable[WorkerStats]) -> WorkerStats:
         total.n_vectors_pruned += s.n_vectors_pruned
         total.busy_time_s += s.busy_time_s
     return total
+
+
+def combine_worker_stats(
+    groups: Iterable[Iterable[WorkerStats]],
+) -> list[WorkerStats]:
+    """Merge several per-worker stat lists by ``worker_id``.
+
+    The sharded scatter-gather engine runs one worker pool *per shard*;
+    worker slot ``i`` of every shard maps to the same logical worker id.
+    Merging by id keeps the per-slot totals comparable with the
+    unsharded engine's report (same ids, summed work), which is what the
+    sharded benchmark prints side by side.
+    """
+    merged: dict[int, WorkerStats] = {}
+    for group in groups:
+        for s in group:
+            slot = merged.setdefault(s.worker_id, WorkerStats(s.worker_id))
+            slot.n_jobs += s.n_jobs
+            slot.n_scans += s.n_scans
+            slot.n_vectors_scanned += s.n_vectors_scanned
+            slot.n_vectors_pruned += s.n_vectors_pruned
+            slot.busy_time_s += s.busy_time_s
+    return [merged[worker_id] for worker_id in sorted(merged)]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,178 @@
+"""Public-API surface: snapshot stability and deprecation shims.
+
+Two contracts live here:
+
+* the exported surface (every ``__all__`` symbol plus top-level
+  signatures) matches the committed ``tools/public_api.json`` snapshot,
+  so API changes are explicit diffs, and removals cannot ship silently;
+* the pre-1.1 call shapes still work, warn with ``DeprecationWarning``,
+  and return byte-identical results to their replacements.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ANNSearcher, BatchExecutor, Engine, EngineConfig, IVFADCIndex
+from repro.scan import NaiveScanner
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.api_snapshot import SNAPSHOT_PATH, build_snapshot, check  # noqa: E402
+
+
+# -- snapshot -------------------------------------------------------------------
+
+
+class TestPublicApiSnapshot:
+    def test_snapshot_file_is_committed(self):
+        assert SNAPSHOT_PATH.exists(), (
+            "tools/public_api.json missing; regenerate with "
+            "`PYTHONPATH=src python -m tools.api_snapshot --write`"
+        )
+
+    def test_surface_matches_snapshot(self):
+        committed = json.loads(SNAPSHOT_PATH.read_text())
+        problems = check(build_snapshot(), committed)
+        assert not problems, "\n".join(problems)
+
+    def test_facade_symbols_are_exported(self):
+        for symbol in (
+            "Engine",
+            "EngineConfig",
+            "ShardedIndex",
+            "ScatterGatherExecutor",
+            "ShardedResponse",
+            "ShardStatus",
+            "save_sharded_index",
+            "load_sharded_index",
+            "merge_partials",
+            "combine_worker_stats",
+        ):
+            assert symbol in repro.__all__
+            assert hasattr(repro, symbol)
+
+    def test_every_all_entry_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), f"repro.__all__ lists missing {symbol}"
+
+
+# -- signatures of the stable facade --------------------------------------------
+
+
+class TestFacadeSignatures:
+    def test_engine_entry_points(self):
+        build = inspect.signature(Engine.build)
+        assert list(build.parameters)[:2] == ["vectors", "config"]
+        load = inspect.signature(Engine.load)
+        assert list(load.parameters)[:2] == ["path", "config"]
+        search = inspect.signature(Engine.search)
+        assert list(search.parameters)[:3] == ["self", "queries", "k"]
+        assert search.parameters["nprobe"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_engine_config_fields(self):
+        names = {f.name for f in EngineConfig.__dataclass_fields__.values()}
+        assert {
+            "m", "bits", "n_partitions", "n_shards", "scanner", "keep",
+            "nprobe", "n_workers", "deadline_s", "max_retries", "backoff_s",
+        } <= names
+
+    def test_searcher_unified_search(self):
+        sig = inspect.signature(ANNSearcher.search)
+        assert sig.parameters["executor"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["n_workers"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_constructors_take_config_keyword_only(self):
+        for cls, core in (
+            (IVFADCIndex, ["pq"]),
+            (BatchExecutor, ["index", "scanner"]),
+        ):
+            sig = inspect.signature(cls.__init__)
+            params = list(sig.parameters.values())[1:]
+            positional = [
+                p.name for p in params
+                if p.kind is inspect.Parameter.POSITIONAL_ONLY
+            ]
+            assert positional == core
+            keyword_only = {
+                p.name for p in params
+                if p.kind is inspect.Parameter.KEYWORD_ONLY
+            }
+            assert keyword_only  # all config reachable by keyword only
+
+
+# -- deprecation shims ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def searcher(index):
+    return ANNSearcher(index, NaiveScanner())
+
+
+@pytest.fixture(scope="module")
+def queries_2d(dataset):
+    return dataset.queries[:8]
+
+
+class TestDeprecationShims:
+    def test_search_batch_warns_and_matches(self, searcher, queries_2d):
+        fresh = searcher.search(queries_2d, topk=10, nprobe=2)
+        with pytest.warns(DeprecationWarning, match="search_batch is deprecated"):
+            legacy = searcher.search_batch(queries_2d, topk=10, nprobe=2)
+        for a, b in zip(fresh, legacy):
+            assert a.ids.tobytes() == b.ids.tobytes()
+            assert a.distances.tobytes() == b.distances.tobytes()
+            assert a.probed == b.probed
+
+    def test_search_batch_sequential_warns_and_matches(self, searcher, queries_2d):
+        fresh = searcher.search(
+            queries_2d, topk=10, nprobe=2, executor="sequential"
+        )
+        with pytest.warns(DeprecationWarning, match="search_batch_sequential"):
+            legacy = searcher.search_batch_sequential(
+                queries_2d, topk=10, nprobe=2
+            )
+        for a, b in zip(fresh, legacy):
+            assert a.ids.tobytes() == b.ids.tobytes()
+            assert a.distances.tobytes() == b.distances.tobytes()
+
+    def test_ivfadc_positional_n_partitions_warns_and_matches(self, dataset, pq):
+        with pytest.warns(DeprecationWarning, match="n_partitions positionally"):
+            legacy = IVFADCIndex(pq, 4, seed=2).add(dataset.base)
+        fresh = IVFADCIndex(pq, n_partitions=4, seed=2).add(dataset.base)
+        assert legacy.n_partitions == fresh.n_partitions == 4
+        np.testing.assert_array_equal(
+            legacy.coarse.codebook, fresh.coarse.codebook
+        )
+
+    def test_ivfadc_too_many_positionals_raise(self, pq):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            IVFADCIndex(pq, 4, 20)
+
+    def test_batch_executor_positional_workers_warns(self, index):
+        from repro.exceptions import ConfigurationError
+
+        scanner = NaiveScanner()
+        with pytest.warns(DeprecationWarning, match="n_workers positionally"):
+            legacy = BatchExecutor(index, scanner, 2)
+        assert legacy.n_workers == 2
+        with pytest.raises(ConfigurationError):
+            BatchExecutor(index, scanner, 2, 3)
+
+    def test_sequential_executor_kind_validated(self, searcher, queries_2d):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="executor"):
+            searcher.search(queries_2d, topk=5, executor="warp-drive")

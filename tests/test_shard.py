@@ -1,0 +1,470 @@
+"""Sharded scatter-gather engine: identity, degradation, persistence."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import PQFastScanner
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.ivf import IVFADCIndex
+from repro.obs import observability_session
+from repro.persistence import load_sharded_index, save_sharded_index
+from repro.scan import LibpqScanner, NaiveScanner
+from repro.scan.base import InstructionProfile, ScanResult
+from repro.search import ANNSearcher, PartitionScanner
+from repro.shard import (
+    STATE_FAILED,
+    STATE_OK,
+    STATE_TIMEOUT,
+    IndexShard,
+    ScatterGatherExecutor,
+    ShardedIndex,
+    ShardRouter,
+)
+
+
+@pytest.fixture(scope="module")
+def index8(dataset, pq):
+    """An 8-partition index (enough cells for interesting shard layouts)."""
+    return IVFADCIndex(pq, n_partitions=8, seed=3).add(dataset.base)
+
+
+@pytest.fixture(scope="module")
+def batch_queries(dataset):
+    return dataset.queries[:20]
+
+
+def _scanner_factories(pq):
+    return {
+        "naive": lambda: NaiveScanner(),
+        "libpq": lambda: LibpqScanner(),
+        "fastpq": lambda: PQFastScanner(pq, keep=0.01, seed=0),
+    }
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.ids.tobytes() == rb.ids.tobytes()
+        assert ra.distances.tobytes() == rb.distances.tobytes()
+        assert ra.probed == rb.probed
+        assert ra.n_scanned == rb.n_scanned
+        assert ra.n_pruned == rb.n_pruned
+
+
+# -- ShardedIndex layout --------------------------------------------------------
+
+
+class TestShardedIndex:
+    def test_from_index_modulo_layout(self, index8):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        assert sharded.n_shards == 3
+        assert sharded.n_partitions == 8
+        for pid in range(8):
+            assert sharded.owner_of(pid) == pid % 3
+
+    def test_from_index_contiguous_layout(self, index8):
+        sharded = ShardedIndex.from_index(
+            index8, n_shards=2, layout="contiguous"
+        )
+        assert [sharded.owner_of(pid) for pid in range(8)] == [0] * 4 + [1] * 4
+
+    def test_partitions_are_shared_not_copied(self, index8):
+        sharded = ShardedIndex.from_index(index8, n_shards=4)
+        for pid, partition in enumerate(sharded.partitions):
+            assert partition is index8.partitions[pid]
+
+    def test_total_vectors_preserved(self, index8):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        assert len(sharded) == len(index8)
+        assert sum(len(s) for s in sharded.shards) == len(index8)
+        assert np.array_equal(
+            sharded.partition_sizes(), index8.partition_sizes()
+        )
+
+    def test_routing_matches_unsharded(self, index8, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        assert np.array_equal(
+            sharded.route_batch(batch_queries, nprobe=4),
+            index8.route_batch(batch_queries, nprobe=4),
+        )
+
+    def test_tables_match_unsharded(self, index8, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        for pid in range(8):
+            np.testing.assert_array_equal(
+                sharded.distance_tables_for_batch(batch_queries, pid),
+                index8.distance_tables_for_batch(batch_queries, pid),
+            )
+
+    def test_n_shards_bounds(self, index8):
+        with pytest.raises(ConfigurationError):
+            ShardedIndex.from_index(index8, n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedIndex.from_index(index8, n_shards=9)
+
+    def test_unknown_layout_rejected(self, index8):
+        with pytest.raises(ConfigurationError):
+            ShardedIndex.from_index(index8, n_shards=2, layout="hashed")
+
+    def test_double_ownership_rejected(self, index8):
+        shards = list(ShardedIndex.from_index(index8, n_shards=2).shards)
+        bad = IndexShard(
+            shard_id=1,
+            index=shards[1].index,
+            partition_ids=shards[1].partition_ids + (0,),
+        )
+        with pytest.raises(ConfigurationError, match="owned by both"):
+            ShardedIndex([shards[0], bad])
+
+    def test_unowned_partition_rejected(self, index8):
+        shards = list(ShardedIndex.from_index(index8, n_shards=2).shards)
+        bad = IndexShard(
+            shard_id=1,
+            index=shards[1].index,
+            partition_ids=shards[1].partition_ids[:-1],
+        )
+        with pytest.raises(ConfigurationError, match="no shard"):
+            ShardedIndex([shards[0], bad])
+
+
+# -- router ---------------------------------------------------------------------
+
+
+class TestShardRouter:
+    def test_subplans_partition_the_global_jobs(self, index8, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        plan, subplans = ShardRouter(sharded).plan(
+            batch_queries, topk=10, nprobe=4
+        )
+        scattered = [job for sub in subplans.values() for job in sub.jobs]
+        assert sorted(j.partition_id for j in scattered) == sorted(
+            j.partition_id for j in plan.jobs
+        )
+        for shard_id, sub in subplans.items():
+            assert sub.queries is plan.queries
+            assert sub.probed is plan.probed
+            for job in sub.jobs:
+                assert sharded.owner_of(job.partition_id) == shard_id
+
+
+# -- healthy-path byte-identity -------------------------------------------------
+
+
+class TestScatterGatherIdentity:
+    @pytest.mark.parametrize("kind", ["naive", "libpq", "fastpq"])
+    @pytest.mark.parametrize("nprobe", [1, 3, 8])
+    def test_identical_to_unsharded(self, index8, pq, batch_queries, kind, nprobe):
+        factory = _scanner_factories(pq)[kind]
+        baseline = ANNSearcher(index8, factory()).search(
+            batch_queries, topk=10, nprobe=nprobe
+        )
+        for n_shards in (1, 3, 8):
+            sharded = ShardedIndex.from_index(index8, n_shards=n_shards)
+            executor = ScatterGatherExecutor(sharded, factory, n_workers=2)
+            response = executor.run(batch_queries, topk=10, nprobe=nprobe)
+            assert not response.partial
+            assert all(s.state == STATE_OK for s in response.shard_statuses)
+            _assert_identical(baseline, response.results)
+
+    def test_single_query_batch(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        response = executor.run(batch_queries[0], topk=5, nprobe=2)
+        baseline = ANNSearcher(index8, NaiveScanner()).search(
+            batch_queries[0], topk=5, nprobe=2
+        )
+        assert len(response.results) == 1
+        assert np.array_equal(response.results[0].ids, baseline.ids)
+
+    def test_empty_batch(self, index8, pq):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        response = executor.run(np.empty((0, 128)), topk=5)
+        assert response.results == [] and not response.partial
+
+    def test_unprobed_shards_report_ok_with_zero_jobs(self, index8, pq):
+        # nprobe=1 with a handful of queries leaves some shards idle.
+        sharded = ShardedIndex.from_index(index8, n_shards=8)
+        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        query = np.asarray(index8.coarse.codebook[0], dtype=np.float64)
+        response = executor.run(query[None, :], topk=5, nprobe=1)
+        assert not response.partial
+        idle = [s for s in response.shard_statuses if s.n_jobs == 0]
+        assert idle and all(s.state == STATE_OK for s in idle)
+
+    def test_worker_stats_combined(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), n_workers=2
+        )
+        response = executor.run(batch_queries, topk=10, nprobe=8)
+        total_jobs = sum(s.n_jobs for s in response.shard_statuses)
+        assert sum(w.n_jobs for w in response.worker_stats) == total_jobs
+        assert response.queries_per_second > 0
+        payload = response.as_dict()
+        assert payload["n_queries"] == len(batch_queries)
+        assert len(payload["shards"]) == 3
+
+
+# -- graceful degradation -------------------------------------------------------
+
+
+class _StallingScanner(PartitionScanner):
+    """Blocks inside scan() until released — a stalled/hung shard."""
+
+    name = "stalling"
+
+    def __init__(self, release: threading.Event):
+        self.release = release
+
+    def scan(self, tables, partition, topk=1):
+        self.release.wait()
+        return NaiveScanner().scan(tables, partition, topk=topk)
+
+    def profile(self) -> InstructionProfile:
+        return NaiveScanner().profile()
+
+
+class _FlakyScanner(PartitionScanner):
+    """Raises on the first ``fail_times`` scans, then recovers."""
+
+    name = "flaky"
+
+    def __init__(self, fail_times: int):
+        self.fail_times = fail_times
+        self.calls = 0
+        self._inner = NaiveScanner()
+
+    def scan(self, tables, partition, topk=1):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise RuntimeError("transient shard fault")
+        return self._inner.scan(tables, partition, topk=topk)
+
+    def profile(self) -> InstructionProfile:
+        return self._inner.profile()
+
+
+class TestGracefulDegradation:
+    def test_stalled_shard_yields_partial_within_deadline(
+        self, index8, pq, batch_queries
+    ):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        release = threading.Event()
+        scanners = [NaiveScanner(), _StallingScanner(release)]
+        executor = ScatterGatherExecutor(sharded, scanners, deadline_s=0.5)
+        try:
+            start = time.perf_counter()
+            response = executor.run(batch_queries, topk=10, nprobe=8)
+            elapsed = time.perf_counter() - start
+        finally:
+            release.set()
+        assert elapsed < 5.0  # returned promptly, did not join the stall
+        assert response.partial
+        assert response.status_for(0).state == STATE_OK
+        assert response.status_for(1).state == STATE_TIMEOUT
+        assert "deadline" in response.status_for(1).error
+        # Healthy-shard scans still produced results for every query.
+        assert len(response.results) == len(batch_queries)
+        for result in response.results:
+            assert len(result.ids) > 0
+
+    def test_partial_results_match_healthy_subset(self, index8, pq, batch_queries):
+        # The partial answer must equal a merge over only the healthy
+        # shard's partitions — degraded, but deterministic.
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        release = threading.Event()
+        executor = ScatterGatherExecutor(
+            sharded, [NaiveScanner(), _StallingScanner(release)], deadline_s=0.5
+        )
+        try:
+            response = executor.run(batch_queries, topk=10, nprobe=8)
+        finally:
+            release.set()
+        healthy = {pid for pid in range(8) if sharded.owner_of(pid) == 0}
+        scanner = NaiveScanner()
+        for query, result in zip(batch_queries, response.results):
+            # Probed records intent (all partitions), results only hold
+            # candidates from the healthy shard's partitions.
+            assert set(result.probed) == set(range(8))
+            candidates: list[np.ndarray] = []
+            for pid in sorted(healthy):
+                tables = index8.distance_tables_for(query, pid)
+                candidates.append(
+                    scanner.scan(tables, index8.partitions[pid], topk=10).ids
+                )
+            healthy_ids = set(np.concatenate(candidates).tolist())
+            assert set(result.ids.tolist()) <= healthy_ids
+
+    def test_failed_shard_exhausts_retries(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        executor = ScatterGatherExecutor(
+            sharded,
+            [NaiveScanner(), _FlakyScanner(fail_times=100)],
+            max_retries=1,
+            backoff_s=0.0,
+        )
+        response = executor.run(batch_queries, topk=10, nprobe=8)
+        assert response.partial
+        status = response.status_for(1)
+        assert status.state == STATE_FAILED
+        assert status.attempts == 2  # initial + 1 retry
+        assert "transient shard fault" in status.error
+
+    def test_transient_failure_recovers_via_retry(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        flaky = _FlakyScanner(fail_times=1)
+        executor = ScatterGatherExecutor(
+            sharded,
+            [NaiveScanner(), flaky],
+            max_retries=2,
+            backoff_s=0.0,
+        )
+        baseline = ANNSearcher(index8, NaiveScanner()).search(
+            batch_queries, topk=10, nprobe=8
+        )
+        response = executor.run(batch_queries, topk=10, nprobe=8)
+        assert not response.partial
+        assert response.status_for(1).state == STATE_OK
+        assert response.status_for(1).attempts == 2
+        _assert_identical(baseline, response.results)
+
+    def test_configuration_error_is_not_swallowed(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        with pytest.raises(ConfigurationError):
+            executor.run(batch_queries, topk=10, nprobe=99)
+
+    def test_scanner_count_must_match_shards(self, index8, pq):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        with pytest.raises(ConfigurationError, match="one scanner per shard"):
+            ScatterGatherExecutor(sharded, [NaiveScanner()])
+
+    def test_invalid_knobs_rejected(self, index8, pq):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        factory = lambda: NaiveScanner()  # noqa: E731
+        with pytest.raises(ConfigurationError):
+            ScatterGatherExecutor(sharded, factory, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            ScatterGatherExecutor(sharded, factory, deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ScatterGatherExecutor(sharded, factory, max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ScatterGatherExecutor(sharded, factory, backoff_s=-0.1)
+
+
+# -- observability --------------------------------------------------------------
+
+
+class TestShardObservability:
+    def test_healthy_run_records_latency_and_gather(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        with observability_session() as obs:
+            executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+            executor.run(batch_queries, topk=10, nprobe=8)
+        snapshot = obs.snapshot()
+        assert "repro_shard_latency_seconds" in snapshot["histograms"]
+        assert "repro_gathers_total" in snapshot["counters"]
+        prom = obs.export_prometheus()
+        assert "repro_shard_latency_seconds" in prom
+        assert 'shard="0"' in prom
+
+    def test_degraded_run_records_partial_and_failure(
+        self, index8, pq, batch_queries
+    ):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        with observability_session() as obs:
+            executor = ScatterGatherExecutor(
+                sharded,
+                [NaiveScanner(), _FlakyScanner(fail_times=100)],
+                max_retries=1,
+                backoff_s=0.0,
+            )
+            executor.run(batch_queries, topk=10, nprobe=8)
+            registry = obs.metrics
+            assert registry.get("repro_shard_failures_total").value(shard="1") == 1.0
+            assert registry.get("repro_shard_retries_total").value(shard="1") == 1.0
+            assert registry.get("repro_partial_results_total").value() == 1.0
+            assert registry.get("repro_partial_result_rate").value() == 1.0
+
+
+# -- persistence ----------------------------------------------------------------
+
+
+class TestShardedPersistence:
+    def test_round_trip_answers_identically(
+        self, index8, pq, batch_queries, tmp_path
+    ):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        loaded = load_sharded_index(path)
+        assert loaded.n_shards == 3
+        assert len(loaded) == len(index8)
+        assert np.array_equal(loaded.owners, sharded.owners)
+        baseline = ANNSearcher(index8, NaiveScanner()).search(
+            batch_queries, topk=10, nprobe=4
+        )
+        response = ScatterGatherExecutor(loaded, lambda: NaiveScanner()).run(
+            batch_queries, topk=10, nprobe=4
+        )
+        assert not response.partial
+        _assert_identical(baseline, response.results)
+
+    def test_save_is_atomic_per_file(self, index8, tmp_path):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        save_sharded_index(sharded, path)  # overwrite in place is fine
+        assert sorted(p.name for p in path.iterdir()) == [
+            "manifest.npz",
+            "shard_0000.npz",
+            "shard_0001.npz",
+        ]
+
+    def test_missing_directory_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such directory"):
+            load_sharded_index(tmp_path / "nope")
+
+    def test_file_path_raises_dataset_error(self, tmp_path):
+        target = tmp_path / "file.npz"
+        target.write_bytes(b"junk")
+        with pytest.raises(DatasetError, match="not a directory"):
+            load_sharded_index(target)
+
+    def test_missing_manifest_raises_dataset_error(self, index8, tmp_path):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        (path / "manifest.npz").unlink()
+        with pytest.raises(DatasetError):
+            load_sharded_index(path)
+
+    def test_missing_shard_file_raises_dataset_error(self, index8, tmp_path):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        (path / "shard_0001.npz").unlink()
+        with pytest.raises(DatasetError):
+            load_sharded_index(path)
+
+    def test_mixed_build_shards_rejected(self, index8, dataset, pq, tmp_path):
+        # Shard files from two different builds in one directory must be
+        # caught by the cross-shard consistency check at load time.
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        other_index = IVFADCIndex(pq, n_partitions=8, seed=9).add(
+            dataset.base[: len(dataset.base) // 2]
+        )
+        other = ShardedIndex.from_index(other_index, n_shards=2)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        from repro.persistence import save_index
+
+        save_index(other.shards[1].index, path / "shard_0001.npz")
+        with pytest.raises(DatasetError, match="inconsistent shard set"):
+            load_sharded_index(path)
