@@ -88,6 +88,7 @@ from .search import (
     SearchResult,
     merge_partials,
 )
+from .parallel import ProcessBatchExecutor, ScannerSpec
 from .shard import (
     IndexShard,
     ScatterGatherExecutor,
@@ -99,7 +100,7 @@ from .shard import (
 from .engine import SCANNER_KINDS, Engine, EngineConfig
 from .simd import WorkerStats, aggregate_worker_stats, combine_worker_stats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ANNSearcher",
@@ -130,6 +131,7 @@ __all__ = [
     "PQFastScanner",
     "Partition",
     "PartitionJob",
+    "ProcessBatchExecutor",
     "ProductQuantizer",
     "QuantizationOnlyScanner",
     "ReproError",
@@ -137,6 +139,7 @@ __all__ = [
     "SCANNER_KINDS",
     "SameSizeKMeans",
     "ScanResult",
+    "ScannerSpec",
     "ScatterGatherExecutor",
     "SearchResult",
     "ShardRouter",

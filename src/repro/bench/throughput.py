@@ -10,14 +10,19 @@ sustains against the sequential per-query loop, across worker counts.
 The engine's win on a single core comes from amortization — one routing
 pass, one distance-table build and one set of partition-code gathers per
 (partition, batch) instead of per query — and the worker sweep shows the
-thread-pool scaling on top (NumPy releases the GIL inside its kernels).
-Every batched run is verified byte-identical to the sequential baseline
-before its timing counts.
+pool scaling on top. Two backends are sweepable: ``--backend thread``
+(the GIL-bound :class:`~repro.search.BatchExecutor`) and ``--backend
+process`` (the zero-copy :class:`~repro.parallel.ProcessBatchExecutor`,
+whose workers mmap a saved artifact and scale with cores). Every batched
+run is verified byte-identical to the sequential baseline before its
+timing counts, and repeats are *interleaved* across configurations so
+slow machine-state drift (thermal, page cache, background load) hits
+every worker count equally instead of biasing the sweep order.
 
 Run as a module for the CLI::
 
     PYTHONPATH=src python -m repro.bench.throughput --scale 4000 \
-        --n-queries 128 --nprobe 4 --min-speedup 2.0
+        --n-queries 128 --nprobe 4 --backend process --min-speedup 2.0
 
 Writes ``results/throughput.{txt,json}`` via the standard reporting
 helpers plus a ``BENCH_throughput.json`` summary at the repo root (or
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 from typing import Sequence
@@ -36,6 +42,8 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..obs import observability_session, to_prometheus
+from ..parallel import ProcessBatchExecutor
+from ..persistence import save_index
 from ..scan.base import PartitionScanner
 from ..scan.naive import NaiveScanner
 from ..core.fast_scan import PQFastScanner
@@ -113,16 +121,30 @@ def measure_throughput(
     nprobe: int = 4,
     worker_counts: Sequence[int] = (1, 2, 4),
     repeats: int = 3,
+    backend: str = "thread",
 ) -> list[ThroughputRun]:
     """Time the sequential loop and the batch engine at each worker count.
 
     Returns the baseline run first, then one run per worker count, each
     the best (minimum wall time) of ``repeats`` repetitions. Caches are
     warmed (workload partitions prepared, NumPy kernels JIT-free but
-    first-touch paged in) by an untimed pilot run of each configuration.
+    first-touch paged in) by an untimed pilot run of each configuration,
+    and the repeats are interleaved — every repetition cycles through
+    all configurations — so machine-state drift over the sweep cannot
+    systematically favor the configurations measured first.
+
+    ``backend`` picks the engine under test: ``"thread"`` times
+    :class:`~repro.search.BatchExecutor`, ``"process"`` times
+    :class:`~repro.parallel.ProcessBatchExecutor` against a saved
+    artifact of the workload's index (one save, shared by all worker
+    counts; the persistent pools are spawned and warmed before timing).
     """
     if n_queries < 1:
         raise ConfigurationError("n_queries must be >= 1")
+    if backend not in ("thread", "process"):
+        raise ConfigurationError(
+            f"backend must be 'thread' or 'process', got {backend!r}"
+        )
     queries = workload.queries[:n_queries]
     if len(queries) < n_queries:
         raise ConfigurationError(
@@ -130,45 +152,72 @@ def measure_throughput(
         )
     searcher = ANNSearcher(workload.index, scanner=scanner)
 
-    def time_best(fn) -> float:
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
-        return best
+    def time_once(fn) -> float:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
 
     # Pilot (untimed): warm scanner caches and page in the workload.
     baseline = searcher.search(
         queries, topk=topk, nprobe=nprobe, executor="sequential"
     )
-    runs = [
-        ThroughputRun(
-            "sequential",
-            0,
-            time_best(
-                lambda: searcher.search(
-                    queries, topk=topk, nprobe=nprobe, executor="sequential"
+    tempdir: tempfile.TemporaryDirectory | None = None
+    configs: list[tuple[str, int, BatchExecutor | ProcessBatchExecutor, bool]]
+    configs = []
+    try:
+        if backend == "process":
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+            index_path = Path(tempdir.name) / "index.npz"
+            save_index(workload.index, index_path)
+        for workers in worker_counts:
+            executor: BatchExecutor | ProcessBatchExecutor
+            if backend == "process":
+                executor = ProcessBatchExecutor(
+                    index_path, scanner, n_workers=workers, index=workload.index
                 )
-            ),
-            n_queries,
-            True,
-        )
-    ]
-    for workers in worker_counts:
-        executor = BatchExecutor(workload.index, scanner, n_workers=workers)
-        batched = executor.run(queries, topk=topk, nprobe=nprobe)
-        identical = _results_equal(baseline, batched)
-        runs.append(
-            ThroughputRun(
-                f"batched w={workers}",
-                workers,
-                time_best(lambda: executor.run(queries, topk=topk, nprobe=nprobe)),
-                n_queries,
-                identical,
+                label = f"process w={workers}"
+            else:
+                executor = BatchExecutor(
+                    workload.index, scanner, n_workers=workers
+                )
+                label = f"batched w={workers}"
+            batched = executor.run(queries, topk=topk, nprobe=nprobe)
+            configs.append(
+                (label, workers, executor, _results_equal(baseline, batched))
             )
+        seq_best = float("inf")
+        bests = {label: float("inf") for label, _, _, _ in configs}
+        for _ in range(repeats):
+            seq_best = min(
+                seq_best,
+                time_once(
+                    lambda: searcher.search(
+                        queries, topk=topk, nprobe=nprobe, executor="sequential"
+                    )
+                ),
+            )
+            for label, _, executor, _ in configs:
+                bests[label] = min(
+                    bests[label],
+                    time_once(
+                        lambda executor=executor: executor.run(
+                            queries, topk=topk, nprobe=nprobe
+                        )
+                    ),
+                )
+        runs = [ThroughputRun("sequential", 0, seq_best, n_queries, True)]
+        runs.extend(
+            ThroughputRun(label, workers, bests[label], n_queries, identical)
+            for label, workers, _, identical in configs
         )
-    return runs
+        return runs
+    finally:
+        for _, _, executor, _ in configs:
+            close = getattr(executor, "close", None)
+            if callable(close):
+                close()
+        if tempdir is not None:
+            tempdir.cleanup()
 
 
 def run_benchmark(
@@ -181,6 +230,7 @@ def run_benchmark(
     repeats: int = 3,
     scanner_name: str = "naive",
     seed: int = 11,
+    backend: str = "thread",
 ) -> dict:
     """Build the workload, sweep workers, and return the report payload."""
     workload = build_workload(
@@ -201,6 +251,7 @@ def run_benchmark(
         nprobe=nprobe,
         worker_counts=worker_counts,
         repeats=repeats,
+        backend=backend,
     )
     baseline = runs[0]
     best = max(runs[1:], key=lambda r: r.queries_per_second)
@@ -216,10 +267,12 @@ def run_benchmark(
         topk=topk,
         nprobe=nprobe,
         n_workers=max(best.n_workers, 1),
+        backend=backend,
     )
     return {
         "workload": workload.describe(),
         "scale": scale,
+        "backend": backend,
         "scanner": scanner_name,
         "n_queries": n_queries,
         "topk": topk,
@@ -243,6 +296,7 @@ def _instrumented_run(
     topk: int,
     nprobe: int,
     n_workers: int,
+    backend: str = "thread",
 ) -> dict:
     """One untimed batch with observability on; returns the exported view.
 
@@ -252,12 +306,23 @@ def _instrumented_run(
     """
     queries = workload.queries[:n_queries]
     with observability_session() as obs:
-        executor = BatchExecutor(
-            workload.index, scanner, n_workers=n_workers, observability=obs
-        )
-        _, report = executor.run_with_report(queries, topk=topk, nprobe=nprobe)
+        if backend == "process":
+            with ProcessBatchExecutor.from_index(
+                workload.index, scanner, n_workers=n_workers, observability=obs
+            ) as process_executor:
+                _, report = process_executor.run_with_report(
+                    queries, topk=topk, nprobe=nprobe
+                )
+        else:
+            executor = BatchExecutor(
+                workload.index, scanner, n_workers=n_workers, observability=obs
+            )
+            _, report = executor.run_with_report(
+                queries, topk=topk, nprobe=nprobe
+            )
     return {
         "n_workers": n_workers,
+        "backend": backend,
         "report": report.as_dict(),
         "stage_latency": obs.tracer.stage_summary(),
         "metrics": obs.metrics.snapshot(),
@@ -286,7 +351,8 @@ def render_report(data: dict) -> str:
         title=(
             f"Batched engine throughput — {data['workload']}, "
             f"nprobe={data['nprobe']}, topk={data['topk']}, "
-            f"scanner={data['scanner']}"
+            f"scanner={data['scanner']}, "
+            f"backend={data.get('backend', 'thread')}"
         ),
     )
 
@@ -304,6 +370,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--scanner", choices=["naive", "fastpq"],
                         default="naive")
+    parser.add_argument("--backend", choices=["thread", "process"],
+                        default="thread",
+                        help="executor under test: GIL-bound threads or "
+                             "the zero-copy mmap-attached process pool")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--output", type=Path,
                         default=Path("BENCH_throughput.json"),
@@ -322,6 +392,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         repeats=args.repeats,
         scanner_name=args.scanner,
         seed=args.seed,
+        backend=args.backend,
     )
     # The Prometheus text goes to its own snapshot file (what a
     # /metrics endpoint would serve); the JSON summary keeps the

@@ -34,6 +34,7 @@ SIMD implementation performs between register reloads.
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -94,6 +95,11 @@ class PQFastScanner(PartitionScanner):
             maxima — much coarser quantization bins, Figure 12;
             ablation baseline).
         seed: RNG seed of the assignment clustering.
+        prepared_cache_size: maximum grouped layouts held by the
+            :meth:`prepared` cache (LRU eviction beyond that;
+            ``None`` = unbounded). Long-running servers revisit many
+            partitions; without a cap the cache grows with every
+            distinct partition ever scanned.
     """
 
     name = "fastpq"
@@ -111,6 +117,7 @@ class PQFastScanner(PartitionScanner):
         assignment: str = "optimized",
         qmax_bound: str = "keep",
         seed: int = 0,
+        prepared_cache_size: int | None = 256,
     ) -> None:
         if not pq.is_fitted:
             raise NotFittedError("PQFastScanner requires a fitted ProductQuantizer")
@@ -124,20 +131,33 @@ class PQFastScanner(PartitionScanner):
             raise ConfigurationError(f"unknown assignment mode {assignment!r}")
         if qmax_bound not in ("keep", "naive"):
             raise ConfigurationError(f"unknown qmax bound {qmax_bound!r}")
+        if prepared_cache_size is not None and prepared_cache_size < 1:
+            raise ConfigurationError(
+                "prepared_cache_size must be >= 1 (or None for unbounded), "
+                f"got {prepared_cache_size}"
+            )
         self.pq = pq
         self.keep = keep
         self.group_components = group_components
         self.assignment_mode = assignment
         self.qmax_bound = qmax_bound
         self.seed = seed
+        self.prepared_cache_size = prepared_cache_size
         self._assignment: CentroidAssignment | None = None
         self._prepared: weakref.WeakKeyDictionary[Partition, GroupedPartition] = (
             weakref.WeakKeyDictionary()
         )
+        # LRU bookkeeping: recency-ordered weak references, keyed by the
+        # partition's object id. Weak on purpose — the cache must keep
+        # releasing layouts together with their partitions (GC), and an
+        # entry whose partition died is pruned silently, not "evicted".
+        self._lru: OrderedDict[int, weakref.ref[Partition]] = OrderedDict()
         #: Times :meth:`prepared` served a cached grouped layout.
         self.prepared_hits: int = 0
         #: Times :meth:`prepared` had to build a grouped layout.
         self.prepared_misses: int = 0
+        #: Live layouts evicted because the cache exceeded its cap.
+        self.prepared_evictions: int = 0
 
     # -- database-side preparation ---------------------------------------------
 
@@ -184,7 +204,10 @@ class PQFastScanner(PartitionScanner):
         """Cached :meth:`prepare`, keyed by partition object identity.
 
         The cache holds weak references, so grouped copies are released
-        together with the partitions they mirror.
+        together with the partitions they mirror, and is bounded by
+        ``prepared_cache_size``: beyond the cap the least recently used
+        layout is evicted (:attr:`prepared_evictions`, also exported via
+        :meth:`repro.obs.Observability.record_cache_eviction`).
         :attr:`prepared_hits` / :attr:`prepared_misses` count cache
         reuse across queries (a batch over ``q`` queries probing one
         partition should cost one miss and ``q - 1`` hits at most).
@@ -195,10 +218,39 @@ class PQFastScanner(PartitionScanner):
             get_observability().record_cache_access(False)
             cached = self.prepare(partition)
             self._prepared[partition] = cached
+            self._touch(partition)
+            self._evict_over_cap()
         else:
             self.prepared_hits += 1
             get_observability().record_cache_access(True)
+            self._touch(partition)
         return cached
+
+    def _touch(self, partition: Partition) -> None:
+        """Mark ``partition`` most recently used (insert or refresh)."""
+        key = id(partition)
+        self._lru.pop(key, None)
+        self._lru[key] = weakref.ref(partition)
+
+    def _evict_over_cap(self) -> None:
+        """Drop least-recently-used layouts until the cache fits its cap.
+
+        Entries whose partition was garbage-collected are pruned without
+        counting as evictions (the WeakKeyDictionary already released
+        their layouts); only a *live* layout removed to make room
+        increments :attr:`prepared_evictions`.
+        """
+        cap = self.prepared_cache_size
+        if cap is None:
+            return
+        while len(self._prepared) > cap and self._lru:
+            _, ref = self._lru.popitem(last=False)
+            partition = ref()
+            if partition is None:
+                continue
+            if self._prepared.pop(partition, None) is not None:
+                self.prepared_evictions += 1
+                get_observability().record_cache_eviction()
 
     def warm(self, partitions: Iterable[Partition]) -> int:
         """Pre-build the grouped layouts (and the lazy assignment).

@@ -76,7 +76,12 @@ class EngineConfig:
         scanner: Step-3 scanner kind, one of :data:`SCANNER_KINDS`.
         keep: PQ Fast Scan's keep fraction (ignored by baselines).
         nprobe: default partitions probed per query.
-        n_workers: worker threads (per shard, when sharded).
+        n_workers: workers (per shard, when sharded) — threads for
+            ``executor="thread"``, processes for ``executor="process"``.
+        executor: ``"thread"`` (default) executes batches on the
+            GIL-bound thread executor; ``"process"`` on the zero-copy
+            process pool (:mod:`repro.parallel`) whose workers mmap the
+            saved index artifact. Results are byte-identical.
         deadline_s: per-shard gather deadline (None = wait forever).
         max_retries: transient-failure retries per shard per batch.
         backoff_s: initial retry backoff, doubled per attempt.
@@ -96,6 +101,7 @@ class EngineConfig:
     keep: float = 0.005
     nprobe: int = 1
     n_workers: int = 1
+    executor: str = "thread"
     deadline_s: float | None = None
     max_retries: int = 1
     backoff_s: float = 0.02
@@ -132,6 +138,10 @@ class EngineConfig:
         if self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
             )
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigurationError(
@@ -174,6 +184,10 @@ class Engine:
         config: the engine's :class:`EngineConfig`.
         sharded: the sharded layout when ``config.n_shards > 1``.
         vectors: raw database vectors for exact re-ranking (optional).
+        index_path: the saved artifact this engine was loaded from
+            (:meth:`load` fills it in). With ``executor="process"`` the
+            worker processes mmap this artifact directly; without it the
+            process backend saves a temporary copy on first use.
     """
 
     def __init__(
@@ -183,6 +197,7 @@ class Engine:
         *,
         sharded: ShardedIndex | None = None,
         vectors: np.ndarray | None = None,
+        index_path: str | Path | None = None,
         observability: Observability | None = None,
     ):
         if (sharded is None) != (config.n_shards == 1):
@@ -194,15 +209,30 @@ class Engine:
         self.config = config
         self.sharded = sharded
         self.vectors = None if vectors is None else np.asarray(vectors, float)
+        self.index_path = None if index_path is None else Path(index_path)
         self.observability = observability
         factory = config.scanner_factory(index.pq)
-        self._searcher = ANNSearcher(index, factory(), vectors=self.vectors)
+        unsharded_path = (
+            self.index_path
+            if self.index_path is not None and self.index_path.is_file()
+            else None
+        )
+        self._searcher = ANNSearcher(
+            index, factory(), vectors=self.vectors, index_path=unsharded_path
+        )
         self._scatter: ScatterGatherExecutor | None = None
         if sharded is not None:
+            sharded_dir = (
+                self.index_path
+                if self.index_path is not None and self.index_path.is_dir()
+                else None
+            )
             self._scatter = ScatterGatherExecutor(
                 sharded,
                 factory,
                 n_workers=config.n_workers,
+                backend=config.executor,
+                artifact_dir=sharded_dir,
                 deadline_s=config.deadline_s,
                 max_retries=config.max_retries,
                 backoff_s=config.backoff_s,
@@ -260,6 +290,7 @@ class Engine:
         path: str | Path,
         config: EngineConfig | None = None,
         *,
+        mmap: bool = False,
         observability: Observability | None = None,
     ) -> "Engine":
         """Load an engine from a :meth:`save` artifact.
@@ -270,11 +301,17 @@ class Engine:
         overridden by what the artifact actually contains. Loading an
         *unsharded* file with ``config.n_shards > 1`` re-shards the
         index in memory (cheap: partitions are shared, not copied).
+
+        With ``mmap=True`` the partition codes and ids are memory-mapped
+        read-only from the artifact instead of copied into the heap
+        (see :func:`~repro.persistence.load_index`). The loaded engine
+        remembers ``path``, so ``executor="process"`` workers attach to
+        this artifact directly instead of saving a temporary copy.
         """
         config = config if config is not None else EngineConfig()
         path = Path(path)
         if path.is_dir():
-            sharded = load_sharded_index(path)
+            sharded = load_sharded_index(path, mmap=mmap)
             index = _global_view(sharded)
             config = replace(
                 config,
@@ -286,9 +323,13 @@ class Engine:
                 nprobe=min(config.nprobe, sharded.n_partitions),
             )
             return cls(
-                index, config, sharded=sharded, observability=observability
+                index,
+                config,
+                sharded=sharded,
+                index_path=path,
+                observability=observability,
             )
-        index = load_index(path)
+        index = load_index(path, mmap=mmap)
         config = replace(
             config,
             m=index.pq.m,
@@ -303,7 +344,13 @@ class Engine:
             sharded = ShardedIndex.from_index(
                 index, n_shards=config.n_shards, layout=config.shard_layout
             )
-        return cls(index, config, sharded=sharded, observability=observability)
+        return cls(
+            index,
+            config,
+            sharded=sharded,
+            index_path=path,
+            observability=observability,
+        )
 
     def save(self, path: str | Path) -> None:
         """Persist the engine's index: a directory when sharded, a file
@@ -340,6 +387,9 @@ class Engine:
                 nprobe=nprobe,
                 rerank=rerank,
                 n_workers=self.config.n_workers,
+                executor=(
+                    "process" if self.config.executor == "process" else "batch"
+                ),
             )
         if rerank:
             raise ConfigurationError(
@@ -381,12 +431,33 @@ class Engine:
                 single,
                 self.config.scanner_factory(self.index.pq),
                 n_workers=self.config.n_workers,
+                backend=self.config.executor,
                 deadline_s=self.config.deadline_s,
                 max_retries=self.config.max_retries,
                 backoff_s=self.config.backoff_s,
                 observability=self.observability,
             )
         return self._scatter.run(queries, topk=k, nprobe=nprobe)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (idempotent).
+
+        Only ``executor="process"`` engines hold resources — worker
+        pools and possibly temporary artifacts; thread engines close as
+        a no-op. The engine stays usable for thread/sequential searches
+        after closing.
+        """
+        self._searcher.close()
+        if self._scatter is not None:
+            self._scatter.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- introspection ------------------------------------------------------
 

@@ -36,6 +36,7 @@ metric                                          kind       labels
 ``repro_pruning_rate``                          gauge      ``scanner``
 ``repro_prepared_cache_{hits,misses}_total``    counter    —
 ``repro_prepared_cache_hit_ratio``              gauge      —
+``repro_prepared_cache_evictions_total``        counter    —
 ``repro_queries_total`` / ``repro_batches_total``  counter —
 ``repro_batch_wall_seconds``                    histogram  —
 ``repro_worker_scan_speed_vps``                 gauge      ``worker``
@@ -158,6 +159,10 @@ class Observability:
             "repro_prepared_cache_hit_ratio",
             help="Lifetime prepared-cache hit ratio.",
         )
+        self._cache_evictions = m.counter(
+            "repro_prepared_cache_evictions_total",
+            help="Prepared layouts evicted by the cache's LRU cap.",
+        )
         self._queries = m.counter(
             "repro_queries_total", help="Queries served by the batch engine."
         )
@@ -243,6 +248,12 @@ class Observability:
         total = hits + self._cache_misses.value()
         if total > 0:
             self._cache_ratio.set(hits / total)
+
+    def record_cache_eviction(self) -> None:
+        """Account one LRU eviction from a prepared-layout cache."""
+        if not self.enabled:
+            return
+        self._cache_evictions.inc(1.0)
 
     def record_batch(
         self,

@@ -1,0 +1,356 @@
+"""Process-pool drop-in for :class:`~repro.search.BatchExecutor`.
+
+Why processes: the thread-backed executor is GIL-bound — the committed
+``BENCH_throughput.json`` of PR 4 measured 1283 qps at one thread
+*degrading* to 1023 qps at four. :class:`ProcessBatchExecutor` keeps the
+exact same partition-major plan and deterministic merge but fans the
+partition jobs across a persistent ``ProcessPoolExecutor``:
+
+* **Zero-copy attach** — workers never receive index data. Each worker
+  process opens the saved artifact itself with
+  ``load_index(path, mmap=True)``; the partition codes are read-only
+  pages of the OS page cache, physically shared by every process that
+  maps the file.
+* **Warm per-process caches** — the pool is persistent (one executor
+  serves many batches) and each worker warms its scanner on
+  initialization (grouped layouts, centroid assignment), so steady-state
+  batches pay no per-batch setup.
+* **Compact traffic** — a task ships only the probing queries' rows and
+  a result only flattened topk arrays plus counters; parent↔worker
+  bytes are independent of partition sizes.
+* **Byte-identical results** — workers run the same
+  :func:`~repro.search.scan_partition_batch` kernel and the parent runs
+  the same :func:`~repro.search.merge_partials` merge, so output is
+  byte-for-byte equal to the sequential loop and the thread executor,
+  for every worker count and completion order.
+
+Observability: the parent records the route/scan/merge spans and the
+batch/worker metrics (per-process work is accounted through the
+standard :class:`~repro.simd.WorkerStats` merge, one slot per worker
+process). Stage spans *inside* a worker (tables, scan) are not traced —
+they happen in another process against that process's default
+(disabled) observability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing.context import BaseContext
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ivf.inverted_index import IVFADCIndex
+from ..obs import Observability, get_observability
+from ..scan.base import PartitionScanner, ScanResult
+from ..search import (
+    BatchPlan,
+    BatchPlanner,
+    BatchReport,
+    SearchResult,
+    merge_partials,
+)
+from ..simd.counters import WorkerStats
+from .worker import (
+    WorkerResult,
+    WorkerTask,
+    _init_worker,
+    _probe_worker,
+    _run_bundle,
+)
+
+__all__ = ["ProcessBatchExecutor"]
+
+
+def _default_context() -> BaseContext:
+    """Prefer ``fork`` (no interpreter re-import, instant spawn) when
+    the platform offers it; fall back to the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _available_cpus() -> int:
+    """CPUs this process may run on (affinity-aware; containers often
+    restrict it below ``os.cpu_count()``)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+class ProcessBatchExecutor:
+    """Partition-major batch executor backed by worker *processes*.
+
+    A drop-in for :class:`~repro.search.BatchExecutor`: same ``run`` /
+    ``run_with_report`` / ``scan_plan`` surface, same deterministic
+    results. Construct it from a saved index artifact (workers attach by
+    path) or via :meth:`from_index` when only an in-memory index exists.
+
+    The pool is created eagerly — all workers are spawned and
+    initialized (index mmapped, scanner built and warmed) in the
+    constructor, so the first batch already runs against warm workers.
+    Call :meth:`close` (or use as a context manager) when done.
+
+    Args:
+        index_path: saved :func:`~repro.persistence.save_index` artifact
+            (uncompressed, positional-only) that workers mmap.
+        scanner: the Step-3 scanner (positional-only). Not sent to
+            workers — reduced to a :class:`~repro.parallel.ScannerSpec`
+            they rebuild from; must be one of the built-in scanner
+            types.
+        n_workers: requested worker processes. The actual pool size
+            (:attr:`pool_size`) is clamped to the CPUs this process may
+            run on: unlike threads, extra worker *processes* beyond the
+            core count cannot overlap anything — they only add context
+            switches and cache thrash — so oversubscription is never
+            honored.
+        mmap: how workers (and the parent, when it loads the index
+            itself) attach to the artifact. True is the zero-copy point
+            of this class; False forces eager per-process copies
+            (measurement baseline).
+        index: the already-loaded index for the parent's planning; when
+            omitted the parent loads ``index_path`` itself.
+        mp_context: explicit :mod:`multiprocessing` context; default
+            prefers ``fork``.
+        observability: explicit observability handle; default is the
+            process-wide instance, resolved at each run.
+    """
+
+    def __init__(
+        self,
+        index_path: str | Path,
+        scanner: PartitionScanner,
+        /,
+        *,
+        n_workers: int = 1,
+        mmap: bool = True,
+        index: IVFADCIndex | None = None,
+        mp_context: BaseContext | None = None,
+        observability: Observability | None = None,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        from ..persistence import load_index
+        from .spec import ScannerSpec
+
+        self.index_path = Path(index_path)
+        # Validate the scanner in the parent so unsupported types fail
+        # here, not as a pickled traceback out of a worker.
+        self.spec = ScannerSpec.for_scanner(scanner)
+        self.scanner = scanner
+        self.n_workers = n_workers
+        self.pool_size = min(n_workers, _available_cpus())
+        self.mmap = mmap
+        self.observability = observability
+        self.index = (
+            index if index is not None else load_index(self.index_path, mmap=mmap)
+        )
+        self.planner = BatchPlanner(self.index)
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._pid_slots: dict[int, int] = {}
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.pool_size,
+            mp_context=mp_context if mp_context is not None else _default_context(),
+            initializer=_init_worker,
+            initargs=(str(self.index_path), self.spec, mmap),
+        )
+        # Force every worker to spawn and run its initializer now;
+        # ProcessPoolExecutor otherwise spawns lazily per submit and the
+        # first batch would pay the attach cost inside its timing.
+        probes = [self._pool.submit(_probe_worker) for _ in range(self.pool_size)]
+        for probe in probes:
+            probe.result()
+
+    @classmethod
+    def from_index(
+        cls,
+        index: IVFADCIndex,
+        scanner: PartitionScanner,
+        *,
+        n_workers: int = 1,
+        mp_context: BaseContext | None = None,
+        observability: Observability | None = None,
+    ) -> "ProcessBatchExecutor":
+        """Build from an in-memory index: saves it to a temporary
+        uncompressed artifact for the workers to mmap (deleted by
+        :meth:`close`)."""
+        from ..persistence import save_index
+
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-index-")
+        path = Path(tempdir.name) / "index.npz"
+        save_index(index, path)
+        executor = cls(
+            path,
+            scanner,
+            n_workers=n_workers,
+            index=index,
+            mp_context=mp_context,
+            observability=observability,
+        )
+        executor._tempdir = tempdir
+        return executor
+
+    # -- the BatchExecutor surface ------------------------------------------
+
+    def run(
+        self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
+    ) -> list[SearchResult]:
+        """Plan and execute a batch; one :class:`SearchResult` per query."""
+        results, _ = self.run_with_report(queries, topk=topk, nprobe=nprobe)
+        return results
+
+    def run_with_report(
+        self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
+    ) -> tuple[list[SearchResult], BatchReport]:
+        """Like :meth:`run`, also returning execution statistics."""
+        obs = (
+            self.observability
+            if self.observability is not None
+            else get_observability()
+        )
+        start = time.perf_counter()
+        with obs.span("route"):
+            plan = self.planner.plan(queries, topk=topk, nprobe=nprobe)
+        partials, worker_stats = self.scan_plan(plan, obs=obs)
+        with obs.span("merge"):
+            results = merge_partials(plan, partials)
+        report = BatchReport(
+            n_queries=plan.n_queries,
+            nprobe=plan.nprobe,
+            topk=plan.topk,
+            n_workers=self.n_workers,
+            n_jobs=len(plan.jobs),
+            wall_time_s=time.perf_counter() - start,
+            worker_stats=worker_stats,
+        )
+        obs.record_batch(report.n_queries, report.wall_time_s, report.worker_stats)
+        return results, report
+
+    def scan_plan(
+        self, plan: BatchPlan, *, obs: Observability | None = None
+    ) -> tuple[list[list[ScanResult | None]], list[WorkerStats]]:
+        """Execute ``plan.jobs`` on the worker pool; raw per-probe partials.
+
+        Same contract as :meth:`BatchExecutor.scan_plan`: the returned
+        grid is ``(n_queries, nprobe)`` with ``None`` at probe positions
+        no job of this plan covered, ready for
+        :func:`~repro.search.merge_partials`.
+        """
+        if obs is None:
+            obs = (
+                self.observability
+                if self.observability is not None
+                else get_observability()
+            )
+        pool = self._require_pool()
+        worker_stats = [WorkerStats(worker_id=i) for i in range(self.pool_size)]
+        partials: list[list[ScanResult | None]] = [
+            [None] * plan.nprobe for _ in range(plan.n_queries)
+        ]
+        bundles = self._bundle_jobs(plan)
+        with obs.span("scan"):
+            futures: list[tuple[Future[tuple[WorkerResult, ...]], tuple[int, ...]]] = [
+                (
+                    pool.submit(
+                        _run_bundle,
+                        tuple(
+                            WorkerTask(
+                                task_id=task_id,
+                                partition_id=plan.jobs[task_id].partition_id,
+                                queries=plan.queries[plan.jobs[task_id].query_rows],
+                                topk=plan.topk,
+                            )
+                            for task_id in bundle
+                        ),
+                    ),
+                    bundle,
+                )
+                for bundle in bundles
+            ]
+            for future, bundle in futures:
+                for out, task_id in zip(future.result(), bundle):
+                    job = plan.jobs[task_id]
+                    offset = 0
+                    for i, (row, position) in enumerate(
+                        zip(job.query_rows, job.probe_positions)
+                    ):
+                        length = int(out.lengths[i])
+                        partials[int(row)][int(position)] = ScanResult(
+                            ids=out.ids[offset : offset + length],
+                            distances=out.distances[offset : offset + length],
+                            n_scanned=int(out.n_scanned[i]),
+                            n_pruned=int(out.n_pruned[i]),
+                        )
+                        offset += length
+                    worker_stats[self._slot_for(out.pid)].record_job(
+                        n_scans=len(out.lengths),
+                        n_vectors_scanned=int(out.n_scanned.sum()),
+                        n_vectors_pruned=int(out.n_pruned.sum()),
+                        busy_time_s=out.busy_time_s,
+                    )
+        return partials, worker_stats
+
+    def _bundle_jobs(self, plan: BatchPlan) -> list[tuple[int, ...]]:
+        """Pack the plan's jobs into at most :attr:`pool_size`
+        cost-balanced bundles (one IPC round trip each).
+
+        Jobs arrive largest-first from the planner; assigning each to
+        the currently lightest bundle is LPT scheduling — near-optimal
+        makespan — while keeping queue traffic per batch bounded by the
+        worker count instead of the partition count.
+        """
+        n_bundles = min(self.pool_size, len(plan.jobs))
+        if n_bundles <= 1:
+            return [tuple(range(len(plan.jobs)))] if plan.jobs else []
+        loads = [0] * n_bundles
+        members: list[list[int]] = [[] for _ in range(n_bundles)]
+        for task_id, job in enumerate(plan.jobs):
+            lightest = min(range(n_bundles), key=loads.__getitem__)
+            members[lightest].append(task_id)
+            loads[lightest] += job.cost
+        return [tuple(bundle) for bundle in members if bundle]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent); frees the temporary
+        artifact when the executor was built by :meth:`from_index`."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "ProcessBatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            raise ConfigurationError(
+                "ProcessBatchExecutor is closed; create a new one"
+            )
+        return self._pool
+
+    def _slot_for(self, pid: int) -> int:
+        """Stable worker-stat slot for a worker process id.
+
+        Slots are assigned in order of first sight. The modulo guards
+        the (pool-restarted-a-worker) case where more distinct pids than
+        slots appear over the executor's lifetime.
+        """
+        slot = self._pid_slots.get(pid)
+        if slot is None:
+            slot = len(self._pid_slots) % self.pool_size
+            self._pid_slots[pid] = slot
+        return slot

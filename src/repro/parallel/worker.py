@@ -1,0 +1,148 @@
+"""Worker-process side of the process-pool executor.
+
+Each worker is initialized exactly once per process
+(:func:`_init_worker`): it attaches to the index artifact **by path**
+with ``load_index(..., mmap=True)`` — the partition codes stay in the OS
+page cache, shared read-only with the parent and every sibling worker,
+so no code bytes are ever pickled — and rebuilds its scanner from the
+picklable :class:`~repro.parallel.ScannerSpec`. Fast scanners are warmed
+immediately (grouped layouts built, assignment learned), so the
+per-process caches are hot before the first task arrives and stay warm
+for the lifetime of the pool.
+
+Tasks and results are deliberately compact: a task carries only the
+partition id plus the probing queries' rows (a few kilobytes), a result
+only the flattened topk ids/distances and per-query counters. Parent ↔
+worker traffic is therefore independent of partition sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ivf.inverted_index import IVFADCIndex
+from ..persistence import load_index
+from ..scan.base import PartitionScanner
+from ..search import scan_partition_batch
+from .spec import ScannerSpec
+
+__all__ = ["WorkerTask", "WorkerResult"]
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """One partition-scan job shipped to a worker process.
+
+    Attributes:
+        task_id: position of the job in the plan (for bookkeeping).
+        partition_id: partition to scan (resolved against the worker's
+            own mmapped index).
+        queries: ``(b, d)`` rows of the batch that probe the partition.
+        topk: neighbors requested per query.
+    """
+
+    task_id: int
+    partition_id: int
+    queries: np.ndarray
+    topk: int
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """Compact outcome of one :class:`WorkerTask`.
+
+    The per-query :class:`~repro.scan.ScanResult` lists are flattened
+    into contiguous arrays for cheap pickling; the parent re-slices them
+    using ``lengths``.
+
+    Attributes:
+        task_id: echo of the task's id.
+        pid: worker process id (parent maps pids to worker-stat slots).
+        lengths: per-query candidate counts, ``len == len(queries)``.
+        ids: all candidate ids, concatenated in query order.
+        distances: matching ADC distances.
+        n_scanned: per-query vectors considered.
+        n_pruned: per-query vectors pruned by lower bounds.
+        busy_time_s: wall time the worker spent on this task.
+    """
+
+    task_id: int
+    pid: int
+    lengths: np.ndarray
+    ids: np.ndarray
+    distances: np.ndarray
+    n_scanned: np.ndarray
+    n_pruned: np.ndarray
+    busy_time_s: float
+
+
+# Per-process state, populated by _init_worker. A plain module dict:
+# ProcessPoolExecutor initializers cannot return values, and the state
+# must be reachable from the task functions by name.
+_STATE: dict[str, object] = {}
+
+
+def _init_worker(index_path: str, spec: ScannerSpec, mmap: bool) -> None:
+    """Attach this process to the index artifact and build its scanner."""
+    index = load_index(index_path, mmap=mmap)
+    scanner = spec.build(index.pq)
+    warm = getattr(scanner, "warm", None)
+    if callable(warm):
+        warm(index.partitions)
+    _STATE["index"] = index
+    _STATE["scanner"] = scanner
+
+
+def _probe_worker() -> int:
+    """No-op task used to force worker spawn + initialization eagerly."""
+    return os.getpid()
+
+
+def _run_bundle(tasks: tuple[WorkerTask, ...]) -> tuple[WorkerResult, ...]:
+    """Run a bundle of partition jobs in one round trip.
+
+    The parent packs a whole batch's jobs into at most ``n_workers``
+    bundles (balanced by job cost), so queue traffic — task pickles,
+    semaphore wakeups across idle workers, result pipe writes — is a
+    per-batch constant instead of scaling with the partition count.
+    """
+    return tuple(_run_task(task) for task in tasks)
+
+
+def _run_task(task: WorkerTask) -> WorkerResult:
+    """Scan one partition for the task's queries; return packed results."""
+    t0 = time.perf_counter()
+    index = _STATE["index"]
+    scanner = _STATE["scanner"]
+    if not isinstance(index, IVFADCIndex) or not isinstance(
+        scanner, PartitionScanner
+    ):
+        raise ConfigurationError(
+            "worker process used before _init_worker attached its state"
+        )
+    partition = index.partitions[task.partition_id]
+    tables = index.distance_tables_for_batch(task.queries, task.partition_id)
+    results = scan_partition_batch(scanner, tables, partition, task.topk)
+    return WorkerResult(
+        task_id=task.task_id,
+        pid=os.getpid(),
+        lengths=np.array([len(r.ids) for r in results], dtype=np.int64),
+        ids=(
+            np.concatenate([r.ids for r in results])
+            if results
+            else np.empty(0, dtype=np.int64)
+        ),
+        distances=(
+            np.concatenate([r.distances for r in results])
+            if results
+            else np.empty(0, dtype=np.float64)
+        ),
+        n_scanned=np.array([r.n_scanned for r in results], dtype=np.int64),
+        n_pruned=np.array([r.n_pruned for r in results], dtype=np.int64),
+        busy_time_s=time.perf_counter() - t0,
+    )

@@ -23,6 +23,25 @@ Crash-safety contract:
   hand-edited archive fails at load time, not deep inside a scan kernel.
 * **No leaked handles** — the ``np.load`` archive is closed before
   ``load_*`` returns; every returned array is materialized.
+
+Zero-copy loading:
+
+* ``save_index`` writes the per-partition ``codes``/``ids`` payloads
+  *stored* (uncompressed) inside the archive, so
+  ``load_index(path, mmap=True)`` can map them straight out of the file
+  with :func:`numpy.memmap` — read-only, page-cache-backed arrays with
+  the ``writeable`` flag off. Every process that maps the same artifact
+  shares one physical copy of the codes, which is what lets the
+  process-pool executor (:mod:`repro.parallel`) attach workers to an
+  index without pickling a single code byte.
+* Small metadata fields (codebooks, flags) are still loaded eagerly, and
+  the load-time validation (dtypes, code widths, lengths) runs on the
+  mapped arrays exactly as it does on materialized ones — every
+  malformed input still raises :class:`~repro.exceptions.DatasetError`.
+* ``mmap=True`` on an artifact whose partition payloads were
+  deflate-compressed (``save_index(..., compress=True)``) raises
+  :class:`~repro.exceptions.DatasetError`: a compressed member has no
+  flat bytes to map. Re-save with the default ``compress=False``.
 """
 
 from __future__ import annotations
@@ -78,8 +97,16 @@ def load_quantizer(path: str | Path) -> ProductQuantizer:
     return ProductQuantizer.from_codebooks(codebooks)
 
 
-def save_index(index: IVFADCIndex, path: str | Path) -> None:
-    """Persist a populated :class:`IVFADCIndex` (quantizer included)."""
+def save_index(
+    index: IVFADCIndex, path: str | Path, *, compress: bool = False
+) -> None:
+    """Persist a populated :class:`IVFADCIndex` (quantizer included).
+
+    By default the archive members are *stored* uncompressed so that
+    :func:`load_index` with ``mmap=True`` can map the partition payloads
+    straight out of the file. Pass ``compress=True`` to trade the mmap
+    capability for a smaller artifact (deflate), e.g. for cold storage.
+    """
     payload = {
         "magic": np.array([_MAGIC]),
         "version": np.array([_VERSION]),
@@ -92,10 +119,10 @@ def save_index(index: IVFADCIndex, path: str | Path) -> None:
     for pid, part in enumerate(index.partitions):
         payload[f"codes_{pid}"] = part.codes
         payload[f"ids_{pid}"] = part.ids
-    _atomic_savez(Path(path), payload)
+    _atomic_savez(Path(path), payload, compress=compress)
 
 
-def load_index(path: str | Path) -> IVFADCIndex:
+def load_index(path: str | Path, *, mmap: bool = False) -> IVFADCIndex:
     """Load an :class:`IVFADCIndex` saved by :func:`save_index`.
 
     Partition payloads are validated eagerly: code dtype, code width
@@ -103,8 +130,20 @@ def load_index(path: str | Path) -> IVFADCIndex:
     the codes/ids length agreement are checked here so malformed or
     hand-edited archives raise :class:`~repro.exceptions.DatasetError`
     at load time instead of crashing inside the scan kernels.
+
+    With ``mmap=True`` the per-partition ``codes``/``ids`` arrays are
+    memory-mapped read-only from the archive instead of materialized:
+    the returned arrays are backed by the OS page cache, shared between
+    every process that maps the same file, and reject writes
+    (``writeable`` flag off). Requires the artifact to have been saved
+    with the default ``compress=False``; deflate-compressed payloads
+    raise :class:`~repro.exceptions.DatasetError`.
     """
-    data = _load_checked(path, expected_kind="index")
+    path = Path(path)
+    # When mmapping, the partition payloads are never decompressed into
+    # memory — _load_checked only materializes the small metadata fields.
+    skip = _PARTITION_PREFIXES if mmap else ()
+    data = _load_checked(path, expected_kind="index", skip_prefixes=skip)
     codebooks = _require(data, "codebooks", path)
     pq = ProductQuantizer.from_codebooks(codebooks)
     index = IVFADCIndex(
@@ -116,8 +155,12 @@ def load_index(path: str | Path) -> IVFADCIndex:
     partitions = []
     total = 0
     for pid in range(index.n_partitions):
-        codes = _require(data, f"codes_{pid}", path)
-        ids = _require(data, f"ids_{pid}", path)
+        if mmap:
+            codes = _mmap_member(path, f"codes_{pid}.npy")
+            ids = _mmap_member(path, f"ids_{pid}.npy")
+        else:
+            codes = _require(data, f"codes_{pid}", path)
+            ids = _require(data, f"ids_{pid}", path)
         _validate_partition(path, pid, codes, ids, pq)
         partitions.append(Partition(codes, ids, partition_id=pid))
         total += len(ids)
@@ -126,7 +169,9 @@ def load_index(path: str | Path) -> IVFADCIndex:
     return index
 
 
-def save_sharded_index(sharded: "ShardedIndex", path: str | Path) -> None:
+def save_sharded_index(
+    sharded: "ShardedIndex", path: str | Path, *, compress: bool = False
+) -> None:
     """Persist a :class:`~repro.shard.ShardedIndex` to directory ``path``.
 
     Layout: one self-contained ``shard_NNNN.npz`` per shard (each a full
@@ -143,7 +188,11 @@ def save_sharded_index(sharded: "ShardedIndex", path: str | Path) -> None:
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
     for shard in sharded.shards:
-        save_index(shard.index, directory / _shard_filename(shard.shard_id))
+        save_index(
+            shard.index,
+            directory / _shard_filename(shard.shard_id),
+            compress=compress,
+        )
     manifest: dict[str, np.ndarray] = {
         "magic": np.array([_MAGIC]),
         "version": np.array([_VERSION]),
@@ -158,7 +207,7 @@ def save_sharded_index(sharded: "ShardedIndex", path: str | Path) -> None:
     _atomic_savez(directory / "manifest.npz", manifest)
 
 
-def load_sharded_index(path: str | Path) -> "ShardedIndex":
+def load_sharded_index(path: str | Path, *, mmap: bool = False) -> "ShardedIndex":
     """Load a :class:`~repro.shard.ShardedIndex` saved by :func:`save_sharded_index`.
 
     Every shard file is validated by :func:`load_index`; the cross-shard
@@ -187,7 +236,7 @@ def load_sharded_index(path: str | Path) -> "ShardedIndex":
     shards = []
     for shard_id in range(n_shards):
         shard_path = directory / _shard_filename(shard_id)
-        index = load_index(shard_path)
+        index = load_index(shard_path, mmap=mmap)
         if index.n_partitions != n_partitions:
             raise DatasetError(
                 f"{shard_path}: has {index.n_partitions} partitions, "
@@ -215,29 +264,39 @@ def load_sharded_index(path: str | Path) -> "ShardedIndex":
 # -- internals -----------------------------------------------------------------
 
 
+_PARTITION_PREFIXES = ("codes_", "ids_")
+
+
 def _shard_filename(shard_id: int) -> str:
     return f"shard_{shard_id:04d}.npz"
 
 
-def _atomic_savez(path: Path, payload: dict[str, np.ndarray]) -> None:
-    """Write ``payload`` as a compressed ``.npz``, atomically.
+def _atomic_savez(
+    path: Path, payload: dict[str, np.ndarray], *, compress: bool = True
+) -> None:
+    """Write ``payload`` as an ``.npz``, atomically.
 
     The archive is serialized into a ``NamedTemporaryFile`` in the
     destination directory (same filesystem, so the final rename cannot
     degrade to a copy) and moved over ``path`` with :func:`os.replace`
     only after the write completed and was flushed to disk. A crash at
     any earlier point leaves the previous file — if any — untouched.
+
+    With ``compress=False`` the members are stored (``ZIP_STORED``), so
+    each array's raw bytes sit contiguously in the file and can later be
+    memory-mapped by :func:`_mmap_member`.
     """
     directory = path.parent if str(path.parent) else Path(".")
     fd, tmp_name = tempfile.mkstemp(
         dir=directory, prefix=path.name + ".", suffix=".tmp"
     )
     tmp = Path(tmp_name)
+    savez = np.savez_compressed if compress else np.savez
     try:
         with os.fdopen(fd, "wb") as handle:
             # Passing the open handle (not a name) stops numpy from
             # appending ".npz" to the temporary file's name.
-            np.savez_compressed(handle, **payload)
+            savez(handle, **payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -246,20 +305,33 @@ def _atomic_savez(path: Path, payload: dict[str, np.ndarray]) -> None:
         raise
 
 
-def _load_checked(path: str | Path, expected_kind: str) -> dict[str, np.ndarray]:
+def _load_checked(
+    path: str | Path,
+    expected_kind: str,
+    *,
+    skip_prefixes: tuple[str, ...] = (),
+) -> dict[str, np.ndarray]:
     """Open, validate and fully materialize a repro ``.npz`` artifact.
 
     The ``NpzFile`` is used as a context manager and every member array
     is decompressed before it closes, so no file handle outlives this
     call (``np.load`` keeps the archive open for lazy member access
     otherwise — a leak per load, and an open-file lock on Windows).
+
+    Members whose names start with one of ``skip_prefixes`` are left out
+    of the returned dict (used by the mmap path, which maps those
+    members directly instead of materializing them).
     """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"{path}: no such file")
     try:
         with np.load(path, allow_pickle=False) as archive:
-            data = {name: archive[name] for name in archive.files}
+            data = {
+                name: archive[name]
+                for name in archive.files
+                if not name.startswith(skip_prefixes)
+            }
     except (zipfile.BadZipFile, zipfile.LargeZipFile, zlib.error, EOFError) as exc:
         raise DatasetError(f"{path}: corrupt or truncated archive ({exc})") from exc
     except (OSError, ValueError) as exc:
@@ -286,6 +358,88 @@ def _require(
         return data[name]
     except KeyError:
         raise DatasetError(f"{path}: missing field {name!r}") from None
+
+
+def _mmap_member(path: Path, member: str) -> np.ndarray:
+    """Memory-map one ``.npy`` member of an ``.npz`` archive, read-only.
+
+    ``np.load(..., mmap_mode=...)`` refuses to map inside zip archives,
+    so this resolves the member's byte offset by hand: the zip central
+    directory gives the local-header offset, the local header (30 fixed
+    bytes + variable name/extra) gives the start of the member bytes,
+    and the ``.npy`` header parsed from there gives dtype/shape/order
+    and the start of the flat array data — which :class:`numpy.memmap`
+    can then map directly. Only ``ZIP_STORED`` members have flat bytes
+    in the file; a deflated member is a format error for this path.
+
+    Every failure mode (missing member, compressed member, truncated or
+    corrupt headers, pickled/object arrays) raises
+    :class:`~repro.exceptions.DatasetError`.
+    """
+    try:
+        with zipfile.ZipFile(path) as archive:
+            try:
+                info = archive.getinfo(member)
+            except KeyError:
+                raise DatasetError(f"{path}: missing field {member!r}") from None
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise DatasetError(
+                    f"{path}: member {member!r} is compressed and cannot be "
+                    "memory-mapped; re-save the index with compress=False"
+                )
+            with open(path, "rb") as handle:
+                handle.seek(info.header_offset)
+                local_header = handle.read(30)
+                if (
+                    len(local_header) != 30
+                    or local_header[:4] != b"PK\x03\x04"
+                ):
+                    raise DatasetError(
+                        f"{path}: corrupt local header for member {member!r}"
+                    )
+                name_len = int.from_bytes(local_header[26:28], "little")
+                extra_len = int.from_bytes(local_header[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                data_start = handle.tell()
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                        handle
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                        handle
+                    )
+                else:
+                    raise DatasetError(
+                        f"{path}: member {member!r} uses unsupported .npy "
+                        f"format version {version}"
+                    )
+                if dtype.hasobject:
+                    raise DatasetError(
+                        f"{path}: member {member!r} contains objects and "
+                        "cannot be memory-mapped"
+                    )
+                array_offset = handle.tell()
+                n_bytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+                if data_start + info.file_size < array_offset + n_bytes:
+                    raise DatasetError(
+                        f"{path}: member {member!r} is truncated"
+                    )
+            return np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=array_offset,
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    except DatasetError:
+        raise
+    except (zipfile.BadZipFile, zipfile.LargeZipFile, EOFError) as exc:
+        raise DatasetError(f"{path}: corrupt or truncated archive ({exc})") from exc
+    except (OSError, ValueError) as exc:
+        raise DatasetError(f"{path}: unreadable archive ({exc})") from exc
 
 
 def _validate_partition(

@@ -29,10 +29,13 @@ sequential per-query loop (kept as ``executor="sequential"`` on
 
 from __future__ import annotations
 
+import tempfile
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,6 +48,9 @@ from .scan.naive import NaiveScanner
 from .scan.topk import select_topk
 from .simd.counters import WorkerStats, aggregate_worker_stats
 
+if TYPE_CHECKING:  # import cycle: repro.parallel imports repro.search
+    from .parallel import ProcessBatchExecutor
+
 __all__ = [
     "ANNSearcher",
     "BatchExecutor",
@@ -54,6 +60,7 @@ __all__ = [
     "PartitionJob",
     "SearchResult",
     "merge_partials",
+    "scan_partition_batch",
 ]
 
 
@@ -181,6 +188,45 @@ class BatchPlanner:
 
 
 # -- batch execution -----------------------------------------------------------
+
+
+def scan_partition_batch(
+    scanner: PartitionScanner,
+    tables: np.ndarray,
+    partition,
+    topk: int,
+) -> list[ScanResult]:
+    """Scan one partition for a whole query batch, most batch-friendly first.
+
+    The shared partition-scan kernel of every executor (thread-backed
+    :class:`BatchExecutor`, the process workers of :mod:`repro.parallel`,
+    the sharded scatter-gather path). Dispatch, most specific first:
+
+    * :class:`~repro.core.PQFastScanner` — the grouped layout comes from
+      the (pre-warmed) :meth:`~repro.core.PQFastScanner.prepared` cache
+      and the whole ``(b, m, k*)`` table stack is remapped in one call;
+      each query then scans via
+      :meth:`~repro.core.PQFastScanner.scan_prepared`.
+    * scanners exposing ``scan_batch`` (plain PQ Scan) — one batched ADC
+      accumulation over the partition for all queries.
+    * any other :class:`PartitionScanner` — per-query ``scan`` calls.
+
+    ``tables`` is the ``(b, m, k*)`` stack for the batch's queries
+    against this partition; the return value has one
+    :class:`~repro.scan.ScanResult` per table row, byte-identical to the
+    per-query sequential loop.
+    """
+    if isinstance(scanner, PQFastScanner):
+        grouped = scanner.prepared(partition)
+        tables_r = scanner.assignment.remap_tables(tables)
+        return [
+            scanner.scan_prepared(tables_r[i], grouped, topk)
+            for i in range(len(tables))
+        ]
+    scan_batch = getattr(scanner, "scan_batch", None)
+    if callable(scan_batch):
+        return list(scan_batch(tables, partition, topk))
+    return [scanner.scan(tables[i], partition, topk=topk) for i in range(len(tables))]
 
 
 def merge_partials(
@@ -358,6 +404,19 @@ class BatchExecutor:
             n_workers = int(legacy_args[0])
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if n_workers > 1:
+            # BENCH_throughput.json documents the regression this warns
+            # about: thread workers contend on the GIL between NumPy
+            # kernels, so w=2/4 measured *slower* than w=1.
+            warnings.warn(
+                f"BatchExecutor with n_workers={n_workers} uses GIL-bound "
+                "threads and is typically slower than n_workers=1; for "
+                "parallel speedup use the process backend "
+                "(repro.parallel.ProcessBatchExecutor, or "
+                'ANNSearcher.search(..., executor="process"))',
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.index = index
         self.scanner = scanner
         self.n_workers = n_workers
@@ -468,18 +527,7 @@ class BatchExecutor:
     def _scan_partition(
         self, tables: np.ndarray, partition, topk: int
     ) -> list[ScanResult]:
-        scanner = self.scanner
-        if isinstance(scanner, PQFastScanner):
-            grouped = scanner.prepared(partition)
-            tables_r = scanner.assignment.remap_tables(tables)
-            return [
-                scanner.scan_prepared(tables_r[i], grouped, topk)
-                for i in range(len(tables))
-            ]
-        scan_batch = getattr(scanner, "scan_batch", None)
-        if callable(scan_batch):
-            return list(scan_batch(tables, partition, topk))
-        return [scanner.scan(tables[i], partition, topk=topk) for i in range(len(tables))]
+        return scan_partition_batch(self.scanner, tables, partition, topk)
 
 
 # -- the one-call search API ---------------------------------------------------
@@ -499,6 +547,16 @@ class ANNSearcher:
             paper's reference [27]). ADC compresses away rank-1
             precision; fetching the shortlist's true vectors and
             re-sorting by exact distance restores it.
+        index_path: path of the saved (uncompressed) index artifact this
+            searcher was loaded from. Only used by
+            ``executor="process"``: worker processes attach to the
+            artifact by path (mmap) instead of receiving pickled codes.
+            Without it, the first process-executor search saves the
+            index to a temporary file once.
+
+    Searchers using ``executor="process"`` hold worker pools; call
+    :meth:`close` (or use the searcher as a context manager) to shut
+    them down deterministically.
     """
 
     def __init__(
@@ -506,13 +564,18 @@ class ANNSearcher:
         index: IVFADCIndex,
         scanner: PartitionScanner | None = None,
         vectors: np.ndarray | None = None,
+        *,
+        index_path: str | Path | None = None,
     ):
         self.index = index
         self.scanner = scanner if scanner is not None else NaiveScanner()
         self.vectors = None if vectors is None else np.asarray(vectors, float)
+        self.index_path = None if index_path is None else Path(index_path)
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._process_executors: dict[int, "ProcessBatchExecutor"] = {}
 
     #: Executor kinds accepted by :meth:`search` for multi-query input.
-    EXECUTORS = ("batch", "sequential")
+    EXECUTORS = ("batch", "sequential", "process")
 
     def search(
         self,
@@ -532,9 +595,12 @@ class ANNSearcher:
         * a ``(b, d)`` batch returns one :class:`SearchResult` per row,
           executed by the partition-major batch engine
           (``executor="batch"``, the default, with ``n_workers``
-          threads) or by the per-query reference loop
-          (``executor="sequential"`` — the baseline benchmarks and the
-          equivalence tests compare against).
+          threads), by a pool of ``n_workers`` *processes* attached to
+          the mmapped index artifact (``executor="process"`` — the only
+          executor whose throughput grows with cores, since thread
+          workers contend on the GIL), or by the per-query reference
+          loop (``executor="sequential"`` — the baseline benchmarks and
+          the equivalence tests compare against).
 
         Results are byte-identical across executors and worker counts.
 
@@ -558,6 +624,10 @@ class ANNSearcher:
             return [
                 self._search_one(q, topk, nprobe, rerank) for q in queries
             ]
+        if executor == "process":
+            return self._search_many_process(
+                queries, topk, nprobe, rerank, n_workers=n_workers
+            )
         return self._search_many(
             queries, topk, nprobe, rerank, n_workers=n_workers
         )
@@ -632,6 +702,78 @@ class ANNSearcher:
                 for query, shortlist in zip(queries, shortlists)
             ]
         return executor.run(queries, topk=topk, nprobe=nprobe)
+
+    def _search_many_process(
+        self,
+        queries: np.ndarray,
+        topk: int,
+        nprobe: int,
+        rerank: int,
+        *,
+        n_workers: int = 1,
+    ) -> list[SearchResult]:
+        """Process-pool batch path; byte-identical to the other executors."""
+        if len(queries) == 0:
+            return []
+        if topk < 1:
+            raise ConfigurationError("topk must be >= 1")
+        executor = self._process_executor(n_workers)
+        if rerank:
+            self._check_rerank(topk, rerank)
+            shortlists = executor.run(queries, topk=rerank, nprobe=nprobe)
+            return [
+                self._rerank_one(query, shortlist, topk)
+                for query, shortlist in zip(queries, shortlists)
+            ]
+        return executor.run(queries, topk=topk, nprobe=nprobe)
+
+    def _process_executor(self, n_workers: int) -> "ProcessBatchExecutor":
+        """A cached :class:`~repro.parallel.ProcessBatchExecutor`.
+
+        Pools are keyed by worker count and kept for the searcher's
+        lifetime, so repeated batches reuse warm worker processes (their
+        per-process scanner caches included). If the searcher was not
+        given an ``index_path``, the index is saved once to a temporary
+        uncompressed artifact for the workers to mmap.
+        """
+        from .parallel import ProcessBatchExecutor
+
+        cached = self._process_executors.get(n_workers)
+        if cached is not None:
+            return cached
+        if self.index_path is None:
+            from .persistence import save_index
+
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-index-")
+            self.index_path = Path(self._tempdir.name) / "index.npz"
+            save_index(self.index, self.index_path)
+        executor = ProcessBatchExecutor(
+            self.index_path,
+            self.scanner,
+            n_workers=n_workers,
+            index=self.index,
+        )
+        self._process_executors[n_workers] = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut down any process pools (and delete the temporary artifact).
+
+        Idempotent; only needed after ``executor="process"`` searches —
+        the thread and sequential paths hold no resources.
+        """
+        for executor in self._process_executors.values():
+            executor.close()
+        self._process_executors.clear()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "ANNSearcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- deprecated entry points (PR 4 API collapse) ------------------------
 

@@ -6,10 +6,12 @@ The query path of a sharded deployment:
    build the global partition-major plan (the same
    :class:`~repro.search.BatchPlanner` the single-index engine uses).
 2. **Scatter**: split the plan's partition jobs by owning shard and run
-   each shard's job subset on that shard's own
-   :class:`~repro.search.BatchExecutor` (each shard runs the
-   partition-major engine internally, with its own worker pool and its
-   own scanner instance).
+   each shard's job subset on that shard's own executor — a
+   :class:`~repro.search.BatchExecutor` (``backend="thread"``) or a
+   :class:`~repro.parallel.ProcessBatchExecutor` whose workers mmap the
+   shard's saved artifact (``backend="process"``). Either way each
+   shard runs the partition-major engine internally, with its own
+   worker pool and its own scanner instance.
 3. **Gather** under a deadline: wait for every shard up to
    ``deadline_s`` from scatter start. A shard that raises is retried
    with exponential backoff (transient-failure policy); a shard that
@@ -31,13 +33,19 @@ they are caller bugs, not operational faults.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, cast
+from multiprocessing.context import BaseContext
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence, cast
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..parallel import ProcessBatchExecutor
 
 from ..exceptions import ConfigurationError
 from ..ivf.inverted_index import IVFADCIndex
@@ -225,8 +233,23 @@ class ScatterGatherExecutor:
             shard. Per-shard instances matter: scanner caches
             (:meth:`~repro.core.PQFastScanner.prepared`) are not locked
             for cross-thread mutation, and shards scan concurrently.
-        n_workers: worker threads *per shard* for the shard-internal
-            partition-major engine.
+        n_workers: workers *per shard* for the shard-internal
+            partition-major engine (threads for ``backend="thread"``,
+            processes for ``backend="process"``).
+        backend: ``"thread"`` (default) runs each shard on a
+            :class:`~repro.search.BatchExecutor`; ``"process"`` runs it
+            on a :class:`~repro.parallel.ProcessBatchExecutor` whose
+            worker processes mmap the shard's saved artifact. Results
+            are byte-identical either way.
+        artifact_dir: for ``backend="process"``, the directory holding a
+            :func:`~repro.persistence.save_sharded_index` layout for
+            *this* sharded index (workers attach to its per-shard
+            files). When omitted, the layout is saved to a temporary
+            directory owned by the executor (freed by :meth:`close`).
+        mmap: for ``backend="process"``, how workers attach to the shard
+            artifacts (True — the zero-copy default — or eager copies).
+        mp_context: for ``backend="process"``, explicit
+            :mod:`multiprocessing` context for the per-shard pools.
         deadline_s: per-shard deadline measured from scatter start;
             shards still running at the deadline are abandoned and the
             response is flagged partial. ``None`` waits indefinitely.
@@ -244,6 +267,10 @@ class ScatterGatherExecutor:
         /,
         *,
         n_workers: int = 1,
+        backend: str = "thread",
+        artifact_dir: str | Path | None = None,
+        mmap: bool = True,
+        mp_context: BaseContext | None = None,
         deadline_s: float | None = None,
         max_retries: int = 1,
         backoff_s: float = 0.02,
@@ -251,6 +278,10 @@ class ScatterGatherExecutor:
     ):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         if deadline_s is not None and deadline_s <= 0:
             raise ConfigurationError(
                 f"deadline_s must be positive (or None), got {deadline_s}"
@@ -275,15 +306,42 @@ class ScatterGatherExecutor:
         self.sharded = sharded
         self.scanners = tuple(shard_scanners)
         self.n_workers = n_workers
+        self.backend = backend
+        self.mmap = mmap
         self.deadline_s = deadline_s
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.observability = observability
         self.router = ShardRouter(sharded)
-        self._executors = tuple(
-            BatchExecutor(shard.index, scanner, n_workers=n_workers)
-            for shard, scanner in zip(sharded.shards, self.scanners)
-        )
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._executors: tuple[BatchExecutor | ProcessBatchExecutor, ...]
+        if backend == "process":
+            from ..parallel import ProcessBatchExecutor
+            from ..persistence import _shard_filename, save_sharded_index
+
+            if artifact_dir is None:
+                self._tempdir = tempfile.TemporaryDirectory(
+                    prefix="repro-shards-"
+                )
+                artifact_dir = self._tempdir.name
+                save_sharded_index(sharded, artifact_dir)
+            directory = Path(artifact_dir)
+            self._executors = tuple(
+                ProcessBatchExecutor(
+                    directory / _shard_filename(shard.shard_id),
+                    scanner,
+                    n_workers=n_workers,
+                    mmap=mmap,
+                    index=shard.index,
+                    mp_context=mp_context,
+                )
+                for shard, scanner in zip(sharded.shards, self.scanners)
+            )
+        else:
+            self._executors = tuple(
+                BatchExecutor(shard.index, scanner, n_workers=n_workers)
+                for shard, scanner in zip(sharded.shards, self.scanners)
+            )
 
     def run(
         self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
@@ -396,6 +454,29 @@ class ScatterGatherExecutor:
             wall_time_s=wall_time_s,
             worker_stats=worker_stats,
         )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        For ``backend="process"`` this shuts down every shard's worker
+        pool and deletes the temporary artifact directory, if this
+        executor created one. The thread backend holds no resources.
+        """
+        for executor in self._executors:
+            close = getattr(executor, "close", None)
+            if callable(close):
+                close()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- internals ----------------------------------------------------------
 

@@ -1,0 +1,337 @@
+"""Tests for the zero-copy process-pool executor (repro.parallel)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    ANNSearcher,
+    NaiveScanner,
+    PQFastScanner,
+    QuantizationOnlyScanner,
+    save_index,
+)
+from repro.engine import Engine, EngineConfig
+from repro.exceptions import ConfigurationError
+from repro.obs import observability_session
+from repro.parallel import ProcessBatchExecutor, ScannerSpec
+from repro.scan.base import PartitionScanner
+from repro.search import BatchExecutor
+from repro.shard import ScatterGatherExecutor, ShardedIndex
+
+
+def _scanner_for(name, idx):
+    if name == "naive":
+        return NaiveScanner()
+    if name == "fastpq":
+        return PQFastScanner(idx.pq, keep=0.01, seed=0)
+    return QuantizationOnlyScanner(idx.pq, keep=0.01)
+
+
+def _assert_results_equal(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.ids.tobytes() == rb.ids.tobytes()
+        assert ra.distances.tobytes() == rb.distances.tobytes()
+        assert ra.n_scanned == rb.n_scanned
+        assert ra.n_pruned == rb.n_pruned
+        assert ra.probed == rb.probed
+
+
+@pytest.fixture(scope="module")
+def index_artifact(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("parallel") / "index.npz"
+    save_index(index, path)
+    return path
+
+
+class TestScannerSpec:
+    def test_fastpq_round_trip(self, pq):
+        scanner = PQFastScanner(
+            pq, keep=0.02, seed=3, qmax_bound="naive", prepared_cache_size=7
+        )
+        spec = ScannerSpec.for_scanner(scanner)
+        rebuilt = spec.build(pq)
+        assert isinstance(rebuilt, PQFastScanner)
+        assert rebuilt.keep == scanner.keep
+        assert rebuilt.seed == scanner.seed
+        assert rebuilt.qmax_bound == scanner.qmax_bound
+        assert rebuilt.prepared_cache_size == scanner.prepared_cache_size
+
+    def test_quantization_only_round_trip(self, pq):
+        scanner = QuantizationOnlyScanner(pq, keep=0.03, chunk=128)
+        rebuilt = ScannerSpec.for_scanner(scanner).build(pq)
+        assert isinstance(rebuilt, QuantizationOnlyScanner)
+        assert rebuilt.keep == scanner.keep
+        assert rebuilt.chunk == scanner.chunk
+
+    def test_registry_scanner_round_trip(self, pq):
+        rebuilt = ScannerSpec.for_scanner(NaiveScanner()).build(pq)
+        assert isinstance(rebuilt, NaiveScanner)
+
+    def test_unsupported_scanner_rejected(self):
+        class Custom(PartitionScanner):
+            name = "custom"
+
+            def scan(self, tables, partition, topk):  # pragma: no cover
+                raise NotImplementedError
+
+            def profile(self):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError, match="reconstructed"):
+            ScannerSpec.for_scanner(Custom())
+
+    def test_unknown_kind_rejected(self, pq):
+        with pytest.raises(ConfigurationError, match="unknown scanner kind"):
+            ScannerSpec(kind="nope").build(pq)
+
+    def test_specs_are_picklable(self, pq):
+        import pickle
+
+        spec = ScannerSpec.for_scanner(PQFastScanner(pq, keep=0.01))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestProcessExecutorEquivalence:
+    @pytest.mark.parametrize("scanner_name", ["naive", "fastpq", "qonly"])
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_byte_identical_to_sequential(
+        self, index, dataset, index_artifact, scanner_name, n_workers
+    ):
+        baseline = ANNSearcher(index, _scanner_for(scanner_name, index)).search(
+            dataset.queries, topk=10, nprobe=2, executor="sequential"
+        )
+        with ProcessBatchExecutor(
+            index_artifact,
+            _scanner_for(scanner_name, index),
+            n_workers=n_workers,
+            index=index,
+        ) as executor:
+            _assert_results_equal(
+                baseline, executor.run(dataset.queries, topk=10, nprobe=2)
+            )
+
+    def test_byte_identical_to_thread_executor(
+        self, index, dataset, index_artifact
+    ):
+        thread = BatchExecutor(index, NaiveScanner(), n_workers=1)
+        with ProcessBatchExecutor(
+            index_artifact, NaiveScanner(), index=index
+        ) as executor:
+            _assert_results_equal(
+                thread.run(dataset.queries, topk=10, nprobe=2),
+                executor.run(dataset.queries, topk=10, nprobe=2),
+            )
+
+    def test_results_stable_across_repeated_runs(
+        self, index, dataset, index_artifact
+    ):
+        with ProcessBatchExecutor(
+            index_artifact, NaiveScanner(), n_workers=2, index=index
+        ) as executor:
+            first = executor.run(dataset.queries, topk=10, nprobe=2)
+            second = executor.run(dataset.queries, topk=10, nprobe=2)
+            _assert_results_equal(first, second)
+
+
+class TestProcessExecutorLifecycle:
+    def test_report_and_worker_stats(self, index, dataset, index_artifact):
+        with ProcessBatchExecutor(
+            index_artifact, NaiveScanner(), n_workers=2, index=index
+        ) as executor:
+            results, report = executor.run_with_report(
+                dataset.queries, topk=10, nprobe=2
+            )
+            assert len(results) == len(dataset.queries)
+            assert report.n_queries == len(dataset.queries)
+            assert report.n_workers == 2
+            assert len(report.worker_stats) == executor.pool_size
+            total_scans = sum(s.n_scans for s in report.worker_stats)
+            assert total_scans == sum(len(r.probed) for r in results)
+            assert sum(s.busy_time_s for s in report.worker_stats) > 0.0
+
+    def test_pool_size_clamped_to_cpus(self, index, index_artifact):
+        import os
+
+        cpus = len(os.sched_getaffinity(0))
+        with ProcessBatchExecutor(
+            index_artifact, NaiveScanner(), n_workers=cpus + 7, index=index
+        ) as executor:
+            assert executor.n_workers == cpus + 7
+            assert executor.pool_size == cpus
+
+    def test_invalid_n_workers(self, index, index_artifact):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            ProcessBatchExecutor(
+                index_artifact, NaiveScanner(), n_workers=0, index=index
+            )
+
+    def test_closed_executor_rejects_runs(self, index, dataset, index_artifact):
+        executor = ProcessBatchExecutor(
+            index_artifact, NaiveScanner(), index=index
+        )
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            executor.run(dataset.queries, topk=5, nprobe=1)
+
+    def test_from_index_cleans_temp_artifact(self, index, dataset):
+        executor = ProcessBatchExecutor.from_index(index, NaiveScanner())
+        tempdir = executor._tempdir
+        assert tempdir is not None
+        results = executor.run(dataset.queries, topk=5, nprobe=1)
+        assert len(results) == len(dataset.queries)
+        executor.close()
+        import pathlib
+
+        assert not pathlib.Path(tempdir.name).exists()
+
+
+class TestSearcherProcessExecutor:
+    def test_search_executor_process_matches_batch(self, index, dataset):
+        searcher = ANNSearcher(index, NaiveScanner())
+        try:
+            _assert_results_equal(
+                searcher.search(dataset.queries, topk=10, nprobe=2),
+                searcher.search(
+                    dataset.queries, topk=10, nprobe=2, executor="process"
+                ),
+            )
+        finally:
+            searcher.close()
+
+    def test_process_rerank_matches_batch_rerank(self, index, dataset):
+        searcher = ANNSearcher(index, NaiveScanner(), vectors=dataset.base)
+        try:
+            a = searcher.search(
+                dataset.queries, topk=5, nprobe=2, rerank=20
+            )
+            b = searcher.search(
+                dataset.queries, topk=5, nprobe=2, rerank=20, executor="process"
+            )
+            _assert_results_equal(a, b)
+        finally:
+            searcher.close()
+
+    def test_executor_pool_reused_across_searches(self, index, dataset):
+        with ANNSearcher(index, NaiveScanner()) as searcher:
+            searcher.search(dataset.queries, topk=5, nprobe=1, executor="process")
+            executor = searcher._process_executors[1]
+            searcher.search(dataset.queries, topk=5, nprobe=1, executor="process")
+            assert searcher._process_executors[1] is executor
+
+    def test_unknown_executor_rejected(self, index, dataset):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            ANNSearcher(index, NaiveScanner()).search(
+                dataset.queries, topk=5, nprobe=1, executor="fibers"
+            )
+
+
+class TestThreadExecutorWarning:
+    def test_multi_worker_threads_warn(self, index):
+        with pytest.warns(RuntimeWarning, match="process backend"):
+            BatchExecutor(index, NaiveScanner(), n_workers=4)
+
+    def test_single_worker_does_not_warn(self, index):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            BatchExecutor(index, NaiveScanner(), n_workers=1)
+
+
+class TestPreparedCacheBound:
+    def test_cap_validated(self, pq):
+        with pytest.raises(ConfigurationError, match="prepared_cache_size"):
+            PQFastScanner(pq, prepared_cache_size=0)
+
+    def test_lru_eviction_under_cap(self, pq, index):
+        scanner = PQFastScanner(pq, keep=0.01, prepared_cache_size=1)
+        first, second = index.partitions[0], index.partitions[1]
+        scanner.prepared(first)
+        assert scanner.prepared_evictions == 0
+        scanner.prepared(second)
+        assert scanner.prepared_evictions == 1
+        assert len(scanner._prepared) == 1
+        # the survivor is the most recently used layout
+        assert scanner.prepared(second) is scanner._prepared[second]
+
+    def test_recency_order_respected(self, pq, dataset):
+        from repro import IVFADCIndex
+
+        wide = IVFADCIndex(pq, n_partitions=4, seed=3).add(dataset.base[:4000])
+        scanner = PQFastScanner(pq, keep=0.01, prepared_cache_size=2)
+        first, second, third = wide.partitions[:3]
+        scanner.prepared(first)
+        scanner.prepared(second)
+        scanner.prepared(first)  # refresh first; second is now LRU
+        scanner.prepared(third)  # over cap: evicts second, not first
+        assert scanner.prepared_evictions == 1
+        assert first in scanner._prepared
+        assert second not in scanner._prepared
+        assert third in scanner._prepared
+
+    def test_unbounded_cache(self, pq, index):
+        scanner = PQFastScanner(pq, keep=0.01, prepared_cache_size=None)
+        for partition in index.partitions:
+            scanner.prepared(partition)
+        assert scanner.prepared_evictions == 0
+        assert len(scanner._prepared) == len(index.partitions)
+
+    def test_evictions_exported_via_observability(self, pq, index):
+        with observability_session() as obs:
+            scanner = PQFastScanner(pq, keep=0.01, prepared_cache_size=1)
+            scanner.prepared(index.partitions[0])
+            scanner.prepared(index.partitions[1])
+            counter = obs.metrics.get("repro_prepared_cache_evictions_total")
+            assert counter.value() == 1.0
+
+
+class TestShardedProcessBackend:
+    def test_process_backend_matches_thread(self, index, dataset):
+        sharded = ShardedIndex.from_index(index, n_shards=2)
+        thread = ScatterGatherExecutor(sharded, NaiveScanner, n_workers=1)
+        with ScatterGatherExecutor(
+            sharded, NaiveScanner, n_workers=1, backend="process"
+        ) as process:
+            a = thread.run(dataset.queries, topk=10, nprobe=2)
+            b = process.run(dataset.queries, topk=10, nprobe=2)
+        assert not a.partial and not b.partial
+        _assert_results_equal(a.results, b.results)
+
+    def test_invalid_backend_rejected(self, index):
+        sharded = ShardedIndex.from_index(index, n_shards=2)
+        with pytest.raises(ConfigurationError, match="backend"):
+            ScatterGatherExecutor(sharded, NaiveScanner, backend="mpi")
+
+    def test_close_removes_temp_artifacts(self, index, dataset):
+        import pathlib
+
+        sharded = ShardedIndex.from_index(index, n_shards=2)
+        executor = ScatterGatherExecutor(
+            sharded, NaiveScanner, backend="process"
+        )
+        tempdir = executor._tempdir
+        assert tempdir is not None
+        executor.run(dataset.queries, topk=5, nprobe=1)
+        executor.close()
+        assert not pathlib.Path(tempdir.name).exists()
+
+
+class TestEngineProcessExecutor:
+    def test_config_executor_validated(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            EngineConfig(executor="threads-but-fast")
+
+    def test_engine_process_matches_thread(self, index, dataset):
+        from dataclasses import replace
+
+        config = EngineConfig(
+            m=index.pq.m, n_partitions=index.n_partitions, nprobe=2,
+            scanner="naive",
+        )
+        thread_engine = Engine(index, config)
+        with Engine(index, replace(config, executor="process")) as process_engine:
+            a = thread_engine.search(dataset.queries, k=10)
+            b = process_engine.search(dataset.queries, k=10)
+        _assert_results_equal(a, b)

@@ -139,7 +139,9 @@ class TestAtomicWrites:
             handle.write(b"partial garbage")
             raise RuntimeError("simulated crash mid-serialization")
 
-        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        # Index artifacts are saved uncompressed (stored members are what
+        # makes mmap loading possible), so the serializer is np.savez.
+        monkeypatch.setattr(np, "savez", crashing_savez)
         with pytest.raises(RuntimeError):
             save_index(index, path)
         assert path.read_bytes() == good_bytes
@@ -152,7 +154,7 @@ class TestAtomicWrites:
         def crashing_savez(handle, **payload):
             raise RuntimeError("simulated crash")
 
-        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        monkeypatch.setattr(np, "savez", crashing_savez)
         with pytest.raises(RuntimeError):
             save_index(index, path)
         assert not path.exists()
@@ -312,3 +314,102 @@ class TestRoundTripSearchParity:
         assert obs.metrics.get("repro_batches_total").value() == 2
         scanned = obs.metrics.get("repro_vectors_scanned_total")
         assert scanned.value(scanner="naive") == 2 * n * len(index)
+
+
+class TestMmapLoading:
+    """load_index(mmap=True): zero-copy partition arrays, same contract."""
+
+    @staticmethod
+    def _scanner_for(name, idx):
+        if name == "naive":
+            return NaiveScanner()
+        if name == "fastpq":
+            return PQFastScanner(idx.pq, keep=0.01, seed=0)
+        return QuantizationOnlyScanner(idx.pq, keep=0.01)
+
+    @pytest.fixture()
+    def saved(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        return path
+
+    @pytest.mark.parametrize("scanner_name", ["naive", "fastpq", "qonly"])
+    def test_mmap_byte_identical_to_eager(self, index, dataset, saved, scanner_name):
+        eager = load_index(saved)
+        mapped = load_index(saved, mmap=True)
+        a = ANNSearcher(eager, self._scanner_for(scanner_name, eager)).search(
+            dataset.queries, topk=10, nprobe=2
+        )
+        b = ANNSearcher(mapped, self._scanner_for(scanner_name, mapped)).search(
+            dataset.queries, topk=10, nprobe=2
+        )
+        for ra, rb in zip(a, b):
+            assert ra.ids.tobytes() == rb.ids.tobytes()
+            assert ra.distances.tobytes() == rb.distances.tobytes()
+            assert ra.n_scanned == rb.n_scanned
+            assert ra.n_pruned == rb.n_pruned
+
+    def test_mmap_arrays_match_eager_bytes(self, saved):
+        eager = load_index(saved)
+        mapped = load_index(saved, mmap=True)
+        for pe, pm in zip(eager.partitions, mapped.partitions):
+            np.testing.assert_array_equal(pe.codes, pm.codes)
+            np.testing.assert_array_equal(pe.ids, pm.ids)
+            assert isinstance(pm.codes.base, np.memmap) or isinstance(
+                pm.codes, np.memmap
+            )
+
+    def test_mmap_arrays_are_read_only(self, saved):
+        mapped = load_index(saved, mmap=True)
+        for partition in mapped.partitions:
+            assert not partition.codes.flags.writeable
+            assert not partition.ids.flags.writeable
+            with pytest.raises(ValueError):
+                partition.codes[0, 0] = 1
+
+    def test_eager_load_stays_plain_ndarray(self, saved):
+        eager = load_index(saved)
+        for partition in eager.partitions:
+            assert not isinstance(partition.codes, np.memmap)
+
+    def test_mmap_rejects_compressed_artifact(self, index, tmp_path):
+        path = tmp_path / "compressed.npz"
+        save_index(index, path, compress=True)
+        assert load_index(path) is not None  # eager load still fine
+        with pytest.raises(DatasetError):
+            load_index(path, mmap=True)
+
+    def test_truncated_artifact_raises(self, saved, tmp_path):
+        data = saved.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DatasetError):
+            load_index(truncated, mmap=True)
+
+    def test_garbage_bytes_raise(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(DatasetError):
+            load_index(path, mmap=True)
+
+    def test_sharded_mmap_round_trip(self, index, dataset, tmp_path):
+        from repro import ShardedIndex, load_sharded_index, save_sharded_index
+
+        sharded = ShardedIndex.from_index(index, n_shards=2)
+        directory = tmp_path / "shards.d"
+        save_sharded_index(sharded, directory)
+        loaded = load_sharded_index(directory, mmap=True)
+        for shard in loaded.shards:
+            for partition in shard.index.partitions:
+                assert not partition.codes.flags.writeable
+        a = ANNSearcher(index, NaiveScanner()).search(
+            dataset.queries, topk=10, nprobe=2
+        )
+        from repro import ScatterGatherExecutor
+
+        response = ScatterGatherExecutor(loaded, NaiveScanner).run(
+            dataset.queries, topk=10, nprobe=2
+        )
+        for ra, rb in zip(a, response.results):
+            assert ra.ids.tobytes() == rb.ids.tobytes()
+            assert ra.distances.tobytes() == rb.distances.tobytes()

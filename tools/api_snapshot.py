@@ -32,6 +32,7 @@ PUBLIC_MODULES = (
     "repro.exceptions",
     "repro.ivf",
     "repro.obs",
+    "repro.parallel",
     "repro.persistence",
     "repro.pq",
     "repro.scan",
