@@ -33,6 +33,7 @@ SIMD implementation performs between register reloads.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from collections.abc import Iterable
@@ -152,6 +153,10 @@ class PQFastScanner(PartitionScanner):
         # releasing layouts together with their partitions (GC), and an
         # entry whose partition died is pruned silently, not "evicted".
         self._lru: OrderedDict[int, weakref.ref[Partition]] = OrderedDict()
+        # One lock guards the lazy assignment, the prepared cache and
+        # its LRU/counters: scanners are shared across batch-executor
+        # worker threads, so every cache mutation happens under it.
+        self._cache_lock = threading.Lock()
         #: Times :meth:`prepared` served a cached grouped layout.
         self.prepared_hits: int = 0
         #: Times :meth:`prepared` had to build a grouped layout.
@@ -179,11 +184,16 @@ class PQFastScanner(PartitionScanner):
                 else:
                     c = self._components_for(None)
                     components = list(range(c, self.pq.m))
-                self._assignment = optimized_assignment(
+                learned = optimized_assignment(
                     self.pq, components, seed=self.seed
                 )
             else:
-                self._assignment = CentroidAssignment.identity(self.pq.m)
+                learned = CentroidAssignment.identity(self.pq.m)
+            # The assignment is deterministic, so concurrent learners
+            # compute identical results; first writer wins.
+            with self._cache_lock:
+                if self._assignment is None:
+                    self._assignment = learned
         return self._assignment
 
     def prepare(self, partition: Partition, c: int | None = None) -> GroupedPartition:
@@ -212,25 +222,44 @@ class PQFastScanner(PartitionScanner):
         reuse across queries (a batch over ``q`` queries probing one
         partition should cost one miss and ``q - 1`` hits at most).
         """
-        cached = self._prepared.get(partition)
-        if cached is None:
-            self.prepared_misses += 1
-            get_observability().record_cache_access(False)
-            cached = self.prepare(partition)
-            self._prepared[partition] = cached
-            self._touch(partition)
-            self._evict_over_cap()
-        else:
-            self.prepared_hits += 1
+        with self._cache_lock:
+            cached = self._prepared.get(partition)
+            if cached is not None:
+                self.prepared_hits += 1
+                self._touch(partition)
+        if cached is not None:
             get_observability().record_cache_access(True)
-            self._touch(partition)
+            return cached
+        # Build outside the lock: prepare() is pure given the (already
+        # learned or lock-protected) assignment, and grouping a large
+        # partition is exactly the work concurrent callers should not
+        # serialize on.
+        built = self.prepare(partition)
+        with self._cache_lock:
+            cached = self._prepared.get(partition)
+            if cached is None:
+                self.prepared_misses += 1
+                cached = built
+                self._prepared[partition] = cached
+                self._touch(partition)
+                self._evict_over_cap()
+                hit = False
+            else:
+                # A concurrent caller inserted first; adopt its layout.
+                self.prepared_hits += 1
+                self._touch(partition)
+                hit = True
+        get_observability().record_cache_access(hit)
         return cached
 
     def _touch(self, partition: Partition) -> None:
-        """Mark ``partition`` most recently used (insert or refresh)."""
+        """Mark ``partition`` most recently used (insert or refresh).
+
+        Caller must hold ``_cache_lock``.
+        """
         key = id(partition)
-        self._lru.pop(key, None)
-        self._lru[key] = weakref.ref(partition)
+        self._lru.pop(key, None)  # reprolint: disable=R6 (caller holds _cache_lock)
+        self._lru[key] = weakref.ref(partition)  # reprolint: disable=R6 (caller holds _cache_lock)
 
     def _evict_over_cap(self) -> None:
         """Drop least-recently-used layouts until the cache fits its cap.
@@ -239,17 +268,19 @@ class PQFastScanner(PartitionScanner):
         counting as evictions (the WeakKeyDictionary already released
         their layouts); only a *live* layout removed to make room
         increments :attr:`prepared_evictions`.
+
+        Caller must hold ``_cache_lock``.
         """
         cap = self.prepared_cache_size
         if cap is None:
             return
         while len(self._prepared) > cap and self._lru:
-            _, ref = self._lru.popitem(last=False)
+            _, ref = self._lru.popitem(last=False)  # reprolint: disable=R6 (caller holds _cache_lock)
             partition = ref()
             if partition is None:
                 continue
-            if self._prepared.pop(partition, None) is not None:
-                self.prepared_evictions += 1
+            if self._prepared.pop(partition, None) is not None:  # reprolint: disable=R6 (caller holds _cache_lock)
+                self.prepared_evictions += 1  # reprolint: disable=R6 (caller holds _cache_lock)
                 get_observability().record_cache_eviction()
 
     def warm(self, partitions: Iterable[Partition]) -> int:

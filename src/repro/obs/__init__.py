@@ -128,6 +128,12 @@ class Observability:
         self.enabled = bool(enabled)
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer(registry=self.metrics, max_spans=max_spans)
+        # Individual Metric operations are atomic (each metric carries
+        # its own lock), but the derived gauges below are computed from
+        # inc-then-read-then-set sequences; this lock makes each such
+        # sequence atomic so concurrent recorders cannot publish a
+        # stale ratio over a fresher one.
+        self._derived_lock = threading.Lock()
         m = self.metrics
         self._scanned = m.counter(
             "repro_vectors_scanned_total",
@@ -228,26 +234,29 @@ class Observability:
         """Account one partition scan and refresh the pruning-rate gauge."""
         if not self.enabled:
             return
-        self._scanned.inc(float(n_scanned), scanner=scanner)
-        self._pruned.inc(float(n_pruned), scanner=scanner)
-        scanned = self._scanned.value(scanner=scanner)
-        if scanned > 0:
-            self._pruning_rate.set(
-                self._pruned.value(scanner=scanner) / scanned, scanner=scanner
-            )
+        with self._derived_lock:
+            self._scanned.inc(float(n_scanned), scanner=scanner)
+            self._pruned.inc(float(n_pruned), scanner=scanner)
+            scanned = self._scanned.value(scanner=scanner)
+            if scanned > 0:
+                self._pruning_rate.set(
+                    self._pruned.value(scanner=scanner) / scanned,
+                    scanner=scanner,
+                )
 
     def record_cache_access(self, hit: bool) -> None:
         """Account one prepared-cache lookup and refresh the hit ratio."""
         if not self.enabled:
             return
-        if hit:
-            self._cache_hits.inc(1.0)
-        else:
-            self._cache_misses.inc(1.0)
-        hits = self._cache_hits.value()
-        total = hits + self._cache_misses.value()
-        if total > 0:
-            self._cache_ratio.set(hits / total)
+        with self._derived_lock:
+            if hit:
+                self._cache_hits.inc(1.0)
+            else:
+                self._cache_misses.inc(1.0)
+            hits = self._cache_hits.value()
+            total = hits + self._cache_misses.value()
+            if total > 0:
+                self._cache_ratio.set(hits / total)
 
     def record_cache_eviction(self) -> None:
         """Account one LRU eviction from a prepared-layout cache."""
@@ -267,10 +276,11 @@ class Observability:
         self._queries.inc(float(n_queries))
         self._batches.inc(1.0)
         self._batch_wall.observe(wall_time_s)
-        for stats in worker_stats:
-            worker = str(stats.worker_id)
-            self._worker_speed.set(stats.scan_speed_vps, worker=worker)
-            self._worker_busy.set(stats.busy_time_s, worker=worker)
+        with self._derived_lock:
+            for stats in worker_stats:
+                worker = str(stats.worker_id)
+                self._worker_speed.set(stats.scan_speed_vps, worker=worker)
+                self._worker_busy.set(stats.busy_time_s, worker=worker)
 
     def record_shard(self, shard: str, latency_s: float, state: str) -> None:
         """Account one shard's outcome in a scatter-gather batch."""
@@ -292,12 +302,13 @@ class Observability:
         """Account one finished gather and refresh the degradation rate."""
         if not self.enabled:
             return
-        self._gathers.inc(1.0)
-        if partial:
-            self._partials.inc(1.0)
-        total = self._gathers.value()
-        if total > 0:
-            self._partial_rate.set(self._partials.value() / total)
+        with self._derived_lock:
+            self._gathers.inc(1.0)
+            if partial:
+                self._partials.inc(1.0)
+            total = self._gathers.value()
+            if total > 0:
+                self._partial_rate.set(self._partials.value() / total)
 
     # -- export conveniences ------------------------------------------------
 

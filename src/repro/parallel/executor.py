@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from multiprocessing.context import BaseContext
@@ -44,11 +45,13 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.sanitize import sanitizer_enabled
 from ..exceptions import ConfigurationError
 from ..ivf.inverted_index import IVFADCIndex
 from ..obs import Observability, get_observability
 from ..scan.base import PartitionScanner, ScanResult
 from ..search import (
+    GATHER_TIMEOUT_S,
     BatchPlan,
     BatchPlanner,
     BatchReport,
@@ -153,6 +156,9 @@ class ProcessBatchExecutor:
         self.planner = BatchPlanner(self.index)
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._pid_slots: dict[int, int] = {}
+        # Guards the mutable lifecycle state (_pool, _tempdir) and the
+        # pid-to-slot map against concurrent close()/scan_plan() calls.
+        self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=self.pool_size,
             mp_context=mp_context if mp_context is not None else _default_context(),
@@ -164,7 +170,7 @@ class ProcessBatchExecutor:
         # first batch would pay the attach cost inside its timing.
         probes = [self._pool.submit(_probe_worker) for _ in range(self.pool_size)]
         for probe in probes:
-            probe.result()
+            probe.result(timeout=GATHER_TIMEOUT_S)
 
     @classmethod
     def from_index(
@@ -253,6 +259,10 @@ class ProcessBatchExecutor:
             [None] * plan.nprobe for _ in range(plan.n_queries)
         ]
         bundles = self._bundle_jobs(plan)
+        # Forward the parent's sanitizer gate with the batch: workers
+        # re-apply it before scanning, so REPRO_SANITIZE set after the
+        # pool spawned still reaches every worker process.
+        sanitize = sanitizer_enabled()
         with obs.span("scan"):
             futures: list[tuple[Future[tuple[WorkerResult, ...]], tuple[int, ...]]] = [
                 (
@@ -267,13 +277,16 @@ class ProcessBatchExecutor:
                             )
                             for task_id in bundle
                         ),
+                        sanitize,
                     ),
                     bundle,
                 )
                 for bundle in bundles
             ]
             for future, bundle in futures:
-                for out, task_id in zip(future.result(), bundle):
+                for out, task_id in zip(
+                    future.result(timeout=GATHER_TIMEOUT_S), bundle
+                ):
                     job = plan.jobs[task_id]
                     offset = 0
                     for i, (row, position) in enumerate(
@@ -320,12 +333,15 @@ class ProcessBatchExecutor:
     def close(self) -> None:
         """Shut the worker pool down (idempotent); frees the temporary
         artifact when the executor was built by :meth:`from_index`."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        # Swap the shared references under the lock, then block on the
+        # shutdown/cleanup outside it (R7: no blocking under a lock).
+        with self._lock:
+            pool, self._pool = self._pool, None
+            tempdir, self._tempdir = self._tempdir, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if tempdir is not None:
+            tempdir.cleanup()
 
     def __enter__(self) -> "ProcessBatchExecutor":
         return self
@@ -349,8 +365,9 @@ class ProcessBatchExecutor:
         the (pool-restarted-a-worker) case where more distinct pids than
         slots appear over the executor's lifetime.
         """
-        slot = self._pid_slots.get(pid)
-        if slot is None:
-            slot = len(self._pid_slots) % self.pool_size
-            self._pid_slots[pid] = slot
+        with self._lock:
+            slot = self._pid_slots.get(pid)
+            if slot is None:
+                slot = len(self._pid_slots) % self.pool_size
+                self._pid_slots[pid] = slot
         return slot

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.sanitize import ENV_VAR as _SANITIZE_ENV_VAR
 from ..exceptions import ConfigurationError
 from ..ivf.inverted_index import IVFADCIndex
 from ..persistence import load_index
@@ -103,14 +104,27 @@ def _probe_worker() -> int:
     return os.getpid()
 
 
-def _run_bundle(tasks: tuple[WorkerTask, ...]) -> tuple[WorkerResult, ...]:
+def _run_bundle(
+    tasks: tuple[WorkerTask, ...], sanitize: bool = False
+) -> tuple[WorkerResult, ...]:
     """Run a bundle of partition jobs in one round trip.
 
     The parent packs a whole batch's jobs into at most ``n_workers``
     bundles (balanced by job cost), so queue traffic — task pickles,
     semaphore wakeups across idle workers, result pipe writes — is a
     per-batch constant instead of scaling with the partition count.
+
+    ``sanitize`` mirrors the parent's ``REPRO_SANITIZE`` gate at call
+    time: worker processes may have been spawned before the gate was
+    set (or with a different environment entirely), and the runtime
+    sanitizer re-reads the gate per scan — so the parent's current
+    setting is forwarded with every bundle rather than being frozen at
+    pool creation.
     """
+    if sanitize:
+        os.environ[_SANITIZE_ENV_VAR] = "1"
+    else:
+        os.environ.pop(_SANITIZE_ENV_VAR, None)
     return tuple(_run_task(task) for task in tasks)
 
 

@@ -57,11 +57,17 @@ __all__ = [
     "BatchPlan",
     "BatchPlanner",
     "BatchReport",
+    "GATHER_TIMEOUT_S",
     "PartitionJob",
     "SearchResult",
     "merge_partials",
     "scan_partition_batch",
 ]
+
+#: Deadline for gathering one worker future. Scans are CPU-bound and
+#: finish in milliseconds; this bound exists so a wedged worker turns
+#: into a loud TimeoutError instead of a silent hang (lint rule R9).
+GATHER_TIMEOUT_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -476,8 +482,9 @@ class BatchExecutor:
                 else get_observability()
             )
         # Warm shared scanner state from the coordinating thread so
-        # workers only read it (PQFastScanner.prepared cache and lazy
-        # assignment are not guarded by locks).
+        # workers start from a populated cache (PQFastScanner guards
+        # its prepared cache and lazy assignment with _cache_lock, but
+        # warming avoids building the same layout in parallel).
         warm = getattr(self.scanner, "warm", None)
         if callable(warm):
             with obs.span("warm"):
@@ -518,7 +525,7 @@ class BatchExecutor:
                 for i, job in enumerate(plan.jobs):
                     slots[pool.submit(run_job, job, i % n_slots)] = job
                 for future in slots:
-                    future.result()
+                    future.result(timeout=GATHER_TIMEOUT_S)
 
         return partials, worker_stats
 

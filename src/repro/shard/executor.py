@@ -34,6 +34,7 @@ they are caller bugs, not operational faults.
 from __future__ import annotations
 
 import tempfile
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -313,6 +314,9 @@ class ScatterGatherExecutor:
         self.backoff_s = backoff_s
         self.observability = observability
         self.router = ShardRouter(sharded)
+        # Guards the temporary-artifact handle against concurrent
+        # close() calls.
+        self._lock = threading.Lock()
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._executors: tuple[BatchExecutor | ProcessBatchExecutor, ...]
         if backend == "process":
@@ -468,9 +472,10 @@ class ScatterGatherExecutor:
             close = getattr(executor, "close", None)
             if callable(close):
                 close()
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        with self._lock:
+            tempdir, self._tempdir = self._tempdir, None
+        if tempdir is not None:
+            tempdir.cleanup()
 
     def __enter__(self) -> "ScatterGatherExecutor":
         return self

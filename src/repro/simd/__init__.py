@@ -37,6 +37,7 @@ from .kernels import (
     gather_kernel,
     libpq_kernel,
     naive_kernel,
+    simdscan_kernel,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "get_platform",
     "libpq_kernel",
     "naive_kernel",
+    "simdscan_kernel",
     "simulate_pq_scan",
 ]
 

@@ -3,7 +3,7 @@
 from .base import KernelRun, make_executor
 from .fastscan import build_block_layout, fastscan_kernel
 from .scalar import libpq_kernel, naive_kernel
-from .simdscan import avx_kernel, gather_kernel
+from .simdscan import avx_kernel, gather_kernel, simdscan_kernel
 
 #: PQ Scan baseline kernels keyed by the paper's implementation names.
 SCAN_KERNELS = {
@@ -23,4 +23,5 @@ __all__ = [
     "libpq_kernel",
     "make_executor",
     "naive_kernel",
+    "simdscan_kernel",
 ]

@@ -69,8 +69,15 @@ class KernelRun:
         return self.cpu.cycles_to_seconds(self.cycles_per_vector * n) * 1e3
 
 
-def make_executor(cpu: CPUModel | str) -> Executor:
-    """Build a fresh executor from a CPU model or platform name."""
+def make_executor(cpu: CPUModel | str | Executor) -> Executor:
+    """Build a fresh executor from a CPU model or platform name.
+
+    A pre-built :class:`Executor` is adopted as-is, which is how the
+    instruction-stream verifier (:mod:`repro.simd.verify`) substitutes a
+    tracing executor without changing any kernel code.
+    """
+    if isinstance(cpu, Executor):
+        return cpu
     if isinstance(cpu, str):
         cpu = get_platform(cpu)
     return Executor(cpu)

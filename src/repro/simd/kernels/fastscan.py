@@ -27,6 +27,7 @@ from ...core.quantization import DistanceQuantizer
 from ...dtypes import FloatArray, UInt8Array
 from ...exceptions import SimulationError
 from ..arch import CPUModel
+from ..executor import Executor
 from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
 
 __all__ = ["fastscan_kernel", "build_block_layout"]
@@ -82,7 +83,7 @@ def build_block_layout(
 
 
 def fastscan_kernel(
-    cpu: CPUModel | str,
+    cpu: CPUModel | str | Executor,
     tables_remapped: FloatArray,
     grouped: GroupedPartition,
     *,

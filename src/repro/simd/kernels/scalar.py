@@ -16,13 +16,14 @@ import numpy as np
 from ...dtypes import AnyCodeArray, FloatArray
 from ...scan.layout import pack_codes_words
 from ..arch import CPUModel
+from ..executor import Executor
 from .base import FLOAT32_TABLES, KernelRun, load_tables, make_executor
 
 __all__ = ["naive_kernel", "libpq_kernel"]
 
 
 def naive_kernel(
-    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
+    cpu: CPUModel | str | Executor, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the naive PQ Scan over ``codes`` on the simulated CPU.
 
@@ -70,7 +71,7 @@ def naive_kernel(
 
 
 def libpq_kernel(
-    cpu: CPUModel | str, tables: FloatArray, codes: AnyCodeArray
+    cpu: CPUModel | str | Executor, tables: FloatArray, codes: AnyCodeArray
 ) -> KernelRun:
     """Execute the libpq word-packed PQ Scan on the simulated CPU."""
     ex = make_executor(cpu)

@@ -1,0 +1,45 @@
+"""Static verifier for simulated SIMD instruction streams.
+
+Capture a kernel's instruction stream with a tracing executor, then
+replay it through an abstract interpreter that checks register shapes,
+definedness, memory bounds, saturation discipline and cost-table
+coverage — without re-running the kernel. See
+:mod:`repro.simd.verify.interp` for the full check list.
+
+Usage::
+
+    from repro.simd.verify import verify_kernel
+    stream, errors = verify_kernel("fastscan")
+    assert not errors
+
+CLI (the CI gate)::
+
+    python -m repro.simd.verify --all-kernels
+"""
+
+from __future__ import annotations
+
+from .interp import VerifierError, default_platforms, verify_stream
+from .registry import KERNEL_NAMES, capture, verify_all, verify_kernel
+from .trace import (
+    Instruction,
+    InstructionStream,
+    MemAccess,
+    RecordingMemory,
+    TracingExecutor,
+)
+
+__all__ = [
+    "Instruction",
+    "InstructionStream",
+    "KERNEL_NAMES",
+    "MemAccess",
+    "RecordingMemory",
+    "TracingExecutor",
+    "VerifierError",
+    "capture",
+    "default_platforms",
+    "verify_all",
+    "verify_kernel",
+    "verify_stream",
+]

@@ -1,0 +1,105 @@
+"""CLI for the SIMD instruction-stream verifier.
+
+Exit codes: 0 — every verified stream is clean; 1 — defects found;
+2 — usage error (unknown kernel or platform).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ...exceptions import ConfigurationError, SimulationError
+from .interp import VerifierError, verify_stream
+from .registry import KERNEL_NAMES, capture
+from .trace import InstructionStream
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simd.verify",
+        description="Statically verify the simulated SIMD kernel streams.",
+    )
+    parser.add_argument(
+        "--all-kernels",
+        action="store_true",
+        help="verify every registered kernel",
+    )
+    parser.add_argument(
+        "--kernel",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="verify one kernel (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--platform",
+        default="haswell",
+        help="platform to capture on (default: haswell; gather needs AVX2)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list verifiable kernels and exit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    return parser
+
+
+def _report(
+    stream: InstructionStream, errors: Sequence[VerifierError]
+) -> dict[str, object]:
+    return {
+        "kernel": stream.kernel,
+        "platform": stream.platform,
+        "instructions": len(stream),
+        "buffers": stream.buffers,
+        "errors": [
+            {"index": e.index, "op": e.op, "message": e.message} for e in errors
+        ],
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name in KERNEL_NAMES:
+            print(name)
+        return 0
+    kernels = list(KERNEL_NAMES) if args.all_kernels else (args.kernel or [])
+    if not kernels:
+        print(
+            "verify: nothing to do (pass --all-kernels or --kernel NAME)",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports: list[dict[str, object]] = []
+    failed = False
+    for kernel in kernels:
+        try:
+            stream = capture(kernel, args.platform)
+        except (ConfigurationError, SimulationError) as exc:
+            print(f"verify: {exc}", file=sys.stderr)
+            return 2
+        errors = verify_stream(stream)
+        reports.append(_report(stream, errors))
+        status = "OK" if not errors else f"{len(errors)} defect(s)"
+        print(
+            f"verify: {kernel} on {stream.platform}: "
+            f"{len(stream)} instructions, {status}",
+            file=sys.stderr,
+        )
+        for error in errors:
+            print(f"  {error.format()}", file=sys.stderr)
+            failed = True
+    if args.json:
+        json.dump(reports, sys.stdout, indent=2)
+        print()
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

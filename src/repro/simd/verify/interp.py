@@ -1,0 +1,262 @@
+"""Abstract interpreter over captured SIMD instruction streams.
+
+Replays an :class:`~repro.simd.verify.trace.InstructionStream` symbolically,
+tracking for every register its abstract *shape* — scalar, flags, or a
+vector with a lane layout — without any data values. The walk rejects:
+
+* reads of registers no instruction has written ("use of undefined");
+* operand shape mismatches (a byte-lane instruction fed a float vector,
+  a 256-bit float add fed a 128-bit byte register, ...);
+* the non-saturating byte add ``paddb`` anywhere: quantized distance
+  codes are int8 lower bounds, and a wrapping add silently corrupts
+  them (Section 4.4's reason for ``paddsb``);
+* ``pshufb`` whose table or index operand is not a 16x8-bit register;
+* loads outside the registered extent of their simulated buffer;
+* opcodes missing a cost entry on any registered CPU platform (a kernel
+  that simulates on Haswell but crashes the Nehalem cost model).
+
+The interpreter is deliberately value-free: it can be run on a mutated
+stream (see :meth:`InstructionStream.replaced`) without executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...exceptions import ConfigurationError
+from ..arch import PLATFORMS, CPUModel
+from .trace import Instruction, InstructionStream
+
+__all__ = [
+    "VerifierError",
+    "default_platforms",
+    "verify_stream",
+]
+
+# Abstract register shapes.
+SCALAR = "scalar"  # python int/float in a GPR or scalar FP register
+FLAGS = "flags"  # comparison result
+BYTES16 = "u8x16"  # 128-bit, 16 byte lanes (signedness-agnostic)
+WORDS8 = "u16x8"  # 128-bit, 8 word lanes (psrlw's view)
+DWORDS8 = "i32x8"  # 256-bit, 8 int32 index lanes
+FLOATS8 = "f32x8"  # 256-bit, 8 float lanes
+
+_VEC128 = frozenset({BYTES16, WORDS8})
+
+#: Methods whose instructions must carry a recorded memory access.
+_LOAD_METHODS = frozenset(
+    {"load_u8", "load_u64", "load_f32", "vload_128", "vload_idx8", "vgather_f32"}
+)
+
+
+@dataclass(frozen=True)
+class VerifierError:
+    """One defect found in an instruction stream."""
+
+    index: int
+    op: str
+    message: str
+
+    def format(self) -> str:
+        return f"#{self.index} {self.op}: {self.message}"
+
+
+def default_platforms() -> list[CPUModel]:
+    """All registered CPU models, deduplicated by name."""
+    seen: dict[str, CPUModel] = {}
+    for model in PLATFORMS.values():
+        seen.setdefault(model.name, model)
+    return list(seen.values())
+
+
+def _read(
+    regs: dict[str, str], src: str, allowed: frozenset[str], what: str
+) -> str | None:
+    """Check one source operand; return an error message or None."""
+    kind = regs.get(src)
+    if kind is None:
+        return f"reads register {src!r} before any instruction wrote it"
+    if kind not in allowed:
+        return (
+            f"{what} operand {src!r} has shape {kind}, "
+            f"needs {'/'.join(sorted(allowed))}"
+        )
+    return None
+
+
+def _check_instruction(regs: dict[str, str], ins: Instruction) -> list[str]:
+    """Shape-check one instruction and update the abstract register file."""
+    errors: list[str] = []
+
+    def read(src: str, allowed: frozenset[str], what: str) -> None:
+        message = _read(regs, src, allowed, what)
+        if message is not None:
+            errors.append(message)
+
+    def write(kind: str) -> None:
+        if ins.dest is not None:
+            regs[ins.dest] = kind
+
+    method = ins.method
+    if method in ("paddb", "padd_i8", "paddusb"):
+        # Rejected before shape analysis: saturation is a correctness
+        # requirement of the quantized lower bounds, not a style choice.
+        errors.append(
+            "non-saturating byte add: int8 distance codes require the "
+            "saturating paddsb (wrapping sums corrupt lower bounds)"
+        )
+        for src in ins.srcs:
+            read(src, _VEC128, "byte add")
+        write(BYTES16)
+    elif method == "mov_imm":
+        write(SCALAR)
+    elif method == "mov":
+        kind = regs.get(ins.srcs[0]) if ins.srcs else None
+        if kind is None:
+            errors.append(
+                f"reads register {ins.srcs[0]!r} before any instruction wrote it"
+                if ins.srcs
+                else "mov with no source register"
+            )
+            write(SCALAR)
+        else:
+            write(kind)
+    elif method in ("load_u8", "load_u64", "load_f32"):
+        # load_f32's optional addr_reg shows up as a scalar source.
+        for src in ins.srcs:
+            read(src, frozenset({SCALAR}), "address")
+        write(SCALAR)
+    elif method in ("add_f32", "add_u64", "shr_u64", "and_u64"):
+        for src in ins.srcs:
+            read(src, frozenset({SCALAR}), "scalar ALU")
+        write(SCALAR)
+    elif method in ("cmp_f32", "cmp_u64"):
+        for src in ins.srcs:
+            read(src, frozenset({SCALAR}), "compare")
+        write(FLAGS)
+    elif method == "branch":
+        for src in ins.srcs:
+            read(src, frozenset({FLAGS}), "branch")
+    elif method in ("vload_128", "vset_128"):
+        write(BYTES16)
+    elif method == "vbroadcast_i8":
+        write(BYTES16)
+    elif method == "pshufb":
+        for src in ins.srcs:
+            read(src, frozenset({BYTES16}), "pshufb (16x8-bit)")
+        write(BYTES16)
+    elif method == "paddsb":
+        for src in ins.srcs:
+            read(src, frozenset({BYTES16}), "paddsb (16x8-bit)")
+        write(BYTES16)
+    elif method in ("pcmpgtb", "pminub"):
+        for src in ins.srcs:
+            read(src, frozenset({BYTES16}), f"{method} (16x8-bit)")
+        write(BYTES16)
+    elif method == "psrlw":
+        for src in ins.srcs:
+            read(src, _VEC128, "psrlw (128-bit integer)")
+        write(WORDS8)
+    elif method == "pand":
+        if len(ins.srcs) == 1:
+            # Register AND immediate byte mask: the mask re-establishes
+            # byte lanes whatever the word-level view of the source was.
+            read(ins.srcs[0], _VEC128, "pand (128-bit integer)")
+            write(BYTES16)
+        else:
+            kinds = []
+            for src in ins.srcs:
+                read(src, _VEC128, "pand (128-bit integer)")
+                kinds.append(regs.get(src))
+            write(BYTES16 if BYTES16 in kinds else WORDS8)
+    elif method == "pmovmskb":
+        for src in ins.srcs:
+            read(src, frozenset({BYTES16}), "pmovmskb (16x8-bit)")
+        write(SCALAR)
+    elif method == "vzero_f32x8":
+        write(FLOATS8)
+    elif method == "vload_idx8":
+        write(DWORDS8)
+    elif method == "vinsert_f32":
+        # srcs are (scalar,) for a fresh insert, (dest, scalar) otherwise.
+        if len(ins.srcs) == 2:
+            read(ins.srcs[0], frozenset({FLOATS8}), "vinsert_f32 destination")
+            read(ins.srcs[1], frozenset({SCALAR}), "vinsert_f32 scalar")
+        elif ins.srcs:
+            read(ins.srcs[0], frozenset({SCALAR}), "vinsert_f32 scalar")
+        write(FLOATS8)
+    elif method == "vextract_f32":
+        for src in ins.srcs:
+            read(src, frozenset({FLOATS8}), "vextract_f32 (8x32-bit float)")
+        write(SCALAR)
+    elif method == "vaddps":
+        for src in ins.srcs:
+            read(src, frozenset({FLOATS8}), "vaddps (8x32-bit float)")
+        write(FLOATS8)
+    elif method == "vgather_f32":
+        for src in ins.srcs:
+            read(src, frozenset({DWORDS8}), "vgather_f32 index")
+        write(FLOATS8)
+    else:
+        errors.append(f"unknown instruction method {method!r}")
+        write(SCALAR)
+    return errors
+
+
+def _check_access(stream: InstructionStream, ins: Instruction) -> str | None:
+    """Bounds-check one instruction's memory access, if any."""
+    if ins.access is None:
+        if ins.method in _LOAD_METHODS:
+            return "load instruction recorded no memory access"
+        return None
+    size = stream.buffers.get(ins.access.buffer)
+    if size is None:
+        return f"load from unregistered buffer {ins.access.buffer!r}"
+    start, stop = ins.access.byte_offset, ins.access.byte_offset + ins.access.nbytes
+    if start < 0 or stop > size:
+        return (
+            f"out-of-bounds load: bytes [{start}, {stop}) of the "
+            f"{size}-byte buffer {ins.access.buffer!r}"
+        )
+    return None
+
+
+def _check_cost_coverage(
+    stream: InstructionStream, platforms: Sequence[CPUModel]
+) -> list[VerifierError]:
+    """Every scheduled opcode must have a cost on every platform."""
+    first_index: dict[str, int] = {}
+    for i, ins in enumerate(stream.instructions):
+        first_index.setdefault(ins.op, i)
+    errors: list[VerifierError] = []
+    for op, index in sorted(first_index.items(), key=lambda item: item[1]):
+        for model in platforms:
+            try:
+                model.cost(op)
+            except ConfigurationError:
+                errors.append(
+                    VerifierError(
+                        index, op, f"no cost-table entry on platform {model.name!r}"
+                    )
+                )
+    return errors
+
+
+def verify_stream(
+    stream: InstructionStream, platforms: Sequence[CPUModel] | None = None
+) -> list[VerifierError]:
+    """Verify one captured stream; return all defects found, in order."""
+    if platforms is None:
+        platforms = default_platforms()
+    errors: list[VerifierError] = []
+    regs: dict[str, str] = {}
+    for index, ins in enumerate(stream.instructions):
+        for message in _check_instruction(regs, ins):
+            errors.append(VerifierError(index, ins.op, message))
+        access_message = _check_access(stream, ins)
+        if access_message is not None:
+            errors.append(VerifierError(index, ins.op, access_message))
+    errors.extend(_check_cost_coverage(stream, platforms))
+    errors.sort(key=lambda error: error.index)
+    return errors

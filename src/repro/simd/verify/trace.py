@@ -1,0 +1,229 @@
+"""Instruction-stream capture for the static SIMD verifier.
+
+The simulator's :class:`~repro.simd.executor.Executor` funnels every
+instruction through ``_schedule``, and every memory read through
+:class:`~repro.simd.memory.SimMemory`. :class:`TracingExecutor` hooks
+both choke points: it is a drop-in executor (kernels accept it through
+:func:`~repro.simd.kernels.base.make_executor`) that additionally
+records each scheduled instruction — opcode, semantic method, register
+operands and, for loads, the byte range touched — into an immutable
+:class:`InstructionStream` the abstract interpreter in
+:mod:`repro.simd.verify.interp` can replay without re-running the
+kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch import CPUModel
+from ..cache import CacheModel
+from ..executor import Executor
+from ..memory import SimMemory
+
+__all__ = [
+    "Instruction",
+    "InstructionStream",
+    "MemAccess",
+    "RecordingMemory",
+    "TracingExecutor",
+]
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One recorded load: a byte range of a named simulated buffer."""
+
+    buffer: str
+    byte_offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One scheduled instruction of a captured kernel stream.
+
+    Attributes:
+        op: the scheduled opcode — the cost-table key (``vset_128`` and
+            ``vzero_f32x8`` both schedule as ``mov``).
+        method: the executor method that produced the instruction; this
+            is the semantic identity the interpreter dispatches on.
+        dest: destination register, or None (branches).
+        srcs: source registers, exactly as scheduled.
+        access: the memory range read, for load instructions.
+    """
+
+    op: str
+    method: str
+    dest: str | None
+    srcs: tuple[str, ...]
+    access: MemAccess | None = None
+
+
+@dataclass(frozen=True)
+class InstructionStream:
+    """A captured kernel execution: instructions plus buffer extents."""
+
+    kernel: str
+    platform: str
+    instructions: tuple[Instruction, ...]
+    buffers: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def replaced(self, index: int, **changes: object) -> "InstructionStream":
+        """Copy of the stream with one instruction's fields replaced.
+
+        The mutation hook for the verifier's tests: seed a defect
+        (``stream.replaced(i, op="paddb", method="paddb")``) and assert
+        the interpreter rejects it.
+        """
+        instructions = list(self.instructions)
+        instructions[index] = dataclasses.replace(instructions[index], **changes)
+        return dataclasses.replace(self, instructions=tuple(instructions))
+
+
+class RecordingMemory(SimMemory):
+    """SimMemory that remembers buffer extents and the last read range."""
+
+    def __init__(self, cache: CacheModel) -> None:
+        super().__init__(cache)
+        self.sizes: dict[str, int] = {}
+        self.pending: MemAccess | None = None
+
+    def add(self, name: str, data: np.ndarray, *, streamed: bool = False) -> None:
+        super().add(name, data, streamed=streamed)
+        self.sizes[name] = int(self.buffer(name).nbytes)
+
+    def _record_element(self, name: str, index: int) -> None:
+        itemsize = int(self.buffer(name).dtype.itemsize)
+        self.pending = MemAccess(name, int(index) * itemsize, itemsize)
+
+    def read_u8(self, name: str, index: int) -> int:
+        self._record_element(name, index)
+        return super().read_u8(name, index)
+
+    def read_u64(self, name: str, index: int) -> int:
+        self._record_element(name, index)
+        return super().read_u64(name, index)
+
+    def read_f32(self, name: str, index: int) -> float:
+        self._record_element(name, index)
+        return super().read_f32(name, index)
+
+    def read_bytes(self, name: str, byte_offset: int, count: int = 16) -> np.ndarray:
+        self.pending = MemAccess(name, int(byte_offset), int(count))
+        return super().read_bytes(name, byte_offset, count)
+
+
+#: Executor instruction methods wrapped for method-identity tracking.
+#: ``vgather_f32`` is excluded: it reads memory directly (not through a
+#: ``read_*`` helper), so TracingExecutor overrides it explicitly.
+_METHOD_NAMES = (
+    "mov_imm",
+    "mov",
+    "load_u8",
+    "load_u64",
+    "load_f32",
+    "add_f32",
+    "add_u64",
+    "shr_u64",
+    "and_u64",
+    "cmp_f32",
+    "cmp_u64",
+    "branch",
+    "vload_128",
+    "vset_128",
+    "vbroadcast_i8",
+    "pshufb",
+    "paddsb",
+    "pand",
+    "psrlw",
+    "pcmpgtb",
+    "pminub",
+    "pmovmskb",
+    "vzero_f32x8",
+    "vload_idx8",
+    "vinsert_f32",
+    "vextract_f32",
+    "vaddps",
+)
+
+
+class TracingExecutor(Executor):
+    """Executor that records every scheduled instruction.
+
+    Numeric behaviour and cycle accounting are untouched — the trace is
+    captured as a side effect in ``_schedule``, after the real executor
+    method has computed its architectural result.
+    """
+
+    def __init__(self, cpu: CPUModel) -> None:
+        super().__init__(cpu)
+        self._rmem = RecordingMemory(cpu.cache)
+        self.memory = self._rmem
+        self.trace: list[Instruction] = []
+        self._method_stack: list[str] = []
+
+    @property
+    def buffer_sizes(self) -> dict[str, int]:
+        """Registered buffer extents in bytes, for the stream header."""
+        return dict(self._rmem.sizes)
+
+    def _schedule(
+        self,
+        op: str,
+        dest: str | None,
+        srcs: tuple[str, ...],
+        extra_latency: float = 0.0,
+        is_load: bool = False,
+    ) -> None:
+        method = self._method_stack[-1] if self._method_stack else op
+        access = None
+        if is_load:
+            access = self._rmem.pending
+            self._rmem.pending = None
+        self.trace.append(
+            Instruction(op=op, method=method, dest=dest, srcs=tuple(srcs), access=access)
+        )
+        super()._schedule(op, dest, srcs, extra_latency, is_load)
+
+    def vgather_f32(self, dest: str, buffer: str, indexes: str) -> np.ndarray:
+        # The gather bypasses SimMemory's read helpers, so reconstruct
+        # the touched range from the index register: the access spans
+        # min..max gathered element.
+        idx = np.asarray(self.regs[indexes]).reshape(-1)
+        itemsize = int(self.memory.buffer(buffer).dtype.itemsize)
+        lo = int(idx.min()) * itemsize
+        hi = (int(idx.max()) + 1) * itemsize
+        self._rmem.pending = MemAccess(buffer, lo, hi - lo)
+        self._method_stack.append("vgather_f32")
+        try:
+            return Executor.vgather_f32(self, dest, buffer, indexes)
+        finally:
+            self._method_stack.pop()
+
+
+def _traced(name: str) -> object:
+    base = getattr(Executor, name)
+
+    def wrapper(self: TracingExecutor, *args: object, **kwargs: object) -> object:
+        self._method_stack.append(name)
+        try:
+            result: object = base(self, *args, **kwargs)
+        finally:
+            self._method_stack.pop()
+        return result
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"TracingExecutor.{name}"
+    return wrapper
+
+
+for _name in _METHOD_NAMES:
+    setattr(TracingExecutor, _name, _traced(_name))
+del _name

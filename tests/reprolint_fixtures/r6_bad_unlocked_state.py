@@ -1,0 +1,14 @@
+"""R6 must flag: guarded-class attributes written without the lock."""
+
+import threading
+
+
+class BatchExecutor:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: list[int] = []
+        self.completed = 0
+
+    def record(self, job: int) -> None:
+        self._jobs.append(job)
+        self.completed += 1

@@ -1,0 +1,19 @@
+"""R6 must pass: shared writes happen under the lock or thread-locally."""
+
+import threading
+
+
+class BatchExecutor:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: list[int] = []
+        self.completed = 0
+        self._scratch = threading.local()
+
+    def record(self, job: int) -> None:
+        with self._lock:
+            self._jobs.append(job)
+            self.completed += 1
+
+    def stash(self, value: int) -> None:
+        self._scratch.value = value

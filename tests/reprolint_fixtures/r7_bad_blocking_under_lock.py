@@ -1,0 +1,12 @@
+"""R7 must flag: a blocking submit while the module lock is held."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_lock = threading.Lock()
+
+
+def fan_out(pool: ThreadPoolExecutor, jobs: list[int]) -> None:
+    with _lock:
+        for job in jobs:
+            pool.submit(print, job)

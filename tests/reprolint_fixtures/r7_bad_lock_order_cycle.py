@@ -1,0 +1,18 @@
+"""R7 must flag: two paths acquire the same locks in opposite order."""
+
+import threading
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+
+
+def forward() -> None:
+    with _lock_a:
+        with _lock_b:
+            pass
+
+
+def backward() -> None:
+    with _lock_b:
+        with _lock_a:
+            pass

@@ -1,0 +1,21 @@
+"""R7 must pass: consistent lock order, blocking outside the lock."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+
+
+def forward() -> None:
+    with _lock_a:
+        with _lock_b:
+            pass
+
+
+def also_forward(pool: ThreadPoolExecutor, jobs: list[int]) -> list[str]:
+    with _lock_a:
+        with _lock_b:
+            pending = list(jobs)
+    handles = [pool.submit(str, job) for job in pending]
+    return [handle.result(timeout=30.0) for handle in handles]

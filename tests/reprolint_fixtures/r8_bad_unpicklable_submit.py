@@ -1,0 +1,16 @@
+"""R8 must flag: a memmap-backed array shipped into a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def _scan(codes: object) -> int:
+    return len(repr(codes))
+
+
+def fan_out(path: str) -> int:
+    codes = np.memmap(path, dtype=np.uint8)
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(_scan, codes)
+        return future.result(timeout=30.0)

@@ -1,0 +1,14 @@
+"""R8 must pass: only sanctioned picklables cross the process boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+
+def _scan(path: str, rows: tuple) -> int:
+    return len(rows)
+
+
+def fan_out(path: Path, rows: list) -> int:
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(_scan, str(path), tuple(rows))
+        return future.result(timeout=30.0)

@@ -1,0 +1,11 @@
+"""R9 must flag: a gather that can hang forever on a dead worker."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def gather(pool: ThreadPoolExecutor, jobs: list[int]) -> list[str]:
+    pending = [pool.submit(str, job) for job in jobs]
+    out: list[str] = []
+    for handle in pending:
+        out.append(handle.result())
+    return out

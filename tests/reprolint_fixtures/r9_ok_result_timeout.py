@@ -1,0 +1,19 @@
+"""R9 must pass: every gather passes a deadline (or justifies not to)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def gather(pool: ThreadPoolExecutor, jobs: list[int]) -> list[str]:
+    pending = [pool.submit(str, job) for job in jobs]
+    out: list[str] = []
+    for handle in pending:
+        out.append(handle.result(timeout=30.0))
+    return out
+
+
+def gather_unbounded(pool: ThreadPoolExecutor, jobs: list[int]) -> list[str]:
+    pending = [pool.submit(str, job) for job in jobs]
+    return [
+        handle.result()  # reprolint: disable=R9 (caller manages the deadline)
+        for handle in pending
+    ]

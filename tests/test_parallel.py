@@ -318,6 +318,53 @@ class TestShardedProcessBackend:
         assert not pathlib.Path(tempdir.name).exists()
 
 
+class TestSanitizerPropagation:
+    """REPRO_SANITIZE set in the parent must reach pool workers.
+
+    Worker processes fork before (or with a different) environment, so
+    the parent forwards its current gate with every bundle. The tests
+    patch the invariant check to raise unconditionally *before* the pool
+    forks (workers inherit the patched module), then toggle the gate
+    only in the parent — the patched check firing in a worker proves the
+    gate crossed the process boundary at run time, not at fork time.
+    """
+
+    def _patched_executor(self, index, index_artifact, monkeypatch):
+        from repro.core import fast_scan
+        from repro.exceptions import InvariantViolation
+
+        def boom(*args, **kwargs):
+            raise InvariantViolation("sanitizer ran in worker")
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        monkeypatch.setattr(fast_scan, "check_lower_bound_invariant", boom)
+        return ProcessBatchExecutor(
+            index_artifact,
+            PQFastScanner(index.pq, keep=0.01, seed=0),
+            n_workers=1,
+            index=index,
+        )
+
+    def test_sanitize_env_reaches_workers(
+        self, index, dataset, index_artifact, monkeypatch
+    ):
+        from repro.exceptions import InvariantViolation
+
+        with self._patched_executor(index, index_artifact, monkeypatch) as ex:
+            # Enabled only after the workers forked: propagation has to
+            # happen per bundle for the worker-side check to fire.
+            monkeypatch.setenv("REPRO_SANITIZE", "1")
+            with pytest.raises(InvariantViolation, match="sanitizer ran"):
+                ex.run(dataset.queries, topk=5, nprobe=1)
+
+    def test_sanitize_off_skips_worker_checks(
+        self, index, dataset, index_artifact, monkeypatch
+    ):
+        with self._patched_executor(index, index_artifact, monkeypatch) as ex:
+            results = ex.run(dataset.queries, topk=5, nprobe=1)
+            assert len(results) == len(dataset.queries)
+
+
 class TestEngineProcessExecutor:
     def test_config_executor_validated(self):
         with pytest.raises(ConfigurationError, match="executor"):

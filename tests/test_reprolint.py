@@ -28,6 +28,11 @@ BAD_FIXTURES = {
     "r4_bad_vector_loop.py": "R4",
     "r5_bad_bare_ndarray.py": "R5",
     "r5_bad_alias_conflict.py": "R5",
+    "r6_bad_unlocked_state.py": "R6",
+    "r7_bad_blocking_under_lock.py": "R7",
+    "r7_bad_lock_order_cycle.py": "R7",
+    "r8_bad_unpicklable_submit.py": "R8",
+    "r9_bad_result_no_timeout.py": "R9",
 }
 
 OK_FIXTURES = [
@@ -36,6 +41,10 @@ OK_FIXTURES = [
     "r3_ok_exceptions.py",
     "r4_ok_justified.py",
     "r5_ok_aliases.py",
+    "r6_ok_locked_state.py",
+    "r7_ok_lock_discipline.py",
+    "r8_ok_sanctioned_submit.py",
+    "r9_ok_result_timeout.py",
 ]
 
 
@@ -67,7 +76,7 @@ class TestShippedTree:
 
     def test_rules_cover_expected_ids(self):
         assert [rule.id for rule in default_rules()] == [
-            "R1", "R2", "R3", "R4", "R5",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
         ]
 
 
@@ -92,7 +101,7 @@ class TestCLI:
         assert "R1" in proc.stdout
 
     def test_unknown_rule_exits_two(self):
-        proc = self.run_cli("--rules", "R9", "src")
+        proc = self.run_cli("--rules", "R99", "src")
         assert proc.returncode == 2
 
     def test_missing_path_exits_two(self):
@@ -102,8 +111,29 @@ class TestCLI:
     def test_list_rules(self):
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        ):
             assert rule_id in proc.stdout
+
+    def test_summary_counts_files(self):
+        proc = self.run_cli("src")
+        assert proc.returncode == 0
+        assert "file(s) checked" in proc.stderr
+
+    def test_empty_path_reports_zero_files(self, tmp_path):
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 0
+        assert "0 file(s) checked" in proc.stderr
+
+    def test_strict_empty_exits_two(self, tmp_path):
+        proc = self.run_cli("--strict-empty", str(tmp_path))
+        assert proc.returncode == 2
+        assert "no Python files" in proc.stderr
+
+    def test_strict_empty_passes_with_files(self):
+        proc = self.run_cli("--strict-empty", "src")
+        assert proc.returncode == 0
 
     def test_json_format(self):
         proc = self.run_cli(

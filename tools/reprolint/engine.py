@@ -266,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print rule ids and exit"
     )
+    parser.add_argument(
+        "--strict-empty",
+        action="store_true",
+        help="exit 2 when no Python files are found (catches mis-typed "
+        "CI paths that would otherwise pass vacuously)",
+    )
     args = parser.parse_args(argv)
 
     rules = default_rules()
@@ -286,7 +292,12 @@ def main(argv: list[str] | None = None) -> int:
     if missing:
         print(f"no such path: {missing[0]}", file=sys.stderr)
         return 2
-    violations = run(paths, rules=rules, force_all=args.all_rules)
+    files = iter_python_files(paths)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(
+            check_file(path, rules, force_all=args.all_rules)
+        )
     if args.fmt == "json":
         print(
             json.dumps(
@@ -296,6 +307,16 @@ def main(argv: list[str] | None = None) -> int:
     else:
         for violation in violations:
             print(violation.format())
-        if violations:
-            print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+    print(
+        f"reprolint: {len(files)} file(s) checked, "
+        f"{len(violations)} violation(s)",
+        file=sys.stderr,
+    )
+    if not files and args.strict_empty:
+        print(
+            "reprolint: --strict-empty: no Python files found under the "
+            "given paths",
+            file=sys.stderr,
+        )
+        return 2
     return 1 if violations else 0

@@ -1,5 +1,9 @@
 """The five numerical-safety rules (R1-R5).
 
+The concurrency rules (R6-R9) live in
+:mod:`tools.reprolint.concurrency`; :func:`default_rules` returns both
+families in id order.
+
 Each rule encodes one contract from the paper's exactness argument
 (Sec. 4.4 / Sec. 5: table entries floor-quantize, thresholds
 ceil-quantize, int8 sums saturate) or from the repository's engineering
@@ -492,10 +496,13 @@ def _annotation_alias(annotation: ast.expr) -> tuple[str, str] | None:
 
 def default_rules() -> list[Rule]:
     """All rules in id order."""
+    from .concurrency import concurrency_rules
+
     return [
         RawInt8AddRule(),
         NarrowingCastRule(),
         BareAssertRule(),
         KernelLoopRule(),
         KernelAnnotationRule(),
+        *concurrency_rules(),
     ]
