@@ -100,7 +100,7 @@ from .shard import (
 from .engine import SCANNER_KINDS, Engine, EngineConfig
 from .simd import WorkerStats, aggregate_worker_stats, combine_worker_stats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ANNSearcher",

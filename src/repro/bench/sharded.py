@@ -1,16 +1,31 @@
 """Sharded scatter-gather benchmark (queries/sec vs shard count).
 
-The serving-scale counterpart of :mod:`repro.bench.throughput`: how does
-the scatter-gather engine (:mod:`repro.shard`) compare with the single
-partition-major engine on the same workload, across shard counts? Every
-sharded run is verified byte-identical to the unsharded baseline before
-its timing counts — the exactness contract is the whole point of
-sharding by partition instead of re-building per shard.
+The serving-scale counterpart of :mod:`repro.bench.throughput`: how much
+does the scatter-gather engine (:mod:`repro.shard`) win over the
+sequential per-query loop, across shard counts and per-shard worker
+counts? The sweep mirrors the throughput benchmark's methodology —
+
+* the **sequential loop is the speedup denominator** (the same baseline
+  ``BENCH_throughput.json`` gates against), with the unsharded batch
+  engine reported alongside for the sharding-overhead view;
+* every sharded configuration is verified **byte-identical** to the
+  baseline before its timing counts — exactness is the whole point of
+  sharding by partition instead of re-building per shard;
+* executors are constructed once per configuration and their pools stay
+  **pinned** across repeats, so the numbers measure the steady state the
+  serving path actually runs in (spin-up is paid before timing starts);
+* repeats are **interleaved** across configurations so machine-state
+  drift hits every configuration equally.
+
+Each sharded run also records the per-shard wall times and the gather
+overlap (merge seconds hidden behind in-flight shards by the streaming
+gather) from its best repeat.
 
 Run as a module for the CLI::
 
-    PYTHONPATH=src python -m repro.bench.sharded --scale 4000 \
-        --n-queries 128 --nprobe 4 --shards 1 2 4
+    PYTHONPATH=src python -m repro.bench.sharded --scale 2000 \
+        --n-queries 256 --nprobe 4 --shards 2 4 --backend process \
+        --min-speedup 1.0
 
 Writes ``results/sharded.{txt,json}`` via the standard reporting helpers
 plus a ``BENCH_sharded.json`` summary at the repo root (or ``--output``).
@@ -26,10 +41,11 @@ from typing import Callable, Sequence
 
 from ..core.fast_scan import PQFastScanner
 from ..exceptions import ConfigurationError
+from ..parallel.executor import _available_cpus
 from ..scan.base import PartitionScanner
 from ..scan.naive import NaiveScanner
-from ..search import ANNSearcher
-from ..shard import ScatterGatherExecutor, ShardedIndex
+from ..search import ANNSearcher, BatchExecutor
+from ..shard import ScatterGatherExecutor, ShardedIndex, ShardedResponse
 from .reporting import format_table, save_report
 from .throughput import _results_equal
 from .workloads import Workload, build_workload
@@ -38,33 +54,50 @@ __all__ = ["ShardedRun", "measure_sharded", "run_benchmark", "main"]
 
 
 class ShardedRun:
-    """One timed shard-count configuration.
+    """One timed configuration of the sweep.
 
     Attributes:
-        label: configuration name (e.g. ``"sharded s=4"``).
-        n_shards: shard count (0 marks the unsharded baseline).
+        label: configuration name (e.g. ``"sharded s=4 w=1"``).
+        kind: ``"sequential"`` (the speedup denominator),
+            ``"unsharded"`` (the single batch engine) or ``"sharded"``.
+        n_shards: shard count (0 for the unsharded configurations).
+        n_workers: workers per shard (or for the unsharded engine).
         wall_time_s: best-of-repeats wall time for the whole batch.
         queries_per_second: batch size / wall time.
-        identical: results matched the unsharded baseline byte-for-byte.
+        identical: results matched the sequential baseline
+            byte-for-byte.
         partial: any shard degraded during the verification run (must be
             False on a healthy benchmark host).
+        gather_overlap_s: merge time the streaming gather hid behind
+            in-flight shards, from the best repeat (sharded runs only).
+        per_shard: per-shard status dicts (state, attempts, latency_s,
+            n_jobs) from the best repeat (sharded runs only).
     """
 
     def __init__(
         self,
         label: str,
+        kind: str,
         n_shards: int,
+        n_workers: int,
         wall_time_s: float,
         n_queries: int,
         identical: bool,
+        *,
         partial: bool = False,
+        gather_overlap_s: float = 0.0,
+        per_shard: Sequence[dict] = (),
     ):
         self.label = label
+        self.kind = kind
         self.n_shards = n_shards
+        self.n_workers = n_workers
         self.wall_time_s = wall_time_s
         self.n_queries = n_queries
         self.identical = identical
         self.partial = partial
+        self.gather_overlap_s = gather_overlap_s
+        self.per_shard = list(per_shard)
 
     @property
     def queries_per_second(self) -> float:
@@ -75,11 +108,15 @@ class ShardedRun:
     def as_dict(self) -> dict:
         return {
             "label": self.label,
+            "kind": self.kind,
             "n_shards": self.n_shards,
+            "n_workers": self.n_workers,
             "wall_time_s": self.wall_time_s,
             "queries_per_second": self.queries_per_second,
             "identical": self.identical,
             "partial": self.partial,
+            "gather_overlap_s": self.gather_overlap_s,
+            "per_shard": self.per_shard,
         }
 
 
@@ -87,91 +124,169 @@ def measure_sharded(
     workload: Workload,
     scanner_factory: Callable[[], PartitionScanner],
     *,
-    n_queries: int = 64,
+    n_queries: int = 256,
     topk: int = 100,
     nprobe: int = 4,
-    shard_counts: Sequence[int] = (1, 2, 4),
-    n_workers: int = 1,
+    shard_counts: Sequence[int] = (2, 4),
+    worker_counts: Sequence[int] = (1, 2),
     repeats: int = 3,
+    backend: str = "process",
 ) -> list[ShardedRun]:
-    """Time the unsharded engine, then scatter-gather per shard count.
+    """Time the baselines, then scatter-gather per (shards, workers).
 
-    Returns the baseline first, then one run per shard count, each the
-    best (minimum wall time) of ``repeats`` repetitions after an untimed
-    verification pass that also warms the scanner caches.
+    Returns the sequential baseline first, the unsharded batch engine
+    second, then one run per (shard count, per-shard worker count)
+    configuration. Every configuration's executor is built once — its
+    pools pinned — then verified byte-identical against the sequential
+    baseline in an untimed pilot (which also warms scanner caches and
+    worker processes), and finally timed with interleaved repeats.
     """
     if n_queries < 1:
         raise ConfigurationError("n_queries must be >= 1")
+    if backend not in ("thread", "process"):
+        raise ConfigurationError(
+            f"backend must be 'thread' or 'process', got {backend!r}"
+        )
     queries = workload.queries[:n_queries]
     if len(queries) < n_queries:
         raise ConfigurationError(
             f"workload has only {len(queries)} queries, need {n_queries}"
         )
 
-    def time_best(fn: Callable[[], object]) -> float:
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
-        return best
+    def time_once(fn: Callable[[], object]) -> float:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
 
     searcher = ANNSearcher(workload.index, scanner=scanner_factory())
-    baseline = searcher.search(
-        queries, topk=topk, nprobe=nprobe, n_workers=n_workers
+    batch_executor = BatchExecutor(
+        workload.index, scanner_factory(), n_workers=1
     )
-    runs = [
-        ShardedRun(
-            "unsharded",
-            0,
-            time_best(
-                lambda: searcher.search(
-                    queries, topk=topk, nprobe=nprobe, n_workers=n_workers
-                )
-            ),
-            n_queries,
-            True,
+    configs: list[tuple[str, int, int, ScatterGatherExecutor, bool]] = []
+    try:
+        # Pilot (untimed): the sequential reference results, plus cache
+        # warm-up for both baselines.
+        baseline = searcher.search(
+            queries, topk=topk, nprobe=nprobe, executor="sequential"
         )
-    ]
-    for n_shards in shard_counts:
-        if n_shards > workload.index.n_partitions:
-            continue
-        sharded = ShardedIndex.from_index(workload.index, n_shards=n_shards)
-        executor = ScatterGatherExecutor(
-            sharded, scanner_factory, n_workers=n_workers
-        )
-        response = executor.run(queries, topk=topk, nprobe=nprobe)
-        identical = not response.partial and _results_equal(
-            baseline, response.results
-        )
-        runs.append(
-            ShardedRun(
-                f"sharded s={n_shards}",
-                n_shards,
-                time_best(
-                    lambda: executor.run(queries, topk=topk, nprobe=nprobe)
-                ),
-                n_queries,
-                identical,
-                partial=response.partial,
+        batch_pilot = batch_executor.run(queries, topk=topk, nprobe=nprobe)
+        unsharded_identical = _results_equal(baseline, batch_pilot)
+
+        for n_shards in shard_counts:
+            if n_shards > workload.index.n_partitions:
+                continue
+            sharded = ShardedIndex.from_index(
+                workload.index, n_shards=n_shards
             )
-        )
-    return runs
+            for workers in worker_counts:
+                executor = ScatterGatherExecutor(
+                    sharded,
+                    scanner_factory,
+                    n_workers=workers,
+                    backend=backend,
+                )
+                response = executor.run(queries, topk=topk, nprobe=nprobe)
+                identical = not response.partial and _results_equal(
+                    baseline, response.results
+                )
+                configs.append(
+                    (
+                        f"sharded s={n_shards} w={workers}",
+                        n_shards,
+                        workers,
+                        executor,
+                        identical,
+                    )
+                )
+
+        # Timed sweep, repeats interleaved across configurations.
+        seq_best = float("inf")
+        unsharded_best = float("inf")
+        bests = {label: float("inf") for label, _, _, _, _ in configs}
+        best_responses: dict[str, ShardedResponse] = {}
+        for _ in range(repeats):
+            seq_best = min(
+                seq_best,
+                time_once(
+                    lambda: searcher.search(
+                        queries,
+                        topk=topk,
+                        nprobe=nprobe,
+                        executor="sequential",
+                    )
+                ),
+            )
+            unsharded_best = min(
+                unsharded_best,
+                time_once(
+                    lambda: batch_executor.run(
+                        queries, topk=topk, nprobe=nprobe
+                    )
+                ),
+            )
+            for label, _, _, executor, _ in configs:
+                start = time.perf_counter()
+                response = executor.run(queries, topk=topk, nprobe=nprobe)
+                elapsed = time.perf_counter() - start
+                if elapsed < bests[label]:
+                    bests[label] = elapsed
+                    best_responses[label] = response
+
+        runs = [
+            ShardedRun(
+                "sequential", "sequential", 0, 0, seq_best, n_queries, True
+            ),
+            ShardedRun(
+                "unsharded batch w=1",
+                "unsharded",
+                0,
+                1,
+                unsharded_best,
+                n_queries,
+                unsharded_identical,
+            ),
+        ]
+        for label, n_shards, workers, _, identical in configs:
+            response = best_responses[label]
+            runs.append(
+                ShardedRun(
+                    label,
+                    "sharded",
+                    n_shards,
+                    workers,
+                    bests[label],
+                    n_queries,
+                    identical,
+                    partial=response.partial,
+                    gather_overlap_s=response.gather_overlap_s,
+                    per_shard=[
+                        status.as_dict()
+                        for status in response.shard_statuses
+                    ],
+                )
+            )
+        return runs
+    finally:
+        for _, _, _, executor, _ in configs:
+            executor.close()
+        batch_executor.close()
+        searcher.close()
 
 
 def run_benchmark(
     *,
-    scale: int = 4000,
-    n_queries: int = 128,
+    scale: int = 2000,
+    n_queries: int = 256,
     topk: int = 100,
     nprobe: int = 4,
-    shard_counts: Sequence[int] = (1, 2, 4),
-    n_workers: int = 1,
+    shard_counts: Sequence[int] = (2, 4),
+    worker_counts: Sequence[int] = (1, 2),
     repeats: int = 3,
     scanner_name: str = "naive",
     seed: int = 11,
+    backend: str = "process",
 ) -> dict:
-    """Build the workload, sweep shard counts, return the report payload."""
+    """Build the workload, sweep configurations, return the report payload."""
     workload = build_workload(
         "sift100m", scale=scale, n_queries=max(n_queries, 64), seed=seed
     )
@@ -190,57 +305,81 @@ def run_benchmark(
         topk=topk,
         nprobe=nprobe,
         shard_counts=shard_counts,
-        n_workers=n_workers,
+        worker_counts=worker_counts,
         repeats=repeats,
+        backend=backend,
     )
-    baseline = runs[0]
-    sharded_runs = runs[1:]
+    sequential = runs[0]
+    unsharded = runs[1]
+    sharded_runs = [run for run in runs if run.kind == "sharded"]
     best = max(sharded_runs, key=lambda r: r.queries_per_second)
-    overhead = (
-        baseline.queries_per_second / best.queries_per_second
-        if best.queries_per_second > 0
-        else float("inf")
-    )
+    sequential_qps = sequential.queries_per_second
+
+    def speedup_of(run: ShardedRun) -> float:
+        if sequential_qps <= 0:
+            return 0.0
+        return run.queries_per_second / sequential_qps
+
+    run_dicts = []
+    for run in runs:
+        payload = run.as_dict()
+        payload["speedup"] = speedup_of(run)
+        payload["vs_unsharded"] = (
+            run.queries_per_second / unsharded.queries_per_second
+            if unsharded.queries_per_second > 0
+            else 0.0
+        )
+        run_dicts.append(payload)
     return {
         "workload": workload.describe(),
         "scale": scale,
+        "backend": backend,
         "scanner": scanner_name,
         "n_queries": n_queries,
         "topk": topk,
         "nprobe": nprobe,
-        "n_workers": n_workers,
         "repeats": repeats,
-        "runs": [r.as_dict() for r in runs],
-        "baseline_qps": baseline.queries_per_second,
+        "worker_counts": list(worker_counts),
+        "available_cpus": _available_cpus(),
+        "runs": run_dicts,
+        "sequential_qps": sequential_qps,
+        "unsharded_qps": unsharded.queries_per_second,
         "best_sharded_qps": best.queries_per_second,
         "best_shards": best.n_shards,
-        "scatter_gather_overhead": overhead,
-        "all_identical": all(r.identical for r in runs),
+        "best_workers": best.n_workers,
+        "speedup": speedup_of(best),
+        "scatter_gather_overhead": (
+            unsharded.queries_per_second / best.queries_per_second
+            if best.queries_per_second > 0
+            else float("inf")
+        ),
+        "all_identical": all(run.identical for run in runs),
     }
 
 
 def render_report(data: dict) -> str:
-    """Format the shard sweep as the standard fixed-width table."""
+    """Format the sweep as the standard fixed-width table."""
     rows = []
-    baseline_qps = data["baseline_qps"]
     for run in data["runs"]:
         rows.append(
             [
                 run["label"],
                 run["wall_time_s"] * 1000,
                 run["queries_per_second"],
-                run["queries_per_second"] / baseline_qps if baseline_qps else 0.0,
+                run["speedup"],
+                run["gather_overlap_s"] * 1000,
                 "yes" if run["identical"] else "NO",
             ]
         )
     return format_table(
-        ["configuration", "batch wall [ms]", "queries/s", "vs unsharded",
-         "byte-identical"],
+        ["configuration", "batch wall [ms]", "queries/s", "vs sequential",
+         "overlap [ms]", "byte-identical"],
         rows,
         title=(
             f"Scatter-gather engine — {data['workload']}, "
             f"nprobe={data['nprobe']}, topk={data['topk']}, "
-            f"scanner={data['scanner']}, workers/shard={data['n_workers']}"
+            f"scanner={data['scanner']}, backend={data['backend']}, "
+            f"cpus={data['available_cpus']}"
         ),
     )
 
@@ -249,21 +388,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Sharded scatter-gather engine benchmark"
     )
-    parser.add_argument("--scale", type=int, default=4000,
+    parser.add_argument("--scale", type=int, default=2000,
                         help="divisor on the paper's SIFT100M size")
-    parser.add_argument("--n-queries", type=int, default=128)
+    parser.add_argument("--n-queries", type=int, default=256)
     parser.add_argument("--topk", type=int, default=100)
     parser.add_argument("--nprobe", type=int, default=4)
-    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker threads per shard")
+    parser.add_argument("--shards", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2],
+                        help="per-shard worker counts to sweep")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--scanner", choices=["naive", "fastpq"],
                         default="naive")
+    parser.add_argument("--backend", choices=["thread", "process"],
+                        default="process",
+                        help="per-shard engine: pinned mmap-attached "
+                             "process pools or GIL-bound threads")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--output", type=Path,
                         default=Path("BENCH_sharded.json"),
                         help="summary JSON path (repo-root convention)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero unless EVERY sharded "
+                             "configuration beats the sequential baseline "
+                             "by this factor (CI gate)")
     args = parser.parse_args(argv)
 
     data = run_benchmark(
@@ -272,10 +419,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         topk=args.topk,
         nprobe=args.nprobe,
         shard_counts=tuple(args.shards),
-        n_workers=args.workers,
+        worker_counts=tuple(args.workers),
         repeats=args.repeats,
         scanner_name=args.scanner,
         seed=args.seed,
+        backend=args.backend,
     )
     table = render_report(data)
     save_report("sharded", table, data)
@@ -283,11 +431,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"[summary written to {args.output}]")
 
     if not data["all_identical"]:
-        print("FAIL: sharded results diverged from the unsharded baseline")
+        print("FAIL: sharded results diverged from the sequential baseline")
         return 1
+    if args.min_speedup:
+        below = [
+            run for run in data["runs"]
+            if run["kind"] == "sharded" and run["speedup"] < args.min_speedup
+        ]
+        if below:
+            for run in below:
+                print(
+                    f"FAIL: {run['label']} speedup {run['speedup']:.2f}x "
+                    f"below required {args.min_speedup:.2f}x"
+                )
+            return 1
     print(
-        f"scatter-gather overhead {data['scatter_gather_overhead']:.2f}x "
-        f"(best at {data['best_shards']} shards)"
+        f"speedup {data['speedup']:.2f}x over sequential "
+        f"(best at {data['best_shards']} shards, "
+        f"w={data['best_workers']}; unsharded batch "
+        f"{data['unsharded_qps']:.0f} qps)"
     )
     return 0
 

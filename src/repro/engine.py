@@ -78,10 +78,13 @@ class EngineConfig:
         nprobe: default partitions probed per query.
         n_workers: workers (per shard, when sharded) — threads for
             ``executor="thread"``, processes for ``executor="process"``.
-        executor: ``"thread"`` (default) executes batches on the
-            GIL-bound thread executor; ``"process"`` on the zero-copy
-            process pool (:mod:`repro.parallel`) whose workers mmap the
-            saved index artifact. Results are byte-identical.
+        executor: ``"auto"`` (default) resolves to ``"process"`` for
+            sharded engines (``n_shards > 1`` — pinned per-shard process
+            pools whose workers mmap the saved shard artifacts) and
+            ``"thread"`` for unsharded ones; ``"thread"`` forces the
+            GIL-bound thread executor, ``"process"`` the zero-copy
+            process pool (:mod:`repro.parallel`) everywhere. Results are
+            byte-identical across all three.
         deadline_s: per-shard gather deadline (None = wait forever).
         max_retries: transient-failure retries per shard per batch.
         backoff_s: initial retry backoff, doubled per attempt.
@@ -101,7 +104,7 @@ class EngineConfig:
     keep: float = 0.005
     nprobe: int = 1
     n_workers: int = 1
-    executor: str = "thread"
+    executor: str = "auto"
     deadline_s: float | None = None
     max_retries: int = 1
     backoff_s: float = 0.02
@@ -139,9 +142,10 @@ class EngineConfig:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
             )
-        if self.executor not in ("thread", "process"):
+        if self.executor not in ("auto", "thread", "process"):
             raise ConfigurationError(
-                f"executor must be 'thread' or 'process', got {self.executor!r}"
+                "executor must be 'auto', 'thread' or 'process', got "
+                f"{self.executor!r}"
             )
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigurationError(
@@ -155,6 +159,21 @@ class EngineConfig:
             raise ConfigurationError(
                 f"backoff_s must be >= 0, got {self.backoff_s}"
             )
+
+    @property
+    def resolved_executor(self) -> str:
+        """The concrete backend ``"auto"`` resolves to.
+
+        Sharded engines default to the process backend — per-shard
+        pools of workers attached to the mmapped shard artifacts, the
+        only backend whose throughput grows with cores. Unsharded
+        engines default to the thread executor: no artifact or worker
+        processes needed, and single-index batches are dominated by
+        NumPy kernels that release the GIL anyway.
+        """
+        if self.executor != "auto":
+            return self.executor
+        return "process" if self.n_shards > 1 else "thread"
 
     def scanner_factory(
         self, pq: ProductQuantizer
@@ -231,7 +250,7 @@ class Engine:
                 sharded,
                 factory,
                 n_workers=config.n_workers,
-                backend=config.executor,
+                backend=config.resolved_executor,
                 artifact_dir=sharded_dir,
                 deadline_s=config.deadline_s,
                 max_retries=config.max_retries,
@@ -388,7 +407,9 @@ class Engine:
                 rerank=rerank,
                 n_workers=self.config.n_workers,
                 executor=(
-                    "process" if self.config.executor == "process" else "batch"
+                    "process"
+                    if self.config.resolved_executor == "process"
+                    else "batch"
                 ),
             )
         if rerank:
@@ -431,7 +452,7 @@ class Engine:
                 single,
                 self.config.scanner_factory(self.index.pq),
                 n_workers=self.config.n_workers,
-                backend=self.config.executor,
+                backend=self.config.resolved_executor,
                 deadline_s=self.config.deadline_s,
                 max_retries=self.config.max_retries,
                 backoff_s=self.config.backoff_s,
@@ -444,10 +465,12 @@ class Engine:
     def close(self) -> None:
         """Release executor resources (idempotent).
 
-        Only ``executor="process"`` engines hold resources — worker
-        pools and possibly temporary artifacts; thread engines close as
-        a no-op. The engine stays usable for thread/sequential searches
-        after closing.
+        Shuts down every pinned pool the engine spun up: the searcher's
+        cached thread/process executors and, when sharded, the
+        scatter-gather executor's per-shard pools and scatter pool
+        (plus any temporary artifacts). Unsharded searches stay usable
+        after closing — their pools respawn on demand; the sharded
+        batch path does not.
         """
         self._searcher.close()
         if self._scatter is not None:

@@ -47,6 +47,9 @@ metric                                          kind       labels
 ``repro_shard_retries_total``                   counter    ``shard``
 ``repro_gathers_total`` / ``repro_partial_results_total``  counter —
 ``repro_partial_result_rate``                   gauge      —
+``repro_gather_overlap_seconds``                histogram  —
+``repro_pool_spinups_total``                    counter    ``backend``
+``repro_pool_reuses_total``                     counter    ``backend``
 ==============================================  =========  ==================
 """
 
@@ -221,6 +224,24 @@ class Observability:
             "repro_partial_result_rate",
             help="Lifetime partial/total gather ratio (degradation rate).",
         )
+        self._gather_overlap = m.histogram(
+            "repro_gather_overlap_seconds",
+            help=(
+                "Merge work folded while other shards were still in "
+                "flight — wall time the streaming gather hid behind the "
+                "scatter instead of serializing after it."
+            ),
+        )
+        self._pool_spinups = m.counter(
+            "repro_pool_spinups_total",
+            help="Worker pools created (thread, process, gather).",
+            labelnames=("backend",),
+        )
+        self._pool_reuses = m.counter(
+            "repro_pool_reuses_total",
+            help="Batches served by an already-warm pinned pool.",
+            labelnames=("backend",),
+        )
 
     # -- instrumentation points ---------------------------------------------
 
@@ -309,6 +330,24 @@ class Observability:
             total = self._gathers.value()
             if total > 0:
                 self._partial_rate.set(self._partials.value() / total)
+
+    def record_gather_overlap(self, overlap_s: float) -> None:
+        """Account merge time one gather hid behind in-flight shards."""
+        if not self.enabled:
+            return
+        self._gather_overlap.observe(overlap_s)
+
+    def record_pool_spinup(self, backend: str) -> None:
+        """Account one worker-pool creation (``backend`` labels which)."""
+        if not self.enabled:
+            return
+        self._pool_spinups.inc(1.0, backend=backend)
+
+    def record_pool_reuse(self, backend: str) -> None:
+        """Account one batch served by an already-warm pinned pool."""
+        if not self.enabled:
+            return
+        self._pool_reuses.inc(1.0, backend=backend)
 
     # -- export conveniences ------------------------------------------------
 

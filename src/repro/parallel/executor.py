@@ -171,6 +171,10 @@ class ProcessBatchExecutor:
         probes = [self._pool.submit(_probe_worker) for _ in range(self.pool_size)]
         for probe in probes:
             probe.result(timeout=GATHER_TIMEOUT_S)
+        obs = (
+            observability if observability is not None else get_observability()
+        )
+        obs.record_pool_spinup("process")
 
     @classmethod
     def from_index(
@@ -254,6 +258,9 @@ class ProcessBatchExecutor:
                 else get_observability()
             )
         pool = self._require_pool()
+        # The pool was spawned (and its workers attached/warmed) at
+        # construction; every batch after that runs on the warm pool.
+        obs.record_pool_reuse("process")
         worker_stats = [WorkerStats(worker_id=i) for i in range(self.pool_size)]
         partials: list[list[ScanResult | None]] = [
             [None] * plan.nprobe for _ in range(plan.n_queries)
@@ -348,6 +355,18 @@ class ProcessBatchExecutor:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def worker_pids(self) -> tuple[int, ...]:
+        """Pids of the worker processes seen so far, in slot order.
+
+        Stable across batches while the pool is pinned — the pool-pinning
+        tests assert two runs report the same pids (no respawn).
+        """
+        with self._lock:
+            return tuple(self._pid_slots)
 
     # -- internals ----------------------------------------------------------
 

@@ -205,6 +205,9 @@ def save_sharded_index(
             shard.partition_ids, dtype=np.int64
         )
     _atomic_savez(directory / "manifest.npz", manifest)
+    # Remember where this layout lives so process-backend executors can
+    # attach their workers to the saved shard files by path.
+    sharded.artifact_dir = directory
 
 
 def load_sharded_index(path: str | Path, *, mmap: bool = False) -> "ShardedIndex":
@@ -256,9 +259,11 @@ def load_sharded_index(path: str | Path, *, mmap: bool = False) -> "ShardedIndex
             )
         )
     try:
-        return ShardedIndex(shards)
+        sharded = ShardedIndex(shards)
     except ConfigurationError as exc:
         raise DatasetError(f"{directory}: inconsistent shard set ({exc})") from exc
+    sharded.artifact_dir = directory
+    return sharded
 
 
 # -- internals -----------------------------------------------------------------

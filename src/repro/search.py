@@ -30,6 +30,7 @@ sequential per-query loop (kept as ``executor="sequential"`` on
 from __future__ import annotations
 
 import tempfile
+import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -45,7 +46,7 @@ from .ivf.inverted_index import IVFADCIndex
 from .obs import Observability, get_observability
 from .scan.base import PartitionScanner, ScanResult
 from .scan.naive import NaiveScanner
-from .scan.topk import select_topk
+from .scan.topk import TopKAccumulator, select_topk
 from .simd.counters import WorkerStats, aggregate_worker_stats
 
 if TYPE_CHECKING:  # import cycle: repro.parallel imports repro.search
@@ -60,6 +61,7 @@ __all__ = [
     "GATHER_TIMEOUT_S",
     "PartitionJob",
     "SearchResult",
+    "StreamingMerger",
     "merge_partials",
     "scan_partition_batch",
 ]
@@ -288,6 +290,97 @@ def merge_partials(
     return out
 
 
+class StreamingMerger:
+    """Incremental counterpart of :func:`merge_partials`.
+
+    The barrier merge needs every partial grid before it can start; the
+    sharded gatherer instead folds each shard's grid into this merger
+    *as it lands* (:meth:`fold`), overlapping merge work with the shards
+    that are still scanning. Per query the merger keeps a
+    :class:`~repro.scan.TopKAccumulator` whose (distance, id) ordering
+    is exactly the one :func:`~repro.scan.select_topk` applies to the
+    full concatenation — database ids are unique across partitions, so
+    that order is total and the ``topk`` smallest candidates are the
+    same set whatever the fold order. :meth:`results` is therefore
+    byte-identical to ``merge_partials`` over the same scans, including
+    the dtypes of empty results and the error raised on incomplete
+    coverage; distances pass through unrecomputed (the accumulator's
+    double float64 negation is bitwise exact).
+
+    The merger also accounts its own work: :attr:`merge_time_s` is the
+    total time spent folding and finalizing, which the gatherer compares
+    against scatter wall time to report overlap savings.
+    """
+
+    def __init__(self, plan: BatchPlan) -> None:
+        self.plan = plan
+        self._accumulators = [
+            TopKAccumulator(plan.topk) for _ in range(plan.n_queries)
+        ]
+        # (n_queries, nprobe) probe positions folded so far; disjoint
+        # shard grids each cover their own cells exactly once.
+        self._covered = np.zeros((plan.n_queries, plan.nprobe), dtype=bool)
+        self._n_scanned = [0] * plan.n_queries
+        self._n_pruned = [0] * plan.n_queries
+        self.n_folds = 0
+        self.merge_time_s = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True once every (query, probe) cell of the plan was folded."""
+        return bool(self._covered.all())
+
+    def fold(self, partials: list[list[ScanResult | None]]) -> None:
+        """Fold one ``(n_queries, nprobe)`` partial grid into the merge.
+
+        ``None`` cells (scans the grid does not cover) and cells already
+        folded by an earlier grid are skipped, so folding the disjoint
+        per-shard grids of one batch — in any completion order — is
+        equivalent to the single barrier merge over their union.
+        """
+        t0 = time.perf_counter()
+        for row, scans in enumerate(partials):
+            accumulator = self._accumulators[row]
+            covered_row = self._covered[row]
+            for position, scan in enumerate(scans):
+                if scan is None or covered_row[position]:
+                    continue
+                covered_row[position] = True
+                accumulator.offer_many(scan.distances, scan.ids)
+                self._n_scanned[row] += scan.n_scanned
+                self._n_pruned[row] += scan.n_pruned
+        self.n_folds += 1
+        self.merge_time_s += time.perf_counter() - t0
+
+    def results(self, *, require_complete: bool = True) -> list[SearchResult]:
+        """Finalize the merge; same contract as :func:`merge_partials`.
+
+        With ``require_complete`` a probe position no fold covered is a
+        scheduling bug and raises :class:`SimulationError`; the sharded
+        path passes ``require_complete=False`` when degraded shards left
+        gaps, and the results cover every scan that did arrive.
+        """
+        t0 = time.perf_counter()
+        out = []
+        for row in range(self.plan.n_queries):
+            if require_complete and not bool(self._covered[row].all()):
+                raise SimulationError(
+                    f"batch plan left query {row} with unscanned probes"
+                )
+            ids, dists = self._accumulators[row].result()
+            out.append(
+                SearchResult(
+                    ids=ids,
+                    distances=dists,
+                    n_scanned=self._n_scanned[row],
+                    n_pruned=self._n_pruned[row],
+                    probed=tuple(int(p) for p in self.plan.probed[row]),
+                )
+            )
+        self.merge_time_s += time.perf_counter() - t0
+        return out
+
+
 @dataclass
 class BatchReport:
     """Execution statistics of one batched run.
@@ -369,6 +462,12 @@ class BatchExecutor:
     the default (disabled) observability instance all of this reduces
     to an attribute check per stage.
 
+    The worker pool is **persistent**: it is spun up lazily on the first
+    pooled batch and reused by every later one (the pinned-pool contract
+    of the sharded scatter-gather path — no per-batch executor spin-up).
+    :meth:`close` shuts it down; the executor stays usable and the next
+    pooled batch simply spins up a fresh pool.
+
     Args:
         index: the routed index (positional-only).
         scanner: Step-3 scanner shared by all workers (positional-only).
@@ -376,6 +475,11 @@ class BatchExecutor:
         observability: explicit observability handle; default is the
             process-wide :func:`repro.obs.get_observability` instance,
             resolved at each run.
+        gil_warning: warn (:class:`RuntimeWarning`) when ``n_workers>1``
+            asks for GIL-bound thread parallelism. The sharded thread
+            fallback passes False: there the worker count is a per-shard
+            engine knob chosen deliberately, not a misread of the
+            process backend.
 
     The two pipeline objects are positional-only and every configuration
     argument is keyword-only, so call sites cannot transpose them
@@ -390,6 +494,7 @@ class BatchExecutor:
         *legacy_args: int,
         n_workers: int = 1,
         observability: Observability | None = None,
+        gil_warning: bool = True,
     ):
         if legacy_args:
             # Shim for the pre-1.1 call shape BatchExecutor(index,
@@ -410,7 +515,7 @@ class BatchExecutor:
             n_workers = int(legacy_args[0])
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-        if n_workers > 1:
+        if n_workers > 1 and gil_warning:
             # BENCH_throughput.json documents the regression this warns
             # about: thread workers contend on the GIL between NumPy
             # kernels, so w=2/4 measured *slower* than w=1.
@@ -428,6 +533,10 @@ class BatchExecutor:
         self.n_workers = n_workers
         self.observability = observability
         self.planner = BatchPlanner(index)
+        # Guards the persistent pool handle against concurrent
+        # scan_plan()/close() callers (lint rule R6).
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
 
     def run(
         self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
@@ -520,16 +629,64 @@ class BatchExecutor:
             for job in plan.jobs:
                 run_job(job, 0)
         else:
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                slots = {}
-                for i, job in enumerate(plan.jobs):
-                    slots[pool.submit(run_job, job, i % n_slots)] = job
-                for future in slots:
-                    future.result(timeout=GATHER_TIMEOUT_S)
+            pool = self._ensure_pool(obs)
+            slots = {}
+            for i, job in enumerate(plan.jobs):
+                slots[pool.submit(run_job, job, i % n_slots)] = job
+            for future in slots:
+                future.result(timeout=GATHER_TIMEOUT_S)
 
         return partials, worker_stats
 
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent).
+
+        The executor stays usable: a later pooled batch spins up a fresh
+        pool. Inline execution (``n_workers=1``) never holds a pool.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- internals ----------------------------------------------------------
+
+    def _ensure_pool(self, obs: Observability) -> ThreadPoolExecutor:
+        """The pinned worker pool, spun up on the first pooled batch.
+
+        Double-checked under the lock so racing batches share one pool;
+        the loser of a creation race discards its spare. Spin-ups and
+        warm reuses feed the ``repro_pool_*`` counters.
+        """
+        with self._lock:
+            existing = self._pool
+        if existing is not None:
+            obs.record_pool_reuse("thread")
+            return existing
+        fresh = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-batch"
+        )
+        created = False
+        with self._lock:
+            current = self._pool
+            if current is None:
+                self._pool = fresh
+                current = fresh
+                created = True
+        if created:
+            obs.record_pool_spinup("thread")
+        else:
+            fresh.shutdown(wait=False)
+            obs.record_pool_reuse("thread")
+        return current
 
     def _scan_partition(
         self, tables: np.ndarray, partition, topk: int
@@ -580,6 +737,7 @@ class ANNSearcher:
         self.index_path = None if index_path is None else Path(index_path)
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._process_executors: dict[int, "ProcessBatchExecutor"] = {}
+        self._batch_executors: dict[int, BatchExecutor] = {}
 
     #: Executor kinds accepted by :meth:`search` for multi-query input.
     EXECUTORS = ("batch", "sequential", "process")
@@ -700,7 +858,7 @@ class ANNSearcher:
             return []
         if topk < 1:
             raise ConfigurationError("topk must be >= 1")
-        executor = BatchExecutor(self.index, self.scanner, n_workers=n_workers)
+        executor = self._batch_executor(n_workers)
         if rerank:
             self._check_rerank(topk, rerank)
             shortlists = executor.run(queries, topk=rerank, nprobe=nprobe)
@@ -734,6 +892,22 @@ class ANNSearcher:
             ]
         return executor.run(queries, topk=topk, nprobe=nprobe)
 
+    def _batch_executor(self, n_workers: int) -> BatchExecutor:
+        """A cached thread :class:`BatchExecutor` per worker count.
+
+        Caching pins the executor's worker pool across searches (no
+        per-batch spin-up); the GIL :class:`RuntimeWarning` for
+        ``n_workers>1`` consequently fires once per searcher and worker
+        count, on first use, not per batch.
+        """
+        cached = self._batch_executors.get(n_workers)
+        if cached is None:
+            cached = BatchExecutor(
+                self.index, self.scanner, n_workers=n_workers
+            )
+            self._batch_executors[n_workers] = cached
+        return cached
+
     def _process_executor(self, n_workers: int) -> "ProcessBatchExecutor":
         """A cached :class:`~repro.parallel.ProcessBatchExecutor`.
 
@@ -764,14 +938,19 @@ class ANNSearcher:
         return executor
 
     def close(self) -> None:
-        """Shut down any process pools (and delete the temporary artifact).
+        """Shut down any pinned pools (and delete the temporary artifact).
 
-        Idempotent; only needed after ``executor="process"`` searches —
-        the thread and sequential paths hold no resources.
+        Idempotent; releases the process pools of ``executor="process"``
+        searches and the persistent thread pools of multi-worker
+        ``executor="batch"`` searches. The searcher stays usable — later
+        searches simply spin their pools up again.
         """
         for executor in self._process_executors.values():
             executor.close()
         self._process_executors.clear()
+        for batch_executor in self._batch_executors.values():
+            batch_executor.close()
+        self._batch_executors.clear()
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None

@@ -5,19 +5,27 @@ The query path of a sharded deployment:
 1. **Route** the whole batch once on the shared coarse codebook and
    build the global partition-major plan (the same
    :class:`~repro.search.BatchPlanner` the single-index engine uses).
-2. **Scatter**: split the plan's partition jobs by owning shard and run
-   each shard's job subset on that shard's own executor — a
-   :class:`~repro.search.BatchExecutor` (``backend="thread"``) or a
+2. **Scatter**: split the plan's partition jobs by owning shard —
+   heaviest shard first, so the longest sub-plan starts earliest — and
+   run each shard's job subset on that shard's own executor — a
    :class:`~repro.parallel.ProcessBatchExecutor` whose workers mmap the
-   shard's saved artifact (``backend="process"``). Either way each
-   shard runs the partition-major engine internally, with its own
-   worker pool and its own scanner instance.
-3. **Gather** under a deadline: wait for every shard up to
-   ``deadline_s`` from scatter start. A shard that raises is retried
-   with exponential backoff (transient-failure policy); a shard that
-   exceeds the deadline is abandoned.
-4. **Merge** the collected partials with the engine's deterministic
-   (distance, id) merge.
+   shard's saved artifact (``backend="process"``, the default) or a
+   :class:`~repro.search.BatchExecutor` (``backend="thread"``, the
+   GIL-bound fallback). Either way each shard runs the partition-major
+   engine internally, with its own worker pool and its own scanner
+   instance. **Every pool is pinned across ``run()`` calls**: shard
+   pools spawn once in the constructor (process workers attach by mmap
+   path exactly once) and the gather pool below is likewise built once
+   — steady-state batches pay zero spin-up.
+3. **Gather and merge, streamed**: shard partials are consumed in
+   completion order and each is folded into a running per-query
+   :class:`~repro.search.StreamingMerger` the moment it lands, so merge
+   work overlaps the shards still scanning instead of serializing after
+   a barrier. The fold order cannot change the answer — the merger
+   applies the same total (distance, id) order as the barrier merge —
+   and the deadline/retry policy is unchanged: a shard that raises is
+   retried with exponential backoff, a shard still running at
+   ``deadline_s`` from scatter start is abandoned.
 
 Graceful degradation is the contract: shard timeouts and exhausted
 retries do **not** raise. The response carries ``partial=True`` plus a
@@ -36,8 +44,7 @@ from __future__ import annotations
 import tempfile
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from multiprocessing.context import BaseContext
 from pathlib import Path
@@ -53,11 +60,12 @@ from ..ivf.inverted_index import IVFADCIndex
 from ..obs import Observability, get_observability
 from ..scan.base import PartitionScanner, ScanResult
 from ..search import (
+    GATHER_TIMEOUT_S,
     BatchExecutor,
     BatchPlan,
     BatchPlanner,
     SearchResult,
-    merge_partials,
+    StreamingMerger,
 )
 from ..simd.counters import WorkerStats, combine_worker_stats
 from .sharded_index import ShardedIndex
@@ -132,6 +140,9 @@ class ShardedResponse:
         shard_statuses: per-shard outcome, indexed by shard id.
         wall_time_s: end-to-end scatter-gather time (plan to merge).
         worker_stats: per-worker-slot totals combined across shards.
+        gather_overlap_s: merge time the streaming gather hid behind
+            shards that were still in flight (work the barrier merge
+            would have serialized after the slowest shard).
     """
 
     results: list[SearchResult]
@@ -139,6 +150,7 @@ class ShardedResponse:
     shard_statuses: tuple[ShardStatus, ...]
     wall_time_s: float
     worker_stats: list[WorkerStats] = field(default_factory=list)
+    gather_overlap_s: float = 0.0
 
     def status_for(self, shard_id: int) -> ShardStatus:
         """The :class:`ShardStatus` of ``shard_id``."""
@@ -161,6 +173,7 @@ class ShardedResponse:
             "partial": self.partial,
             "wall_time_s": self.wall_time_s,
             "queries_per_second": self.queries_per_second,
+            "gather_overlap_s": self.gather_overlap_s,
             "shards": [status.as_dict() for status in self.shard_statuses],
             "worker_stats": [stats.as_dict() for stats in self.worker_stats],
         }
@@ -227,6 +240,15 @@ class _ShardOutcome:
 class ScatterGatherExecutor:
     """Fans query batches across shards; gathers with graceful degradation.
 
+    Every pool this executor touches is **pinned**: the per-shard
+    backend executors (process pools whose workers attach to the shard
+    artifacts by mmap path, or thread-fallback batch executors) and the
+    scatter thread pool all spawn once here and serve every ``run()``
+    until :meth:`close`. A shard task abandoned at the deadline keeps
+    its scatter slot busy until it finishes in the background — the pool
+    is sized one thread per shard so a straggler does not starve the
+    other shards of the next batch.
+
     Args:
         sharded: the sharded layout (positional-only).
         scanners: one Step-3 scanner per shard (a sequence of length
@@ -235,18 +257,23 @@ class ScatterGatherExecutor:
             (:meth:`~repro.core.PQFastScanner.prepared`) are not locked
             for cross-thread mutation, and shards scan concurrently.
         n_workers: workers *per shard* for the shard-internal
-            partition-major engine (threads for ``backend="thread"``,
-            processes for ``backend="process"``).
-        backend: ``"thread"`` (default) runs each shard on a
-            :class:`~repro.search.BatchExecutor`; ``"process"`` runs it
-            on a :class:`~repro.parallel.ProcessBatchExecutor` whose
-            worker processes mmap the shard's saved artifact. Results
-            are byte-identical either way.
+            partition-major engine (processes for ``backend="process"``,
+            threads for ``backend="thread"``).
+        backend: ``"process"`` (default) runs each shard on a
+            :class:`~repro.parallel.ProcessBatchExecutor` whose worker
+            processes mmap the shard's saved artifact — the only backend
+            whose throughput grows with cores; ``"thread"`` runs it on a
+            GIL-bound :class:`~repro.search.BatchExecutor` (no artifact
+            or extra processes needed — custom scanner types, tests).
+            Results are byte-identical either way.
         artifact_dir: for ``backend="process"``, the directory holding a
             :func:`~repro.persistence.save_sharded_index` layout for
             *this* sharded index (workers attach to its per-shard
-            files). When omitted, the layout is saved to a temporary
-            directory owned by the executor (freed by :meth:`close`).
+            files). Default: the layout's own
+            :attr:`~repro.shard.ShardedIndex.artifact_dir` when it was
+            saved or loaded before; otherwise the layout is saved to a
+            temporary directory owned by the executor (freed by
+            :meth:`close`).
         mmap: for ``backend="process"``, how workers attach to the shard
             artifacts (True — the zero-copy default — or eager copies).
         mp_context: for ``backend="process"``, explicit
@@ -268,7 +295,7 @@ class ScatterGatherExecutor:
         /,
         *,
         n_workers: int = 1,
-        backend: str = "thread",
+        backend: str = "process",
         artifact_dir: str | Path | None = None,
         mmap: bool = True,
         mp_context: BaseContext | None = None,
@@ -324,11 +351,20 @@ class ScatterGatherExecutor:
             from ..persistence import _shard_filename, save_sharded_index
 
             if artifact_dir is None:
+                # Attach to the layout's own saved artifact when one
+                # exists (saved or loaded earlier) — no duplicate copy.
+                artifact_dir = sharded.artifact_dir
+            if artifact_dir is None:
                 self._tempdir = tempfile.TemporaryDirectory(
                     prefix="repro-shards-"
                 )
                 artifact_dir = self._tempdir.name
+                remembered = sharded.artifact_dir
                 save_sharded_index(sharded, artifact_dir)
+                # The temporary layout is owned (and deleted) by this
+                # executor; the shared index must not advertise it to
+                # executors created later.
+                sharded.artifact_dir = remembered
             directory = Path(artifact_dir)
             self._executors = tuple(
                 ProcessBatchExecutor(
@@ -338,24 +374,54 @@ class ScatterGatherExecutor:
                     mmap=mmap,
                     index=shard.index,
                     mp_context=mp_context,
+                    observability=observability,
                 )
                 for shard, scanner in zip(sharded.shards, self.scanners)
             )
         else:
+            # gil_warning=False: per-shard thread counts are a deliberate
+            # engine knob here, not a misread of the process backend —
+            # the spurious RuntimeWarning would fire once per shard.
             self._executors = tuple(
-                BatchExecutor(shard.index, scanner, n_workers=n_workers)
+                BatchExecutor(
+                    shard.index,
+                    scanner,
+                    n_workers=n_workers,
+                    observability=observability,
+                    gil_warning=False,
+                )
                 for shard, scanner in zip(sharded.shards, self.scanners)
             )
+        # The pinned scatter pool: one thread per shard, spawned once and
+        # reused by every run() (no per-batch pool spin-up).
+        self._gather_pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=max(sharded.n_shards, 1),
+            thread_name_prefix="repro-shard",
+        )
+        init_obs = (
+            observability if observability is not None else get_observability()
+        )
+        init_obs.record_pool_spinup("gather")
 
     def run(
         self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
     ) -> ShardedResponse:
-        """Scatter ``queries`` across shards and gather under the deadline."""
+        """Scatter ``queries`` across shards; gather and merge, streamed.
+
+        Shard sub-plans are submitted heaviest-first to the pinned
+        scatter pool, partials are consumed in completion order, and
+        each is folded into the running :class:`StreamingMerger` while
+        the remaining shards are still scanning — the response's
+        ``gather_overlap_s`` reports how much merge time that hid. The
+        deadline, retry and partial-result semantics are identical to
+        the barrier gather this replaces.
+        """
         obs = (
             self.observability
             if self.observability is not None
             else get_observability()
         )
+        pool = self._require_gather_pool()
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
@@ -370,110 +436,126 @@ class ScatterGatherExecutor:
                 ),
                 wall_time_s=time.perf_counter() - start,
             )
+        obs.record_pool_reuse("gather")
         with obs.span("route"):
             plan, subplans = self.router.plan(queries, topk=topk, nprobe=nprobe)
 
-        partials: list[list[ScanResult | None]] = [
-            [None] * plan.nprobe for _ in range(plan.n_queries)
-        ]
-        statuses: list[ShardStatus] = []
+        merger = StreamingMerger(plan)
+        overlap_s = 0.0
+        statuses: dict[int, ShardStatus] = {
+            shard.shard_id: ShardStatus(shard.shard_id, STATE_OK, 0, 0.0)
+            for shard in self.sharded.shards
+            if shard.shard_id not in subplans
+        }
         stats_per_shard: list[list[WorkerStats]] = []
 
-        # Scatter. The pool is NOT used as a context manager: a stalled
-        # shard must not block the gatherer's return, so shutdown below
-        # is wait=False and abandoned tasks finish (or die with the
-        # process) in the background.
-        pool = ThreadPoolExecutor(
-            max_workers=max(len(subplans), 1),
-            thread_name_prefix="repro-shard",
+        # Scatter heaviest shard first: with the sub-plans sorted by
+        # total job cost the slowest shard starts earliest, and every
+        # lighter shard's merge folds while it is still scanning.
+        order = sorted(
+            subplans,
+            key=lambda sid: (
+                -sum(job.cost for job in subplans[sid].jobs),
+                sid,
+            ),
         )
-        try:
-            futures: dict[int, Future[_ShardOutcome]] = {
-                shard_id: pool.submit(self._run_shard, shard_id, subplan, obs)
-                for shard_id, subplan in subplans.items()
-            }
-            for shard in self.sharded.shards:
-                shard_id = shard.shard_id
-                future = futures.get(shard_id)
-                if future is None:
-                    statuses.append(ShardStatus(shard_id, STATE_OK, 0, 0.0))
-                    continue
-                n_jobs = len(subplans[shard_id].jobs)
-                remaining: float | None = None
-                if self.deadline_s is not None:
-                    remaining = max(
-                        self.deadline_s - (time.perf_counter() - start), 0.0
-                    )
-                try:
-                    outcome = future.result(timeout=remaining)
-                except FutureTimeoutError:
-                    future.cancel()
-                    latency = time.perf_counter() - start
-                    statuses.append(
-                        ShardStatus(
-                            shard_id,
-                            STATE_TIMEOUT,
-                            attempts=1,
-                            latency_s=latency,
-                            n_jobs=n_jobs,
-                            error=f"deadline of {self.deadline_s}s exceeded",
-                        )
-                    )
-                    obs.record_shard(str(shard_id), latency, STATE_TIMEOUT)
-                    continue
-                statuses.append(
-                    ShardStatus(
-                        shard_id,
-                        outcome.state,
-                        attempts=outcome.attempts,
-                        latency_s=outcome.latency_s,
-                        n_jobs=n_jobs,
-                        error=outcome.error,
-                    )
-                )
-                obs.record_shard(str(shard_id), outcome.latency_s, outcome.state)
-                if outcome.state == STATE_OK and outcome.partials is not None:
-                    for row in range(plan.n_queries):
-                        for position in range(plan.nprobe):
-                            scan = outcome.partials[row][position]
-                            if scan is not None:
-                                partials[row][position] = scan
-                    stats_per_shard.append(outcome.worker_stats)
-        finally:
-            pool.shutdown(wait=False)
+        futures: dict[Future[_ShardOutcome], int] = {
+            pool.submit(self._run_shard, sid, subplans[sid], obs): sid
+            for sid in order
+        }
 
-        partial = any(not status.ok for status in statuses)
-        with obs.span("merge"):
-            results = merge_partials(
-                plan, partials, require_complete=not partial
+        # Gather in completion order. A task still pending when the
+        # deadline strikes is abandoned, NOT joined: it keeps running on
+        # its pinned pool slot in the background (or dies with its
+        # worker process) and its result is dropped.
+        pending = set(futures)
+        while pending:
+            timeout: float | None = None
+            if self.deadline_s is not None:
+                timeout = max(
+                    self.deadline_s - (time.perf_counter() - start), 0.0
+                )
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
             )
+            if not done:
+                break  # deadline expired with shards still in flight
+            for future in done:
+                shard_id = futures[future]
+                n_jobs = len(subplans[shard_id].jobs)
+                outcome = future.result(timeout=GATHER_TIMEOUT_S)
+                statuses[shard_id] = ShardStatus(
+                    shard_id,
+                    outcome.state,
+                    attempts=outcome.attempts,
+                    latency_s=outcome.latency_s,
+                    n_jobs=n_jobs,
+                    error=outcome.error,
+                )
+                obs.record_shard(
+                    str(shard_id), outcome.latency_s, outcome.state
+                )
+                if outcome.state == STATE_OK and outcome.partials is not None:
+                    in_flight = bool(pending)
+                    folded_before = merger.merge_time_s
+                    with obs.span("merge"):
+                        merger.fold(outcome.partials)
+                    if in_flight:
+                        overlap_s += merger.merge_time_s - folded_before
+                    stats_per_shard.append(outcome.worker_stats)
+        for future in pending:
+            future.cancel()
+            shard_id = futures[future]
+            latency = time.perf_counter() - start
+            statuses[shard_id] = ShardStatus(
+                shard_id,
+                STATE_TIMEOUT,
+                attempts=1,
+                latency_s=latency,
+                n_jobs=len(subplans[shard_id].jobs),
+                error=f"deadline of {self.deadline_s}s exceeded",
+            )
+            obs.record_shard(str(shard_id), latency, STATE_TIMEOUT)
+
+        partial = any(not status.ok for status in statuses.values())
+        with obs.span("merge"):
+            results = merger.results(require_complete=not partial)
         wall_time_s = time.perf_counter() - start
         worker_stats = combine_worker_stats(stats_per_shard)
         obs.record_batch(plan.n_queries, wall_time_s, worker_stats)
         obs.record_gather(partial)
+        obs.record_gather_overlap(overlap_s)
         return ShardedResponse(
             results=results,
             partial=partial,
-            shard_statuses=tuple(statuses),
+            shard_statuses=tuple(
+                statuses[shard_id] for shard_id in sorted(statuses)
+            ),
             wall_time_s=wall_time_s,
             worker_stats=worker_stats,
+            gather_overlap_s=overlap_s,
         )
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release backend resources (idempotent).
+        """Release every pinned pool (idempotent).
 
-        For ``backend="process"`` this shuts down every shard's worker
-        pool and deletes the temporary artifact directory, if this
-        executor created one. The thread backend holds no resources.
+        Shuts down the per-shard executors (process pools or thread
+        pools), abandons the scatter pool without joining stalled shard
+        tasks, and deletes the temporary artifact directory if this
+        executor created one. A closed executor rejects further
+        :meth:`run` calls.
         """
         for executor in self._executors:
             close = getattr(executor, "close", None)
             if callable(close):
                 close()
         with self._lock:
+            gather_pool, self._gather_pool = self._gather_pool, None
             tempdir, self._tempdir = self._tempdir, None
+        if gather_pool is not None:
+            gather_pool.shutdown(wait=False)
         if tempdir is not None:
             tempdir.cleanup()
 
@@ -484,6 +566,15 @@ class ScatterGatherExecutor:
         self.close()
 
     # -- internals ----------------------------------------------------------
+
+    def _require_gather_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            pool = self._gather_pool
+        if pool is None:
+            raise ConfigurationError(
+                "ScatterGatherExecutor is closed; create a new one"
+            )
+        return pool
 
     def _run_shard(
         self, shard_id: int, subplan: BatchPlan, obs: Observability

@@ -23,6 +23,7 @@ return byte-identical results when all shards are healthy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -137,6 +138,13 @@ class ShardedIndex:
             )
         self.shards = shards
         self._owners = owners
+        #: Directory holding a :func:`~repro.persistence.save_sharded_index`
+        #: layout for this exact sharded index, when one is known —
+        #: :func:`~repro.persistence.load_sharded_index` records where it
+        #: loaded from and ``save_sharded_index`` where it saved to. The
+        #: process-backend scatter-gather executor attaches its per-shard
+        #: worker pools here instead of saving a temporary copy.
+        self.artifact_dir: Path | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -209,6 +217,23 @@ class ShardedIndex:
             self.shards[self._owners[pid]].index.partitions[pid]
             for pid in range(self.n_partitions)
         ]
+
+    def shard_artifact_path(self, shard_id: int) -> Path | None:
+        """Saved artifact of shard ``shard_id``, when the layout has one.
+
+        ``None`` when the layout was never persisted (in-memory
+        :meth:`from_index` splits) — process-backend executors then save
+        a temporary artifact themselves.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ConfigurationError(
+                f"shard_id must be in [0, {self.n_shards}), got {shard_id}"
+            )
+        if self.artifact_dir is None:
+            return None
+        from ..persistence import _shard_filename
+
+        return self.artifact_dir / _shard_filename(shard_id)
 
     def owner_of(self, partition_id: int) -> int:
         """Shard id owning ``partition_id``."""

@@ -78,6 +78,25 @@ class TestEngineConfig:
         assert hash(EngineConfig(nprobe=2)) == hash(EngineConfig(nprobe=2))
         assert EngineConfig(nprobe=2) != EngineConfig(nprobe=3)
 
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            EngineConfig(executor="fiber")
+
+    def test_auto_executor_resolution(self):
+        # "auto" picks the process backend only where it pays: sharded
+        # deployments. Unsharded engines stay on the in-process path.
+        assert EngineConfig().resolved_executor == "thread"
+        assert (
+            EngineConfig(n_shards=4, n_partitions=8).resolved_executor
+            == "process"
+        )
+        assert (
+            EngineConfig(executor="thread", n_shards=4, n_partitions=8)
+            .resolved_executor
+            == "thread"
+        )
+        assert EngineConfig(executor="process").resolved_executor == "process"
+
 
 class TestEngineBuildAndSearch:
     def test_len_and_repr(self, flat_engine, small_data):

@@ -290,7 +290,9 @@ class TestPreparedCacheBound:
 class TestShardedProcessBackend:
     def test_process_backend_matches_thread(self, index, dataset):
         sharded = ShardedIndex.from_index(index, n_shards=2)
-        thread = ScatterGatherExecutor(sharded, NaiveScanner, n_workers=1)
+        thread = ScatterGatherExecutor(
+            sharded, NaiveScanner, n_workers=1, backend="thread"
+        )
         with ScatterGatherExecutor(
             sharded, NaiveScanner, n_workers=1, backend="process"
         ) as process:

@@ -165,7 +165,11 @@ class TestScatterGatherIdentity:
         )
         for n_shards in (1, 3, 8):
             sharded = ShardedIndex.from_index(index8, n_shards=n_shards)
-            executor = ScatterGatherExecutor(sharded, factory, n_workers=2)
+            # backend="thread" exercises the same streaming gather/merge
+            # path as the process default without 27 process-pool spawns.
+            executor = ScatterGatherExecutor(
+                sharded, factory, n_workers=2, backend="thread"
+            )
             response = executor.run(batch_queries, topk=10, nprobe=nprobe)
             assert not response.partial
             assert all(s.state == STATE_OK for s in response.shard_statuses)
@@ -173,7 +177,9 @@ class TestScatterGatherIdentity:
 
     def test_single_query_batch(self, index8, pq, batch_queries):
         sharded = ShardedIndex.from_index(index8, n_shards=3)
-        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), backend="thread"
+        )
         response = executor.run(batch_queries[0], topk=5, nprobe=2)
         baseline = ANNSearcher(index8, NaiveScanner()).search(
             batch_queries[0], topk=5, nprobe=2
@@ -183,14 +189,18 @@ class TestScatterGatherIdentity:
 
     def test_empty_batch(self, index8, pq):
         sharded = ShardedIndex.from_index(index8, n_shards=2)
-        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), backend="thread"
+        )
         response = executor.run(np.empty((0, 128)), topk=5)
         assert response.results == [] and not response.partial
 
     def test_unprobed_shards_report_ok_with_zero_jobs(self, index8, pq):
         # nprobe=1 with a handful of queries leaves some shards idle.
         sharded = ShardedIndex.from_index(index8, n_shards=8)
-        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), backend="thread"
+        )
         query = np.asarray(index8.coarse.codebook[0], dtype=np.float64)
         response = executor.run(query[None, :], topk=5, nprobe=1)
         assert not response.partial
@@ -200,7 +210,7 @@ class TestScatterGatherIdentity:
     def test_worker_stats_combined(self, index8, pq, batch_queries):
         sharded = ShardedIndex.from_index(index8, n_shards=3)
         executor = ScatterGatherExecutor(
-            sharded, lambda: NaiveScanner(), n_workers=2
+            sharded, lambda: NaiveScanner(), n_workers=2, backend="thread"
         )
         response = executor.run(batch_queries, topk=10, nprobe=8)
         total_jobs = sum(s.n_jobs for s in response.shard_statuses)
@@ -257,7 +267,9 @@ class TestGracefulDegradation:
         sharded = ShardedIndex.from_index(index8, n_shards=2)
         release = threading.Event()
         scanners = [NaiveScanner(), _StallingScanner(release)]
-        executor = ScatterGatherExecutor(sharded, scanners, deadline_s=0.5)
+        executor = ScatterGatherExecutor(
+            sharded, scanners, deadline_s=0.5, backend="thread"
+        )
         try:
             start = time.perf_counter()
             response = executor.run(batch_queries, topk=10, nprobe=8)
@@ -280,7 +292,10 @@ class TestGracefulDegradation:
         sharded = ShardedIndex.from_index(index8, n_shards=2)
         release = threading.Event()
         executor = ScatterGatherExecutor(
-            sharded, [NaiveScanner(), _StallingScanner(release)], deadline_s=0.5
+            sharded,
+            [NaiveScanner(), _StallingScanner(release)],
+            deadline_s=0.5,
+            backend="thread",
         )
         try:
             response = executor.run(batch_queries, topk=10, nprobe=8)
@@ -308,6 +323,7 @@ class TestGracefulDegradation:
             [NaiveScanner(), _FlakyScanner(fail_times=100)],
             max_retries=1,
             backoff_s=0.0,
+            backend="thread",
         )
         response = executor.run(batch_queries, topk=10, nprobe=8)
         assert response.partial
@@ -324,6 +340,7 @@ class TestGracefulDegradation:
             [NaiveScanner(), flaky],
             max_retries=2,
             backoff_s=0.0,
+            backend="thread",
         )
         baseline = ANNSearcher(index8, NaiveScanner()).search(
             batch_queries, topk=10, nprobe=8
@@ -336,7 +353,9 @@ class TestGracefulDegradation:
 
     def test_configuration_error_is_not_swallowed(self, index8, pq, batch_queries):
         sharded = ShardedIndex.from_index(index8, n_shards=2)
-        executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), backend="thread"
+        )
         with pytest.raises(ConfigurationError):
             executor.run(batch_queries, topk=10, nprobe=99)
 
@@ -356,6 +375,8 @@ class TestGracefulDegradation:
             ScatterGatherExecutor(sharded, factory, max_retries=-1)
         with pytest.raises(ConfigurationError):
             ScatterGatherExecutor(sharded, factory, backoff_s=-0.1)
+        with pytest.raises(ConfigurationError, match="backend"):
+            ScatterGatherExecutor(sharded, factory, backend="fiber")
 
 
 # -- observability --------------------------------------------------------------
@@ -365,7 +386,9 @@ class TestShardObservability:
     def test_healthy_run_records_latency_and_gather(self, index8, pq, batch_queries):
         sharded = ShardedIndex.from_index(index8, n_shards=2)
         with observability_session() as obs:
-            executor = ScatterGatherExecutor(sharded, lambda: NaiveScanner())
+            executor = ScatterGatherExecutor(
+                sharded, lambda: NaiveScanner(), backend="thread"
+            )
             executor.run(batch_queries, topk=10, nprobe=8)
         snapshot = obs.snapshot()
         assert "repro_shard_latency_seconds" in snapshot["histograms"]
@@ -384,6 +407,7 @@ class TestShardObservability:
                 [NaiveScanner(), _FlakyScanner(fail_times=100)],
                 max_retries=1,
                 backoff_s=0.0,
+                backend="thread",
             )
             executor.run(batch_queries, topk=10, nprobe=8)
             registry = obs.metrics
@@ -410,9 +434,9 @@ class TestShardedPersistence:
         baseline = ANNSearcher(index8, NaiveScanner()).search(
             batch_queries, topk=10, nprobe=4
         )
-        response = ScatterGatherExecutor(loaded, lambda: NaiveScanner()).run(
-            batch_queries, topk=10, nprobe=4
-        )
+        response = ScatterGatherExecutor(
+            loaded, lambda: NaiveScanner(), backend="thread"
+        ).run(batch_queries, topk=10, nprobe=4)
         assert not response.partial
         _assert_identical(baseline, response.results)
 
@@ -468,3 +492,238 @@ class TestShardedPersistence:
         save_index(other.shards[1].index, path / "shard_0001.npz")
         with pytest.raises(DatasetError, match="inconsistent shard set"):
             load_sharded_index(path)
+
+
+# -- streaming merge ------------------------------------------------------------
+
+
+class TestStreamingMerger:
+    """The incremental merge must be byte-identical to the barrier merge."""
+
+    @pytest.mark.parametrize("kind", ["naive", "libpq", "fastpq"])
+    @pytest.mark.parametrize("nprobe", [1, 3, 8])
+    def test_fold_order_cannot_change_results(
+        self, index8, pq, batch_queries, kind, nprobe
+    ):
+        from repro.search import (
+            BatchExecutor,
+            StreamingMerger,
+            merge_partials,
+        )
+
+        factory = _scanner_factories(pq)[kind]
+        for n_shards in (1, 3, 8):
+            sharded = ShardedIndex.from_index(index8, n_shards=n_shards)
+            plan, subplans = ShardRouter(sharded).plan(
+                batch_queries, topk=10, nprobe=nprobe
+            )
+            grids = []
+            for shard_id, subplan in subplans.items():
+                executor = BatchExecutor(
+                    sharded.shards[shard_id].index, factory()
+                )
+                grids.append(executor.scan_plan(subplan)[0])
+            # Barrier merge over the union grid = the reference answer.
+            union = [
+                [None] * plan.nprobe for _ in range(plan.n_queries)
+            ]
+            for grid in grids:
+                for row in range(plan.n_queries):
+                    for pos in range(plan.nprobe):
+                        if grid[row][pos] is not None:
+                            union[row][pos] = grid[row][pos]
+            reference = merge_partials(plan, union)
+            # Any fold order must produce the same bytes.
+            for order in (grids, list(reversed(grids)), grids[::2] + grids[1::2]):
+                merger = StreamingMerger(plan)
+                for grid in order:
+                    merger.fold(grid)
+                assert merger.complete
+                _assert_identical(reference, merger.results())
+
+    def test_duplicate_fold_is_idempotent(self, index8, pq, batch_queries):
+        from repro.search import BatchExecutor, StreamingMerger, merge_partials
+
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        plan, subplans = ShardRouter(sharded).plan(
+            batch_queries, topk=10, nprobe=4
+        )
+        grids = [
+            BatchExecutor(sharded.shards[sid].index, NaiveScanner()).scan_plan(
+                sub
+            )[0]
+            for sid, sub in subplans.items()
+        ]
+        merger = StreamingMerger(plan)
+        for grid in grids:
+            merger.fold(grid)
+            merger.fold(grid)  # re-delivered partials are skipped
+        union = [[None] * plan.nprobe for _ in range(plan.n_queries)]
+        for grid in grids:
+            for row in range(plan.n_queries):
+                for pos in range(plan.nprobe):
+                    if grid[row][pos] is not None:
+                        union[row][pos] = grid[row][pos]
+        _assert_identical(merge_partials(plan, union), merger.results())
+
+    def test_incomplete_merge_raises_unless_partial(
+        self, index8, pq, batch_queries
+    ):
+        from repro.search import StreamingMerger
+        from repro.exceptions import SimulationError
+
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        plan, _ = ShardRouter(sharded).plan(batch_queries, topk=10, nprobe=4)
+        merger = StreamingMerger(plan)
+        assert not merger.complete
+        with pytest.raises(SimulationError, match="unscanned probes"):
+            merger.results()
+        # Partial-mode finalize mirrors merge_partials(require_complete=False).
+        results = merger.results(require_complete=False)
+        assert len(results) == len(batch_queries)
+
+
+# -- pinned pools ---------------------------------------------------------------
+
+
+class TestPinnedPools:
+    def test_process_worker_pids_stable_across_runs(
+        self, index8, pq, batch_queries
+    ):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        with ScatterGatherExecutor(
+            sharded, NaiveScanner, n_workers=1, backend="process"
+        ) as executor:
+            from repro.parallel import ProcessBatchExecutor
+
+            assert all(
+                isinstance(e, ProcessBatchExecutor)
+                for e in executor._executors
+            )
+            first = executor.run(batch_queries, topk=10, nprobe=8)
+            pids_first = [e.worker_pids for e in executor._executors]
+            second = executor.run(batch_queries, topk=10, nprobe=8)
+            pids_second = [e.worker_pids for e in executor._executors]
+            assert pids_first == pids_second  # no per-batch pool spin-up
+            assert all(pids for pids in pids_second)
+            _assert_identical(first.results, second.results)
+
+    def test_process_backend_identical_to_unsharded(
+        self, index8, pq, batch_queries
+    ):
+        baseline = ANNSearcher(index8, NaiveScanner()).search(
+            batch_queries, topk=10, nprobe=8
+        )
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        with ScatterGatherExecutor(
+            sharded, NaiveScanner, backend="process"
+        ) as executor:
+            response = executor.run(batch_queries, topk=10, nprobe=8)
+        assert not response.partial
+        _assert_identical(baseline, response.results)
+
+    def test_run_after_close_raises(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        executor = ScatterGatherExecutor(
+            sharded, lambda: NaiveScanner(), backend="thread"
+        )
+        executor.run(batch_queries, topk=5, nprobe=2)
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            executor.run(batch_queries, topk=5, nprobe=2)
+
+    def test_process_backend_attaches_to_saved_artifact(
+        self, index8, pq, batch_queries, tmp_path
+    ):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        path = tmp_path / "layout"
+        save_sharded_index(sharded, path)
+        assert sharded.artifact_dir == path
+        assert sharded.shard_artifact_path(0) == path / "shard_0000.npz"
+        with ScatterGatherExecutor(
+            sharded, NaiveScanner, backend="process"
+        ) as executor:
+            assert executor._tempdir is None  # attached, not re-saved
+            response = executor.run(batch_queries, topk=10, nprobe=4)
+        assert not response.partial
+
+    def test_temp_artifact_not_advertised_on_shared_index(self, index8, pq):
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        assert sharded.artifact_dir is None
+        with ScatterGatherExecutor(
+            sharded, NaiveScanner, backend="process"
+        ) as executor:
+            assert executor._tempdir is not None
+            # The executor-owned temporary copy must not leak onto the
+            # shared layout: a later executor would attach to a deleted
+            # directory.
+            assert sharded.artifact_dir is None
+
+    def test_thread_fallback_emits_no_warnings(self, index8, pq, batch_queries):
+        import warnings
+
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            executor = ScatterGatherExecutor(
+                sharded, lambda: NaiveScanner(), n_workers=2, backend="thread"
+            )
+            try:
+                executor.run(batch_queries, topk=10, nprobe=4)
+                executor.run(batch_queries, topk=10, nprobe=4)
+            finally:
+                executor.close()
+
+    def test_stalled_run_leaves_executor_usable(self, index8, pq, batch_queries):
+        # After a deadline-abandoned batch, the pinned pools must still
+        # serve the next batch (the straggler occupies one scatter slot
+        # but each shard has its own).
+        sharded = ShardedIndex.from_index(index8, n_shards=2)
+        release = threading.Event()
+        executor = ScatterGatherExecutor(
+            sharded,
+            [NaiveScanner(), _StallingScanner(release)],
+            deadline_s=0.3,
+            backend="thread",
+        )
+        try:
+            degraded = executor.run(batch_queries, topk=10, nprobe=8)
+            assert degraded.partial
+            release.set()
+            time.sleep(0.05)  # let the straggler drain
+            healthy = executor.run(batch_queries, topk=10, nprobe=8)
+            assert not healthy.partial
+            baseline = ANNSearcher(index8, NaiveScanner()).search(
+                batch_queries, topk=10, nprobe=8
+            )
+            _assert_identical(baseline, healthy.results)
+        finally:
+            release.set()
+            executor.close()
+
+
+# -- overlap + pool metrics -----------------------------------------------------
+
+
+class TestGatherOverlapObservability:
+    def test_overlap_and_pool_metrics_recorded(self, index8, pq, batch_queries):
+        sharded = ShardedIndex.from_index(index8, n_shards=3)
+        with observability_session() as obs:
+            executor = ScatterGatherExecutor(
+                sharded, lambda: NaiveScanner(), backend="thread"
+            )
+            response = executor.run(batch_queries, topk=10, nprobe=8)
+            executor.run(batch_queries, topk=10, nprobe=8)
+            snapshot = obs.snapshot()
+            registry = obs.metrics
+        assert response.gather_overlap_s >= 0.0
+        assert response.as_dict()["gather_overlap_s"] >= 0.0
+        assert "repro_gather_overlap_seconds" in snapshot["histograms"]
+        assert registry.get("repro_pool_spinups_total").value(
+            backend="gather"
+        ) == 1.0
+        # Both runs reused the pinned gather pool.
+        assert registry.get("repro_pool_reuses_total").value(
+            backend="gather"
+        ) == 2.0
