@@ -4,6 +4,7 @@ from .bandwidth import BandwidthAnalysis, analyze_concurrency
 from .cost_model import ScanCostModel, calibrate
 from .harness import HarnessContext, QueryStats, run_queries, summarize
 from .reporting import format_table, results_dir, save_report
+from .serving import ServingRun
 from .throughput import ThroughputRun, measure_throughput, run_benchmark
 from .workloads import (
     PAPER_PARTITION_SIZES,
@@ -18,6 +19,7 @@ __all__ = [
     "PAPER_PARTITION_SIZES",
     "QueryStats",
     "ScanCostModel",
+    "ServingRun",
     "ThroughputRun",
     "Workload",
     "analyze_concurrency",

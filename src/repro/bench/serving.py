@@ -1,0 +1,414 @@
+"""Open-loop serving benchmark: latency percentiles vs offered load.
+
+The throughput benchmark measures how fast the engine chews through a
+batch it already has; this one measures the regime Section 5.8 of the
+paper actually describes — many independent clients, each with one
+query, arriving whether or not the server is ready. The load generator
+is **open-loop**: arrivals follow a fixed schedule derived from the
+offered rate (client ``i`` fires at ``i / rate`` seconds), so a slow
+server cannot throttle its own load the way a closed loop would. That
+makes the reported percentiles honest: queueing delay shows up in p99
+instead of silently stretching the arrival gaps.
+
+For each offered rate the harness starts a fresh
+:class:`~repro.serve.MicroBatchServer` over one shared
+:class:`~repro.search.ANNSearcher` (so pinned pools stay warm across
+the ladder), fires the schedule, and reports:
+
+* p50/p95/p99 end-to-end latency and mean queue wait / batch size;
+* achieved qps (completed ok / makespan) and shed count;
+* a byte-identity check of **every** served result against the
+  sequential baseline for its query.
+
+"Max sustainable qps" is the highest offered rate the server absorbed:
+no shedding, every result byte-identical, achieved throughput within
+90% of offered, and p99 under the ``--slo-ms`` bound. The summary goes
+to ``BENCH_serving.json`` (committed at the repo root by convention)
+and ``results/serving.{txt,json}``.
+
+Run as a module for the CLI::
+
+    PYTHONPATH=src python -m repro.bench.serving --scale 8000 \
+        --rates 50 100 200 400 --requests-per-rate 200 --min-qps 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..core.fast_scan import PQFastScanner
+from ..scan.base import PartitionScanner
+from ..scan.naive import NaiveScanner
+from ..search import ANNSearcher, SearchResult
+from ..serve import MicroBatchServer, ServeConfig, ServedResult
+from .reporting import format_table, save_report
+from .workloads import Workload, build_workload
+
+__all__ = ["ServingRun", "run_rate", "run_benchmark", "main"]
+
+
+class ServingRun:
+    """Measured outcome of one offered rate on the ladder.
+
+    Attributes:
+        offered_qps: the open-loop arrival rate.
+        n_requests: requests fired at this rate.
+        n_ok / n_shed: completed vs overload-shed requests.
+        achieved_qps: completed requests / makespan.
+        p50_ms / p95_ms / p99_ms: end-to-end latency percentiles over
+            completed requests.
+        mean_queue_wait_ms: average coalescing-queue wait.
+        mean_batch: average micro-batch size requests were served in.
+        identical: every completed result was byte-identical to the
+            sequential baseline for its query.
+    """
+
+    def __init__(
+        self,
+        offered_qps: float,
+        n_requests: int,
+        n_ok: int,
+        n_shed: int,
+        achieved_qps: float,
+        p50_ms: float,
+        p95_ms: float,
+        p99_ms: float,
+        mean_queue_wait_ms: float,
+        mean_batch: float,
+        identical: bool,
+    ):
+        self.offered_qps = offered_qps
+        self.n_requests = n_requests
+        self.n_ok = n_ok
+        self.n_shed = n_shed
+        self.achieved_qps = achieved_qps
+        self.p50_ms = p50_ms
+        self.p95_ms = p95_ms
+        self.p99_ms = p99_ms
+        self.mean_queue_wait_ms = mean_queue_wait_ms
+        self.mean_batch = mean_batch
+        self.identical = identical
+
+    def sustainable(self, slo_ms: float) -> bool:
+        """Did the server absorb this rate within the SLO?"""
+        return (
+            self.n_shed == 0
+            and self.identical
+            and self.n_ok == self.n_requests
+            and self.achieved_qps >= 0.9 * self.offered_qps
+            and self.p99_ms <= slo_ms
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "offered_qps": self.offered_qps,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_shed": self.n_shed,
+            "achieved_qps": self.achieved_qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "mean_batch": self.mean_batch,
+            "identical": self.identical,
+        }
+
+
+def _result_equal(a: SearchResult, b: SearchResult) -> bool:
+    """Byte-level equality of two single-query results."""
+    return (
+        a.ids.tobytes() == b.ids.tobytes()
+        and a.distances.tobytes() == b.distances.tobytes()
+        and a.n_scanned == b.n_scanned
+        and a.n_pruned == b.n_pruned
+        and a.probed == b.probed
+    )
+
+
+async def _fire_schedule(
+    server: MicroBatchServer,
+    queries: np.ndarray,
+    rate: float,
+    n_requests: int,
+) -> tuple[list[tuple[int, ServedResult]], float]:
+    """Fire ``n_requests`` open-loop arrivals at ``rate`` per second.
+
+    Client ``i`` sends query ``i % len(queries)`` at ``i / rate`` seconds
+    after the epoch, regardless of how earlier requests are faring.
+    Returns ``(indexed results, makespan seconds)``.
+    """
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+
+    async def client(i: int) -> tuple[int, ServedResult]:
+        delay = epoch + i / rate - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return i, await server.search(queries[i % len(queries)])
+
+    results = await asyncio.gather(*(client(i) for i in range(n_requests)))
+    return list(results), loop.time() - epoch
+
+
+async def run_rate(
+    server: MicroBatchServer,
+    queries: np.ndarray,
+    baseline: Sequence[SearchResult],
+    *,
+    rate: float,
+    n_requests: int,
+) -> ServingRun:
+    """One rung of the ladder: fire the schedule, score the outcome."""
+    if rate <= 0:
+        raise ConfigurationError(f"offered rate must be > 0, got {rate}")
+    indexed, makespan = await _fire_schedule(server, queries, rate, n_requests)
+    ok = [(i, r) for i, r in indexed if r.ok]
+    n_shed = sum(1 for _, r in indexed if not r.ok)
+    identical = all(
+        r.result is not None
+        and _result_equal(r.result, baseline[i % len(queries)])
+        for i, r in ok
+    )
+    latencies = np.array([r.latency_s for _, r in ok], dtype=np.float64)
+    waits = np.array([r.queue_wait_s for _, r in ok], dtype=np.float64)
+    batches = np.array([r.batch_size for _, r in ok], dtype=np.float64)
+    if len(latencies):
+        p50, p95, p99 = (
+            float(np.percentile(latencies, q)) * 1000.0 for q in (50, 95, 99)
+        )
+    else:
+        p50 = p95 = p99 = 0.0
+    return ServingRun(
+        offered_qps=rate,
+        n_requests=n_requests,
+        n_ok=len(ok),
+        n_shed=n_shed,
+        achieved_qps=len(ok) / makespan if makespan > 0 else 0.0,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        mean_queue_wait_ms=float(waits.mean()) * 1000.0 if len(waits) else 0.0,
+        mean_batch=float(batches.mean()) if len(batches) else 0.0,
+        identical=identical,
+    )
+
+
+def run_benchmark(
+    *,
+    scale: int = 8000,
+    n_queries: int = 64,
+    topk: int = 10,
+    nprobe: int = 2,
+    rates: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
+    requests_per_rate: int = 200,
+    max_batch: int = 32,
+    max_delay_ms: float = 2.0,
+    max_queue: int = 256,
+    executor: str = "batch",
+    n_workers: int = 1,
+    slo_ms: float = 50.0,
+    scanner_name: str = "naive",
+    seed: int = 11,
+) -> dict:
+    """Build the workload, climb the rate ladder, return the payload.
+
+    One searcher (with its pinned pools) and one sequential baseline are
+    shared across the ladder; each rate gets a fresh server so queue
+    state cannot leak between rungs.
+    """
+    workload = build_workload(
+        "sift100m", scale=scale, n_queries=max(n_queries, 64), seed=seed
+    )
+    if scanner_name == "naive":
+        scanner: PartitionScanner = NaiveScanner()
+    elif scanner_name == "fastpq":
+        scanner = PQFastScanner(workload.pq, keep=0.005, seed=0)
+    else:
+        raise ConfigurationError(f"unknown scanner {scanner_name!r}")
+    queries = workload.queries[:n_queries]
+
+    serve_config = ServeConfig(
+        max_batch=max_batch,
+        max_delay_s=max_delay_ms / 1000.0,
+        max_queue=max_queue,
+    )
+    runs: list[ServingRun] = []
+    with ANNSearcher(workload.index, scanner=scanner) as searcher:
+        baseline = searcher.search(
+            queries, topk=topk, nprobe=nprobe, executor="sequential"
+        )
+        # Untimed pilot: spin the pinned pool up and warm scanner caches
+        # so the first rung doesn't pay one-time costs.
+        searcher.search(
+            queries, topk=topk, nprobe=nprobe, executor=executor,
+            n_workers=n_workers,
+        )
+
+        async def ladder() -> None:
+            for rate in rates:
+                server = MicroBatchServer.for_searcher(
+                    searcher,
+                    topk=topk,
+                    nprobe=nprobe,
+                    executor=executor,
+                    n_workers=n_workers,
+                    config=serve_config,
+                )
+                async with server:
+                    runs.append(
+                        await run_rate(
+                            server,
+                            queries,
+                            baseline,
+                            rate=rate,
+                            n_requests=requests_per_rate,
+                        )
+                    )
+
+        asyncio.run(ladder())
+
+    sustainable = [r for r in runs if r.sustainable(slo_ms)]
+    max_sustainable = max(
+        (r.offered_qps for r in sustainable), default=0.0
+    )
+    return {
+        "workload": workload.describe(),
+        "scale": scale,
+        "executor": executor,
+        "n_workers": n_workers,
+        "scanner": scanner_name,
+        "n_queries": n_queries,
+        "topk": topk,
+        "nprobe": nprobe,
+        "requests_per_rate": requests_per_rate,
+        "serve_config": {
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "max_queue": max_queue,
+        },
+        "slo_ms": slo_ms,
+        "runs": [r.as_dict() for r in runs],
+        "max_sustainable_qps": max_sustainable,
+        "all_identical": all(r.identical for r in runs),
+        "generated_unix": time.time(),
+    }
+
+
+def render_report(data: dict) -> str:
+    """Format the rate ladder as the standard fixed-width table."""
+    rows = []
+    for run in data["runs"]:
+        rows.append(
+            [
+                run["offered_qps"],
+                run["achieved_qps"],
+                run["n_shed"],
+                run["p50_ms"],
+                run["p95_ms"],
+                run["p99_ms"],
+                run["mean_batch"],
+                "yes" if run["identical"] else "NO",
+            ]
+        )
+    return format_table(
+        ["offered qps", "achieved qps", "shed", "p50 [ms]", "p95 [ms]",
+         "p99 [ms]", "mean batch", "byte-identical"],
+        rows,
+        title=(
+            f"Open-loop serving — {data['workload']}, "
+            f"executor={data['executor']}, topk={data['topk']}, "
+            f"nprobe={data['nprobe']}, "
+            f"max_batch={data['serve_config']['max_batch']}, "
+            f"deadline={data['serve_config']['max_delay_ms']}ms, "
+            f"SLO p99<={data['slo_ms']}ms — "
+            f"max sustainable {data['max_sustainable_qps']:.0f} qps"
+        ),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop micro-batching serving benchmark"
+    )
+    parser.add_argument("--scale", type=int, default=8000,
+                        help="divisor on the paper's SIFT100M size")
+    parser.add_argument("--n-queries", type=int, default=64,
+                        help="distinct queries cycled by the clients")
+    parser.add_argument("--topk", type=int, default=10)
+    parser.add_argument("--nprobe", type=int, default=2)
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=[50.0, 100.0, 200.0, 400.0],
+                        help="offered qps ladder (open-loop arrivals)")
+    parser.add_argument("--requests-per-rate", type=int, default=200)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="coalescing deadline")
+    parser.add_argument("--max-queue", type=int, default=256,
+                        help="admission bound before shedding")
+    parser.add_argument("--executor", choices=list(ANNSearcher.EXECUTORS),
+                        default="batch",
+                        help="engine under the micro-batches")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="p99 bound a rate must meet to count as "
+                             "sustainable")
+    parser.add_argument("--scanner", choices=["naive", "fastpq"],
+                        default="naive")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_serving.json"),
+                        help="summary JSON path (repo-root convention)")
+    parser.add_argument("--min-qps", type=float, default=0.0,
+                        help="exit non-zero if max sustainable qps is "
+                             "below this (CI gate)")
+    args = parser.parse_args(argv)
+
+    data = run_benchmark(
+        scale=args.scale,
+        n_queries=args.n_queries,
+        topk=args.topk,
+        nprobe=args.nprobe,
+        rates=tuple(args.rates),
+        requests_per_rate=args.requests_per_rate,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        executor=args.executor,
+        n_workers=args.workers,
+        slo_ms=args.slo_ms,
+        scanner_name=args.scanner,
+        seed=args.seed,
+    )
+
+    table = render_report(data)
+    save_report("serving", table, data)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"[summary written to {args.output}]")
+
+    if not data["all_identical"]:
+        print("FAIL: a served result diverged from the sequential baseline")
+        return 1
+    if args.min_qps and data["max_sustainable_qps"] < args.min_qps:
+        print(
+            f"FAIL: max sustainable {data['max_sustainable_qps']:.0f} qps "
+            f"below required {args.min_qps:.0f} qps"
+        )
+        return 1
+    print(
+        f"max sustainable {data['max_sustainable_qps']:.0f} qps "
+        f"(SLO p99<={args.slo_ms:.0f}ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

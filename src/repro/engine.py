@@ -25,6 +25,7 @@ config answers identically whether ``n_shards`` is 1 or 8.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
@@ -239,24 +240,16 @@ class Engine:
         self._searcher = ANNSearcher(
             index, factory(), vectors=self.vectors, index_path=unsharded_path
         )
+        # Guards self._scatter against concurrent search/close callers.
+        # The scatter-gather executor is built outside this lock (its
+        # constructor spins pools up — lint rule R7), under the
+        # creation lock below, and published under this one. Order is
+        # always _create_lock -> _lock.
+        self._lock = threading.Lock()
+        self._create_lock = threading.Lock()
         self._scatter: ScatterGatherExecutor | None = None
         if sharded is not None:
-            sharded_dir = (
-                self.index_path
-                if self.index_path is not None and self.index_path.is_dir()
-                else None
-            )
-            self._scatter = ScatterGatherExecutor(
-                sharded,
-                factory,
-                n_workers=config.n_workers,
-                backend=config.resolved_executor,
-                artifact_dir=sharded_dir,
-                deadline_s=config.deadline_s,
-                max_retries=config.max_retries,
-                backoff_s=config.backoff_s,
-                observability=observability,
-            )
+            self._scatter = self._build_scatter()
 
     # -- construction -------------------------------------------------------
 
@@ -399,7 +392,12 @@ class Engine:
         """
         nprobe = nprobe if nprobe is not None else self.config.nprobe
         queries = np.asarray(queries, dtype=np.float64)
-        if self._scatter is None or queries.ndim == 1:
+        if self.sharded is None:
+            with self._lock:
+                scatter = self._scatter
+        else:
+            scatter = None if queries.ndim == 1 else self._ensure_scatter()
+        if scatter is None or queries.ndim == 1:
             return self._searcher.search(
                 queries,
                 topk=k,
@@ -417,7 +415,7 @@ class Engine:
                 "rerank is not supported on the sharded batch path; "
                 "use an unsharded engine (n_shards=1) for re-ranking"
             )
-        response = self._scatter.run(queries, topk=k, nprobe=nprobe)
+        response = scatter.run(queries, topk=k, nprobe=nprobe)
         if response.partial:
             degraded = [s.as_dict() for s in response.shard_statuses if not s.ok]
             raise ConfigurationError(
@@ -444,37 +442,84 @@ class Engine:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
-        if self._scatter is None:
-            # Lazily wrap the unsharded index as one healthy shard so
-            # callers get a uniform response type.
-            single = ShardedIndex.from_index(self.index, n_shards=1)
-            self._scatter = ScatterGatherExecutor(
-                single,
+        return self._ensure_scatter().run(queries, topk=k, nprobe=nprobe)
+
+    def _build_scatter(self) -> ScatterGatherExecutor:
+        """A fresh scatter-gather executor over this engine's layout.
+
+        Unsharded engines lazily wrap their index as one healthy shard
+        so :meth:`search_detailed` callers get a uniform response type.
+        """
+        if self.sharded is not None:
+            sharded_dir = (
+                self.index_path
+                if self.index_path is not None and self.index_path.is_dir()
+                else None
+            )
+            return ScatterGatherExecutor(
+                self.sharded,
                 self.config.scanner_factory(self.index.pq),
                 n_workers=self.config.n_workers,
                 backend=self.config.resolved_executor,
+                artifact_dir=sharded_dir,
                 deadline_s=self.config.deadline_s,
                 max_retries=self.config.max_retries,
                 backoff_s=self.config.backoff_s,
                 observability=self.observability,
             )
-        return self._scatter.run(queries, topk=k, nprobe=nprobe)
+        single = ShardedIndex.from_index(self.index, n_shards=1)
+        return ScatterGatherExecutor(
+            single,
+            self.config.scanner_factory(self.index.pq),
+            n_workers=self.config.n_workers,
+            backend=self.config.resolved_executor,
+            deadline_s=self.config.deadline_s,
+            max_retries=self.config.max_retries,
+            backoff_s=self.config.backoff_s,
+            observability=self.observability,
+        )
+
+    def _ensure_scatter(self) -> ScatterGatherExecutor:
+        """The engine's scatter-gather executor, (re)built on demand.
+
+        Safe for concurrent callers: reads/publishes happen under
+        ``self._lock`` while construction — which saves shard artifacts
+        and spins pools up (R7) — is serialized by ``self._create_lock``
+        so racing callers build exactly one executor. Also the reason a
+        closed engine stays usable: the next sharded search lands here
+        and rebuilds.
+        """
+        with self._lock:
+            scatter = self._scatter
+        if scatter is not None:
+            return scatter
+        with self._create_lock:
+            with self._lock:
+                scatter = self._scatter
+            if scatter is not None:
+                return scatter
+            built = self._build_scatter()
+            with self._lock:
+                self._scatter = built
+            return built
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release executor resources (idempotent).
+        """Release executor resources (idempotent, concurrency-safe).
 
         Shuts down every pinned pool the engine spun up: the searcher's
-        cached thread/process executors and, when sharded, the
-        scatter-gather executor's per-shard pools and scatter pool
-        (plus any temporary artifacts). Unsharded searches stay usable
-        after closing — their pools respawn on demand; the sharded
-        batch path does not.
+        cached thread/process executors and the scatter-gather
+        executor's per-shard pools and gather pool (plus any temporary
+        artifacts). The engine stays usable after closing — later
+        searches build fresh pools (and, on the sharded path, a fresh
+        scatter-gather executor) on demand.
         """
+        with self._lock:
+            scatter, self._scatter = self._scatter, None
+        if scatter is not None:
+            scatter.close()
         self._searcher.close()
-        if self._scatter is not None:
-            self._scatter.close()
 
     def __enter__(self) -> "Engine":
         return self

@@ -50,6 +50,11 @@ metric                                          kind       labels
 ``repro_gather_overlap_seconds``                histogram  —
 ``repro_pool_spinups_total``                    counter    ``backend``
 ``repro_pool_reuses_total``                     counter    ``backend``
+``repro_serve_requests_total``                  counter    ``status``
+``repro_serve_flushes_total``                   counter    ``reason``
+``repro_serve_queue_wait_seconds``              histogram  —
+``repro_serve_latency_seconds``                 histogram  —
+``repro_serve_batch_size``                      histogram  —
 ==============================================  =========  ==================
 """
 
@@ -242,6 +247,29 @@ class Observability:
             help="Batches served by an already-warm pinned pool.",
             labelnames=("backend",),
         )
+        self._serve_requests = m.counter(
+            "repro_serve_requests_total",
+            help="Serving-layer requests by outcome (ok/overload/error).",
+            labelnames=("status",),
+        )
+        self._serve_flushes = m.counter(
+            "repro_serve_flushes_total",
+            help="Micro-batches flushed by trigger (size/deadline/drain).",
+            labelnames=("reason",),
+        )
+        self._serve_queue_wait = m.histogram(
+            "repro_serve_queue_wait_seconds",
+            help="Time a served request waited in the coalescing queue.",
+        )
+        self._serve_latency = m.histogram(
+            "repro_serve_latency_seconds",
+            help="End-to-end served-request latency (enqueue to answer).",
+        )
+        self._serve_batch_size = m.histogram(
+            "repro_serve_batch_size",
+            help="Requests coalesced into one flushed micro-batch.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
 
     # -- instrumentation points ---------------------------------------------
 
@@ -348,6 +376,32 @@ class Observability:
         if not self.enabled:
             return
         self._pool_reuses.inc(1.0, backend=backend)
+
+    def record_request(
+        self,
+        status: str,
+        queue_wait_s: float | None = None,
+        latency_s: float | None = None,
+    ) -> None:
+        """Account one serving-layer request (:mod:`repro.serve`).
+
+        Shed requests carry no timings (they never enter a batch), so
+        the histograms only observe requests that actually executed.
+        """
+        if not self.enabled:
+            return
+        self._serve_requests.inc(1.0, status=status)
+        if queue_wait_s is not None:
+            self._serve_queue_wait.observe(queue_wait_s)
+        if latency_s is not None:
+            self._serve_latency.observe(latency_s)
+
+    def record_flush(self, batch_size: int, reason: str) -> None:
+        """Account one flushed micro-batch and its coalesced size."""
+        if not self.enabled:
+            return
+        self._serve_flushes.inc(1.0, reason=reason)
+        self._serve_batch_size.observe(float(batch_size))
 
     # -- export conveniences ------------------------------------------------
 

@@ -738,6 +738,18 @@ class ANNSearcher:
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._process_executors: dict[int, "ProcessBatchExecutor"] = {}
         self._batch_executors: dict[int, BatchExecutor] = {}
+        # Guards the executor caches and the temp-artifact state
+        # (_tempdir / tempdir-backed index_path) against the concurrent
+        # search()/close() callers a serving layer creates. Pools are
+        # never spun up while it is held (lint rule R7): executors are
+        # constructed outside the lock and published under it.
+        self._lock = threading.Lock()
+        # Serializes *process*-pool construction only. Forking a pool is
+        # expensive, so racing first-searches must not each build one;
+        # cached-hit searches and close() never touch this lock, so the
+        # cache lock stays spin-up-free. Acquisition order is always
+        # _create_lock -> _lock (never the reverse).
+        self._create_lock = threading.Lock()
 
     #: Executor kinds accepted by :meth:`search` for multi-query input.
     EXECUTORS = ("batch", "sequential", "process")
@@ -899,61 +911,119 @@ class ANNSearcher:
         per-batch spin-up); the GIL :class:`RuntimeWarning` for
         ``n_workers>1`` consequently fires once per searcher and worker
         count, on first use, not per batch.
+
+        Safe for concurrent callers: the cache is read and published
+        under ``self._lock``, while executor construction stays outside
+        it (R7). A :class:`BatchExecutor` spawns its worker pool lazily
+        on first run, so the loser of a creation race discards a cheap
+        shell whose pool never existed — exactly one pool per worker
+        count ever spins up.
         """
-        cached = self._batch_executors.get(n_workers)
-        if cached is None:
-            cached = BatchExecutor(
-                self.index, self.scanner, n_workers=n_workers
-            )
-            self._batch_executors[n_workers] = cached
-        return cached
+        with self._lock:
+            cached = self._batch_executors.get(n_workers)
+        if cached is not None:
+            return cached
+        fresh = BatchExecutor(self.index, self.scanner, n_workers=n_workers)
+        with self._lock:
+            current = self._batch_executors.get(n_workers)
+            if current is None:
+                self._batch_executors[n_workers] = fresh
+                return fresh
+        fresh.close()
+        return current
+
+    def _ensure_index_path(self) -> Path:
+        """The artifact path process workers attach to, created on demand.
+
+        If the searcher was not given an ``index_path``, the index is
+        saved once to a temporary uncompressed artifact for the workers
+        to mmap. Holding ``self._lock`` across the save makes concurrent
+        first-process-searches agree on a single artifact (saving is a
+        plain file write, not a pool spin-up, so R7 is honored).
+        """
+        from .persistence import save_index
+
+        with self._lock:
+            if self.index_path is not None:
+                return self.index_path
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-index-")
+            path = Path(tempdir.name) / "index.npz"
+            save_index(self.index, path)
+            self._tempdir = tempdir
+            self.index_path = path
+            return path
 
     def _process_executor(self, n_workers: int) -> "ProcessBatchExecutor":
         """A cached :class:`~repro.parallel.ProcessBatchExecutor`.
 
         Pools are keyed by worker count and kept for the searcher's
         lifetime, so repeated batches reuse warm worker processes (their
-        per-process scanner caches included). If the searcher was not
-        given an ``index_path``, the index is saved once to a temporary
-        uncompressed artifact for the workers to mmap.
+        per-process scanner caches included).
+
+        Safe for concurrent callers: cache reads/publishes happen under
+        ``self._lock``; the fork itself runs under ``self._create_lock``
+        only, so the cache lock is never held across a pool spin-up (R7)
+        and racing first-searches build exactly one pool per worker
+        count instead of discarding expensive spares. If a concurrent
+        :meth:`close` deletes the temp artifact while the pool is
+        attaching, construction is retried against a fresh artifact.
         """
         from .parallel import ProcessBatchExecutor
 
-        cached = self._process_executors.get(n_workers)
+        with self._lock:
+            cached = self._process_executors.get(n_workers)
         if cached is not None:
             return cached
-        if self.index_path is None:
-            from .persistence import save_index
-
-            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-index-")
-            self.index_path = Path(self._tempdir.name) / "index.npz"
-            save_index(self.index, self.index_path)
-        executor = ProcessBatchExecutor(
-            self.index_path,
-            self.scanner,
-            n_workers=n_workers,
-            index=self.index,
-        )
-        self._process_executors[n_workers] = executor
-        return executor
+        with self._create_lock:
+            with self._lock:
+                cached = self._process_executors.get(n_workers)
+            if cached is not None:
+                return cached
+            while True:
+                path = self._ensure_index_path()
+                try:
+                    fresh = ProcessBatchExecutor(
+                        path,
+                        self.scanner,
+                        n_workers=n_workers,
+                        index=self.index,
+                    )
+                except Exception:
+                    with self._lock:
+                        artifact_gone = self.index_path != path
+                    if artifact_gone:
+                        continue
+                    raise
+                with self._lock:
+                    self._process_executors[n_workers] = fresh
+                return fresh
 
     def close(self) -> None:
         """Shut down any pinned pools (and delete the temporary artifact).
 
-        Idempotent; releases the process pools of ``executor="process"``
-        searches and the persistent thread pools of multi-worker
-        ``executor="batch"`` searches. The searcher stays usable — later
-        searches simply spin their pools up again.
+        Idempotent and safe against concurrent searches; releases the
+        process pools of ``executor="process"`` searches and the
+        persistent thread pools of multi-worker ``executor="batch"``
+        searches. A tempdir-backed ``index_path`` is reset to ``None``
+        (the artifact it pointed at is deleted here), while a
+        user-supplied path is kept. The searcher stays usable — later
+        searches spin fresh pools (and, if needed, a fresh temporary
+        artifact) up again.
         """
-        for executor in self._process_executors.values():
+        with self._lock:
+            process_executors = dict(self._process_executors)
+            self._process_executors.clear()
+            batch_executors = dict(self._batch_executors)
+            self._batch_executors.clear()
+            tempdir, self._tempdir = self._tempdir, None
+            if tempdir is not None:
+                self.index_path = None
+        for executor in process_executors.values():
             executor.close()
-        self._process_executors.clear()
-        for batch_executor in self._batch_executors.values():
+        for batch_executor in batch_executors.values():
             batch_executor.close()
-        self._batch_executors.clear()
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        if tempdir is not None:
+            tempdir.cleanup()
 
     def __enter__(self) -> "ANNSearcher":
         return self

@@ -426,7 +426,15 @@ class ScatterGatherExecutor:
         if queries.ndim == 1:
             queries = queries[None, :]
         start = time.perf_counter()
+        obs.record_pool_reuse("gather")
         if len(queries) == 0:
+            # An empty batch is still a served batch: record the same
+            # metric families as the non-empty path (reuse above, batch,
+            # gather, overlap) so obs totals keep matching run counts.
+            wall_time_s = time.perf_counter() - start
+            obs.record_batch(0, wall_time_s, [])
+            obs.record_gather(False)
+            obs.record_gather_overlap(0.0)
             return ShardedResponse(
                 results=[],
                 partial=False,
@@ -434,9 +442,8 @@ class ScatterGatherExecutor:
                     ShardStatus(s.shard_id, STATE_OK, 0, 0.0)
                     for s in self.sharded.shards
                 ),
-                wall_time_s=time.perf_counter() - start,
+                wall_time_s=wall_time_s,
             )
-        obs.record_pool_reuse("gather")
         with obs.span("route"):
             plan, subplans = self.router.plan(queries, topk=topk, nprobe=nprobe)
 

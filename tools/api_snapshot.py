@@ -37,6 +37,7 @@ PUBLIC_MODULES = (
     "repro.pq",
     "repro.scan",
     "repro.search",
+    "repro.serve",
     "repro.shard",
     "repro.simd",
 )

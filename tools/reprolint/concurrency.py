@@ -45,9 +45,11 @@ __all__ = [
 #: Classes whose mutable attributes R6 guards even when the class does
 #: not (yet) construct a lock of its own. These are the shared-state
 #: homes named by the concurrency design notes: the batch executors,
+#: the search facade the serving layer drives from many tasks at once,
 #: the metrics registry, and the prepared-tables LRU cache owner.
 GUARDED_CLASSES = frozenset(
     {
+        "ANNSearcher",
         "BatchExecutor",
         "ProcessBatchExecutor",
         "ScatterGatherExecutor",
@@ -193,12 +195,25 @@ def _call_name(call: ast.Call) -> str | None:
     return None
 
 
+def _is_asyncio_call(call: ast.Call) -> bool:
+    """True for ``asyncio.X(...)`` — loop-affine, not a thread lock."""
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "asyncio"
+    )
+
+
 class GuardedStateRule(Rule):
     """R6: guarded-class attributes are written only under a lock.
 
     A class is guarded when it is named in :data:`GUARDED_CLASSES` or
     when any of its methods constructs a ``threading.Lock``/``RLock``
-    (owning a lock is declaring shared state). Inside a guarded class,
+    (owning a lock is declaring shared state). ``asyncio`` primitives
+    (``asyncio.Lock``/``Semaphore``/...) do not count: they synchronize
+    tasks on one event loop, so owning one declares loop-affine state,
+    not cross-thread state. Inside a guarded class,
     every attribute write outside ``__init__`` — plain assignment,
     augmented assignment, subscript stores and in-place mutator calls
     (``append``/``update``/``set``/...) — must sit lexically inside a
@@ -259,7 +274,7 @@ class GuardedStateRule(Rule):
                 attr = _self_attribute(target)
                 if attr is None:
                     continue
-                if name in _LOCK_FACTORIES:
+                if name in _LOCK_FACTORIES and not _is_asyncio_call(node.value):
                     locks.add(attr)
                 elif name == "local":
                     locals_.add(attr)
