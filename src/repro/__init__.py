@@ -98,9 +98,17 @@ from .shard import (
     ShardStatus,
 )
 from .engine import SCANNER_KINDS, Engine, EngineConfig
+from .delta import (
+    CompactionReport,
+    DeltaSnapshot,
+    DeltaStore,
+    DeltaView,
+    encode_vectors,
+    fold_index,
+)
 from .simd import WorkerStats, aggregate_worker_stats, combine_worker_stats
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ANNSearcher",
@@ -110,8 +118,12 @@ __all__ = [
     "BatchPlanner",
     "BatchReport",
     "CentroidAssignment",
+    "CompactionReport",
     "ConfigurationError",
     "DatasetError",
+    "DeltaSnapshot",
+    "DeltaStore",
+    "DeltaView",
     "DimensionMismatchError",
     "DistanceQuantizer",
     "Engine",
@@ -156,7 +168,9 @@ __all__ = [
     "adc_distances",
     "aggregate_worker_stats",
     "combine_worker_stats",
+    "encode_vectors",
     "exact_neighbors",
+    "fold_index",
     "get_observability",
     "load_index",
     "load_quantizer",

@@ -1,0 +1,524 @@
+"""Mutation benchmark: write-API churn, byte-identity, compaction cost.
+
+The write-path counterpart of :mod:`repro.bench.throughput`: what does
+the delta overlay (:mod:`repro.delta`) cost readers, and how fast does
+:meth:`~repro.engine.Engine.compact` fold accumulated writes back into
+the base artifact? Two modes share one workload builder —
+
+* ``--check-identity`` (the CI gate): writes are confined to a small set
+  of *target* partitions, and every query routed away from them must
+  return **byte-identical** results on the mutable engine and on a
+  read-only engine loaded from the same artifact — across scanners
+  (naive / libpq / fastpq) and executor backends (thread / process /
+  sharded), both while the overlay is dirty and after ``compact()``
+  publishes the folded generation. Exit 1 on any divergence.
+* the headline run (default): measures compaction wall time for a
+  single-partition index holding ``--base-rows`` vectors (the paper-
+  scale "fold a 250K-vector partition" number, re-encoded through the
+  ``--workers`` process pool) and search throughput while a background
+  writer applies adds at a fraction of the read rate.
+
+Run as a module for the CLI::
+
+    PYTHONPATH=src python -m repro.bench.mutation --check-identity
+    PYTHONPATH=src python -m repro.bench.mutation --base-rows 250000
+
+Writes ``results/mutation.{txt,json}`` via the standard reporting
+helpers plus a ``BENCH_mutation.json`` summary at the repo root (or
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..data import SyntheticSIFT
+from ..engine import Engine
+from ..exceptions import ConfigurationError
+from .reporting import format_table, save_report
+from .throughput import _results_equal
+
+__all__ = [
+    "check_identity",
+    "measure_compaction",
+    "measure_qps_under_writes",
+    "run_benchmark",
+    "main",
+]
+
+#: The (scanner, backend) grid the identity gate sweeps. ``backend``
+#: picks the engine configuration: unsharded thread executor, unsharded
+#: process pool, or the scatter-gather engine re-sharded in memory.
+_SCANNERS = ("naive", "libpq", "fastpq")
+_BACKENDS = ("thread", "process", "sharded")
+
+
+def _make_data(
+    *, dim: int, n_base: int, n_queries: int, n_new: int, seed: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(base, queries, new_vectors) drawn from one synthetic SIFT model."""
+    sift = SyntheticSIFT(dim=dim, n_coarse=16, n_sub=4, seed=seed)
+    base = sift.generate(n_base, split="base")
+    queries = sift.generate(n_queries, split="query")
+    new_vectors = sift.generate(n_new, split="learn")
+    return base, queries, new_vectors
+
+
+def _engine_overrides(backend: str, n_workers: int) -> dict[str, object]:
+    if backend == "thread":
+        return {"executor": "thread", "n_workers": n_workers}
+    if backend == "process":
+        return {"executor": "process", "n_workers": n_workers}
+    if backend == "sharded":
+        return {"n_shards": 2, "executor": "thread", "n_workers": n_workers}
+    raise ConfigurationError(f"unknown backend {backend!r}")
+
+
+def _apply_churn(
+    engine: Engine,
+    *,
+    target_pids: Sequence[int],
+    new_vectors: np.ndarray,
+    new_ids: np.ndarray,
+    delete_ids: np.ndarray,
+) -> None:
+    """Adds + deletes confined to ``target_pids`` (pre-routed by caller)."""
+    engine.add(new_vectors, new_ids)
+    engine.delete(delete_ids)
+    # Upsert one of the fresh rows so the overlay exercises the
+    # add-over-add replacement path too.
+    engine.add(new_vectors[:1], new_ids[:1])
+    del target_pids  # routing already guaranteed by the caller
+
+
+def check_identity(
+    *,
+    dim: int = 32,
+    n_base: int = 6000,
+    n_partitions: int = 8,
+    n_queries: int = 96,
+    n_writes: int = 64,
+    nprobe: int = 2,
+    topk: int = 10,
+    n_workers: int = 2,
+    seed: int = 7,
+) -> dict:
+    """The CI gate: unaffected queries byte-identical under churn.
+
+    Builds one artifact, then for every (scanner, backend) combination
+    loads a read-only engine and a mutable engine from *separate copies*
+    of it (compaction re-saves the mutable copy in place), applies
+    adds/deletes confined to two target partitions, and compares the
+    queries routed away from those partitions — dirty-overlay results
+    first, post-``compact()`` results second. Also asserts that the
+    *compacted* engine actually changed (the folded generation must
+    surface the adds and hide the deletes) so the gate cannot pass
+    vacuously.
+    """
+    base, queries, candidates = _make_data(
+        dim=dim,
+        n_base=n_base,
+        n_queries=n_queries,
+        n_new=max(n_writes * 4, 256),
+        seed=seed,
+    )
+    combos: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-mutation-") as tmp:
+        artifact = Path(tmp) / "base.idx"
+        built = Engine.build(
+            base, n_partitions=n_partitions, scanner="naive", seed=seed
+        )
+        try:
+            built.save(artifact)
+            index = built.index
+            # Target partitions: the two largest, so tombstones always
+            # have base rows to mask.
+            sizes = index.partition_sizes()
+            target_pids = [int(p) for p in np.argsort(sizes)[::-1][:2]]
+
+            # Writes routed to the targets only.
+            routed = index.route_batch(candidates, nprobe=1)[:, 0]
+            picked = np.flatnonzero(np.isin(routed, target_pids))[:n_writes]
+            if len(picked) == 0:
+                raise ConfigurationError(
+                    "no candidate vectors routed to the target partitions; "
+                    "increase n_writes or the candidate pool"
+                )
+            new_vectors = candidates[picked]
+            max_id = max(
+                int(part.ids.max()) if len(part) else -1
+                for part in index.partitions
+            )
+            new_ids = np.arange(
+                max_id + 1, max_id + 1 + len(picked), dtype=np.int64
+            )
+            delete_ids = np.concatenate(
+                [index.partitions[pid].ids[:3] for pid in target_pids]
+            ).astype(np.int64)
+
+            # Queries that never probe a target partition.
+            probe_grid = index.route_batch(queries, nprobe=nprobe)
+            unaffected = ~np.isin(probe_grid, target_pids).any(axis=1)
+            clean_queries = queries[unaffected]
+            if len(clean_queries) < 8:
+                raise ConfigurationError(
+                    f"only {len(clean_queries)} queries avoid the target "
+                    "partitions; enlarge n_queries"
+                )
+        finally:
+            built.close()
+
+        for scanner in _SCANNERS:
+            for backend in _BACKENDS:
+                overrides = _engine_overrides(backend, n_workers)
+                copy = Path(tmp) / f"{scanner}-{backend}.idx"
+                shutil.copyfile(artifact, copy)
+                with Engine.load(
+                    artifact, scanner=scanner, nprobe=nprobe, **overrides
+                ) as readonly, Engine.load(
+                    copy,
+                    scanner=scanner,
+                    nprobe=nprobe,
+                    mutable=True,
+                    **overrides,
+                ) as mutable:
+                    expected = readonly.search(clean_queries, k=topk)
+                    _apply_churn(
+                        mutable,
+                        target_pids=target_pids,
+                        new_vectors=new_vectors,
+                        new_ids=new_ids,
+                        delete_ids=delete_ids,
+                    )
+                    dirty = mutable.search(clean_queries, k=topk)
+                    dirty_ok = _results_equal(expected, dirty)
+                    report = mutable.compact()
+                    compacted = mutable.search(clean_queries, k=topk)
+                    compacted_ok = _results_equal(expected, compacted)
+                    # Non-vacuity: the mutated partitions really changed.
+                    mutated = report.generation > 0 and report.n_folded > 0
+                combos.append(
+                    {
+                        "scanner": scanner,
+                        "backend": backend,
+                        "n_clean_queries": int(len(clean_queries)),
+                        "dirty_identical": dirty_ok,
+                        "compacted_identical": compacted_ok,
+                        "generation": report.generation,
+                        "n_folded": report.n_folded,
+                        "n_dropped": report.n_dropped,
+                        "mutated": mutated,
+                    }
+                )
+    return {
+        "mode": "check-identity",
+        "dim": dim,
+        "n_base": n_base,
+        "n_partitions": n_partitions,
+        "nprobe": nprobe,
+        "topk": topk,
+        "n_writes": n_writes,
+        "combos": combos,
+        "all_identical": all(
+            c["dirty_identical"] and c["compacted_identical"] and c["mutated"]
+            for c in combos
+        ),
+    }
+
+
+def measure_compaction(
+    *,
+    dim: int = 32,
+    base_rows: int = 250_000,
+    delta_rows: int = 5_000,
+    n_deletes: int = 1_000,
+    n_workers: int = 4,
+    seed: int = 7,
+) -> dict:
+    """Wall time to fold a delta into one ``base_rows``-vector partition.
+
+    A single-partition index isolates the paper-scale fold: every base
+    row survives or dies in the same partition the delta lands in, so
+    the measured wall time is the cost of re-encoding ``delta_rows``
+    rows through the ``n_workers`` process pool plus one atomic
+    re-save/reload of the ``base_rows``-row artifact.
+    """
+    base, _, new_vectors = _make_data(
+        dim=dim,
+        n_base=base_rows,
+        n_queries=1,
+        n_new=delta_rows,
+        seed=seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-mutation-") as tmp:
+        artifact = Path(tmp) / "single.idx"
+        # Train on a subsample: k-means over the full 250K rows is
+        # benchmark setup, not the measured fold.
+        train = base[:: max(1, base_rows // 20_000)]
+        built = Engine.build(train, n_partitions=1, scanner="naive", seed=seed)
+        try:
+            built.index.add(base[len(train):])
+            built.save(artifact)
+        finally:
+            built.close()
+        with Engine.load(
+            artifact,
+            mutable=True,
+            scanner="naive",
+            executor="process",
+            n_workers=n_workers,
+        ) as engine:
+            new_ids = np.arange(
+                base_rows, base_rows + delta_rows, dtype=np.int64
+            )
+            engine.add(new_vectors, new_ids)
+            engine.delete(np.arange(n_deletes, dtype=np.int64))
+            report = engine.compact()
+    return {
+        "partition_rows": base_rows,
+        "delta_rows": delta_rows,
+        "n_deletes": n_deletes,
+        "n_workers": n_workers,
+        "generation": report.generation,
+        "n_folded": report.n_folded,
+        "n_dropped": report.n_dropped,
+        "n_total": report.n_total,
+        "wall_time_s": report.wall_time_s,
+        "encode_time_s": report.encode_time_s,
+    }
+
+
+def measure_qps_under_writes(
+    *,
+    dim: int = 32,
+    n_base: int = 16_000,
+    n_partitions: int = 8,
+    n_queries: int = 64,
+    nprobe: int = 2,
+    topk: int = 10,
+    write_fraction: float = 0.05,
+    duration_s: float = 3.0,
+    seed: int = 7,
+) -> dict:
+    """Search qps with and without a concurrent background writer.
+
+    The writer thread applies single-row adds at ``write_fraction`` of
+    the no-write read rate (the "X% writes/sec" churn of the issue);
+    reads run full-tilt on the main thread. Both phases run for
+    ``duration_s`` against one mutable engine.
+    """
+    base, queries, new_vectors = _make_data(
+        dim=dim,
+        n_base=n_base,
+        n_queries=n_queries,
+        n_new=100_000,
+        seed=seed,
+    )
+    engine = Engine.build(
+        base,
+        n_partitions=n_partitions,
+        scanner="fastpq",
+        mutable=True,
+        nprobe=nprobe,
+        seed=seed,
+    )
+    try:
+        engine.search(queries, k=topk)  # warm caches before timing
+
+        def read_loop(stop_at: float) -> int:
+            batches = 0
+            while time.perf_counter() < stop_at:
+                engine.search(queries, k=topk)
+                batches += 1
+            return batches
+
+        t_end = time.perf_counter() + duration_s
+        baseline_batches = read_loop(t_end)
+        baseline_qps = baseline_batches * n_queries / duration_s
+
+        write_rate = max(1.0, baseline_qps * write_fraction)
+        interval = 1.0 / write_rate
+        writes_applied = 0
+        stop = threading.Event()
+
+        def writer() -> None:
+            nonlocal writes_applied
+            next_id = n_base
+            while not stop.is_set():
+                row = new_vectors[writes_applied % len(new_vectors)]
+                engine.add(row[None, :], np.array([next_id], dtype=np.int64))
+                writes_applied += 1
+                next_id += 1
+                stop.wait(interval)
+
+        thread = threading.Thread(target=writer, name="mutation-writer")
+        thread.start()
+        try:
+            t_end = time.perf_counter() + duration_s
+            churn_batches = read_loop(t_end)
+        finally:
+            stop.set()
+            thread.join()
+        churn_qps = churn_batches * n_queries / duration_s
+        compaction = engine.compact()
+    finally:
+        engine.close()
+    return {
+        "n_base": n_base,
+        "n_queries": n_queries,
+        "duration_s": duration_s,
+        "write_fraction": write_fraction,
+        "qps_no_writes": baseline_qps,
+        "qps_under_writes": churn_qps,
+        "writes_applied": writes_applied,
+        "write_rate_per_s": writes_applied / duration_s,
+        "qps_ratio": churn_qps / baseline_qps if baseline_qps else 0.0,
+        "post_churn_compaction_s": compaction.wall_time_s,
+        "post_churn_generation": compaction.generation,
+    }
+
+
+def run_benchmark(
+    *,
+    base_rows: int = 250_000,
+    delta_rows: int = 5_000,
+    n_workers: int = 4,
+    write_fraction: float = 0.05,
+    duration_s: float = 3.0,
+    seed: int = 7,
+) -> dict:
+    """Headline payload: identity gate + compaction + qps-under-writes."""
+    identity = check_identity(seed=seed, n_workers=min(n_workers, 2))
+    compaction = measure_compaction(
+        base_rows=base_rows,
+        delta_rows=delta_rows,
+        n_workers=n_workers,
+        seed=seed,
+    )
+    serving = measure_qps_under_writes(
+        write_fraction=write_fraction, duration_s=duration_s, seed=seed
+    )
+    return {
+        "mode": "headline",
+        "identity": identity,
+        "compaction": compaction,
+        "serving_under_writes": serving,
+        "all_identical": identity["all_identical"],
+    }
+
+
+def render_report(data: dict) -> str:
+    """The identity grid as the standard fixed-width table."""
+    identity = data if data["mode"] == "check-identity" else data["identity"]
+    rows = []
+    for combo in identity["combos"]:
+        rows.append(
+            [
+                combo["scanner"],
+                combo["backend"],
+                combo["n_clean_queries"],
+                "yes" if combo["dirty_identical"] else "NO",
+                "yes" if combo["compacted_identical"] else "NO",
+                combo["generation"],
+            ]
+        )
+    title = (
+        f"Mutation identity gate — {identity['n_base']} vectors, "
+        f"{identity['n_partitions']} partitions, nprobe={identity['nprobe']}, "
+        f"{identity['n_writes']} writes confined to 2 partitions"
+    )
+    table = format_table(
+        ["scanner", "backend", "clean queries", "dirty identical",
+         "compacted identical", "generation"],
+        rows,
+        title=title,
+    )
+    if data["mode"] == "headline":
+        compaction = data["compaction"]
+        serving = data["serving_under_writes"]
+        table += (
+            f"\ncompaction: {compaction['partition_rows']} base rows + "
+            f"{compaction['delta_rows']} delta rows folded in "
+            f"{compaction['wall_time_s']:.2f}s "
+            f"(encode {compaction['encode_time_s']:.2f}s, "
+            f"{compaction['n_workers']} workers)\n"
+            f"serving: {serving['qps_no_writes']:.0f} qps read-only, "
+            f"{serving['qps_under_writes']:.0f} qps under "
+            f"{serving['write_rate_per_s']:.1f} writes/s "
+            f"({serving['qps_ratio']:.2f}x)\n"
+        )
+    return table
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Mutable-engine churn benchmark and identity gate"
+    )
+    parser.add_argument("--check-identity", action="store_true",
+                        help="CI mode: run only the byte-identity grid "
+                             "(scanners x backends) and gate on it")
+    parser.add_argument("--base-rows", type=int, default=250_000,
+                        help="partition size for the compaction headline")
+    parser.add_argument("--delta-rows", type=int, default=5_000,
+                        help="pending adds folded by the timed compaction")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="encoder process-pool size for compaction")
+    parser.add_argument("--write-fraction", type=float, default=0.05,
+                        help="background write rate as a fraction of the "
+                             "no-write read qps")
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="seconds per qps measurement phase")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_mutation.json"),
+                        help="summary JSON path (repo-root convention)")
+    args = parser.parse_args(argv)
+
+    if args.check_identity:
+        data = check_identity(seed=args.seed)
+    else:
+        data = run_benchmark(
+            base_rows=args.base_rows,
+            delta_rows=args.delta_rows,
+            n_workers=args.workers,
+            write_fraction=args.write_fraction,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+    table = render_report(data)
+    save_report("mutation", table, data)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"[summary written to {args.output}]")
+
+    if not data["all_identical"]:
+        print(
+            "FAIL: a query routed away from the mutated partitions "
+            "diverged from the read-only engine"
+        )
+        return 1
+    identity = data if data["mode"] == "check-identity" else data["identity"]
+    print(
+        f"identity gate passed: {len(identity['combos'])} scanner/backend "
+        "combinations byte-identical before and after compaction"
+    )
+    if data["mode"] == "headline":
+        compaction = data["compaction"]
+        print(
+            f"compaction: {compaction['partition_rows']}-row partition "
+            f"folded {compaction['delta_rows']} adds in "
+            f"{compaction['wall_time_s']:.2f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Batch-parallel PQ encoding of drained delta rows for compaction.
+
+CS-PQ's observation: PQ encoding is embarrassingly parallel over rows,
+so compaction's dominant cost — re-encoding the drained delta through
+the coarse and product quantizers — fans out across a process pool the
+same way query scans do.  The protocol mirrors
+:mod:`repro.parallel.worker`: workers never receive quantizer state over
+the pipe; each attaches to the saved artifact by path
+(``load_index(path, mmap=True)``) and only the raw vectors of one chunk
+cross the process boundary, as a picklable :class:`EncodeTask`.
+
+Encoding is deterministic and generation-independent (the coarse and
+product quantizers never change across compactions), so the pool path
+and the inline fallback produce byte-identical ``(labels, codes)``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing.context import BaseContext
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ivf.inverted_index import IVFADCIndex
+from ..parallel.executor import _available_cpus, _default_context
+from ..persistence import load_index, save_index
+from ..search import GATHER_TIMEOUT_S
+
+__all__ = ["EncodeTask", "encode_vectors"]
+
+#: Below this many rows the pool's spin-up would dominate; encode inline.
+_INLINE_THRESHOLD = 1024
+
+#: Target rows per worker chunk (small enough to load-balance, large
+#: enough that the per-task pickle overhead stays negligible).
+_CHUNK_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class EncodeTask:
+    """One chunk of raw vectors shipped to an encoder worker.
+
+    Attributes:
+        task_id: position of this chunk in the original row order.
+        vectors: (n, d) raw vectors to route and encode.
+    """
+
+    task_id: int
+    vectors: np.ndarray
+
+
+#: Per-worker-process state installed by :func:`_init_encoder`.
+_STATE: dict[str, object] = {}
+
+
+def _init_encoder(index_path: str) -> None:
+    """Pool initializer: attach to the artifact's quantizers by path."""
+    index = load_index(Path(index_path), mmap=True)
+    _STATE["index"] = index
+
+
+def _encode_chunk(task: EncodeTask) -> tuple[int, np.ndarray, np.ndarray]:
+    """Route and encode one chunk; returns (task_id, labels, codes)."""
+    index = _STATE.get("index")
+    if not isinstance(index, IVFADCIndex):
+        raise ConfigurationError(
+            "encoder process used before _init_encoder attached its state"
+        )
+    labels, codes = _encode_with(index, task.vectors)
+    return task.task_id, labels, codes
+
+
+def _encode_with(
+    index: IVFADCIndex, vectors: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The shared kernel: coarse route, residual shift, PQ encode."""
+    labels = index.coarse.encode(vectors)
+    to_encode = vectors
+    if index.encode_residuals:
+        to_encode = vectors - index.coarse.decode(labels)
+    codes = index.pq.encode(to_encode)
+    return labels, codes
+
+
+def encode_vectors(
+    index: IVFADCIndex,
+    vectors: np.ndarray,
+    *,
+    index_path: Path | None = None,
+    n_workers: int = 1,
+    mp_context: BaseContext | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode raw vectors against ``index``'s quantizers.
+
+    Small batches (or ``n_workers <= 1``) encode inline; larger batches
+    fan out across a process pool whose workers attach to the saved
+    artifact at ``index_path`` (the index is temp-saved when no artifact
+    exists yet).  Both paths run the same numpy kernel and return
+    byte-identical ``(labels, codes)``.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ConfigurationError("encode_vectors expects a 2-D vector batch")
+    if n_workers <= 1 or len(vectors) < _INLINE_THRESHOLD:
+        return _encode_with(index, vectors)
+    if index_path is not None:
+        return _encode_pooled(vectors, index_path, n_workers, mp_context)
+    with tempfile.TemporaryDirectory(prefix="repro-encode-") as tmp:
+        path = Path(tmp) / "index.npz"
+        save_index(index, path)
+        return _encode_pooled(vectors, path, n_workers, mp_context)
+
+
+def _encode_pooled(
+    vectors: np.ndarray,
+    index_path: Path,
+    n_workers: int,
+    mp_context: BaseContext | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fan the chunks across a dedicated (short-lived) encoder pool."""
+    pool_size = max(1, min(n_workers, _available_cpus()))
+    n_chunks = max(1, min(pool_size * 4, -(-len(vectors) // _CHUNK_ROWS)))
+    bounds = np.linspace(0, len(vectors), n_chunks + 1).astype(np.int64)
+    context = mp_context if mp_context is not None else _default_context()
+    pool = ProcessPoolExecutor(
+        max_workers=pool_size,
+        mp_context=context,
+        initializer=_init_encoder,
+        initargs=(str(index_path),),
+    )
+    try:
+        futures = []
+        for task_id in range(n_chunks):
+            chunk = vectors[bounds[task_id]:bounds[task_id + 1]]
+            task = EncodeTask(task_id=task_id, vectors=chunk)
+            futures.append(pool.submit(_encode_chunk, task))
+        parts: list[tuple[np.ndarray, np.ndarray]] = [None] * n_chunks  # type: ignore[list-item]
+        for future in futures:
+            task_id, labels, codes = future.result(timeout=GATHER_TIMEOUT_S)
+            parts[task_id] = (labels, codes)
+    finally:
+        pool.shutdown(wait=True)
+    all_labels = np.concatenate([labels for labels, _ in parts])
+    all_codes = np.concatenate([codes for _, codes in parts])
+    return all_labels, all_codes

@@ -1,0 +1,391 @@
+"""Delta segments and tombstones: the mutable overlay over a read-only base.
+
+The base IVFADC artifact stays immutable (and mmap-able) exactly as the
+read-only engine left it.  Mutations accumulate in a :class:`DeltaStore`:
+
+* **delta segments** — per-partition arrays of plain PQ codes for rows
+  added since the last compaction.  Deltas are small, so they are scanned
+  exactly with the naive scanner (no grouping, no min-tables) and merged
+  into the same top-k accumulation as the base scan.
+* **tombstones** — ids masked out of the *base* at query time.  Every
+  ``add`` tombstones its ids first (upsert barrier: a stale base copy of
+  a re-added id must never surface) and every ``delete`` tombstones too.
+  Segment rows are removed *physically* instead, so at any snapshot the
+  live segments never contain a deleted id.
+
+Every mutation carries a monotonically increasing sequence number; the
+tombstone map remembers the sequence of the mutation that created it.
+Compaction drains a :meth:`DeltaStore.snapshot` at sequence ``S`` and
+later commits it with :meth:`DeltaStore.commit`, which drops exactly the
+state with sequence ``<= S`` — mutations that raced with the (lock-free)
+re-encode phase survive in the delta and stay correct: a post-snapshot
+tombstone masks any copy of its id that compaction folded into the new
+base.
+
+All arrays are copy-on-write (rebuilt, never mutated in place), so a
+:class:`DeltaView` handed to a reader is a stable snapshot even while
+writers keep mutating the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ivf.partition import Partition
+
+__all__ = ["DeltaStore", "DeltaView", "DeltaSnapshot"]
+
+
+class _HasPartitions(Protocol):
+    @property
+    def partitions(self) -> list[Partition]: ...
+
+
+@dataclass(frozen=True)
+class DeltaView:
+    """Immutable snapshot of the mutable overlay, pinned by one query.
+
+    Attributes:
+        generation: base generation this view overlays.
+        version: store version the view was cut at (one per mutation).
+        seq: sequence number of the newest mutation included.
+        segments: partition id -> delta segment (plain PQ codes + ids).
+        masked: partition id -> tombstone-filtered replacement for the
+            *base* partition.  Only partitions where a tombstone actually
+            hits a base id appear here; queries probing any other
+            partition take the unmodified read-only path.
+        tombstone_ids: sorted array of all tombstoned ids.
+    """
+
+    generation: int
+    version: int
+    seq: int
+    segments: Mapping[int, Partition]
+    masked: Mapping[int, Partition]
+    tombstone_ids: np.ndarray
+
+    @property
+    def clean(self) -> bool:
+        """True when the view changes nothing (no segments, no masking)."""
+        return not self.segments and not self.masked
+
+    @property
+    def dirty_partitions(self) -> frozenset[int]:
+        """Partitions whose query results differ from the read-only base."""
+        return frozenset(self.segments) | frozenset(self.masked)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(len(part.ids) for part in self.segments.values())
+
+
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """Drained state handed to compaction: everything with ``seq <= seq``.
+
+    Attributes:
+        seq: sequence number the snapshot was cut at.
+        tombstone_ids: sorted ids tombstoned at or before ``seq``.
+        additions: partition id -> (raw vectors, ids) in insertion order.
+        n_rows: total rows across ``additions``.
+    """
+
+    seq: int
+    tombstone_ids: np.ndarray
+    additions: Mapping[int, tuple[np.ndarray, np.ndarray]]
+    n_rows: int
+
+    @property
+    def empty(self) -> bool:
+        return self.n_rows == 0 and len(self.tombstone_ids) == 0
+
+
+@dataclass(frozen=True)
+class _PartitionDelta:
+    """Per-partition append-only arrays (rebuilt, never mutated in place)."""
+
+    codes: np.ndarray
+    ids: np.ndarray
+    vectors: np.ndarray
+    seqs: np.ndarray
+
+
+def _without_ids(
+    segments: dict[int, _PartitionDelta], ids: np.ndarray
+) -> dict[int, _PartitionDelta]:
+    """Segments with every row whose id is in ``ids`` physically dropped."""
+    out: dict[int, _PartitionDelta] = {}
+    for pid, delta in segments.items():
+        keep = ~np.isin(delta.ids, ids)
+        if keep.all():
+            out[pid] = delta
+        elif keep.any():
+            out[pid] = _PartitionDelta(
+                codes=delta.codes[keep],
+                ids=delta.ids[keep],
+                vectors=delta.vectors[keep],
+                seqs=delta.seqs[keep],
+            )
+    return out
+
+
+def _with_rows(
+    segments: dict[int, _PartitionDelta],
+    labels: np.ndarray,
+    codes: np.ndarray,
+    ids: np.ndarray,
+    vectors: np.ndarray,
+    seq: int,
+) -> dict[int, _PartitionDelta]:
+    """Segments with the given rows appended to their partitions."""
+    out = dict(segments)
+    for pid in np.unique(labels).tolist():
+        mask = labels == pid
+        seqs = np.full(int(mask.sum()), seq, dtype=np.int64)
+        existing = out.get(int(pid))
+        if existing is None:
+            out[int(pid)] = _PartitionDelta(
+                codes=codes[mask],
+                ids=ids[mask],
+                vectors=vectors[mask],
+                seqs=seqs,
+            )
+        else:
+            out[int(pid)] = _PartitionDelta(
+                codes=np.concatenate([existing.codes, codes[mask]]),
+                ids=np.concatenate([existing.ids, ids[mask]]),
+                vectors=np.concatenate([existing.vectors, vectors[mask]]),
+                seqs=np.concatenate([existing.seqs, seqs]),
+            )
+    return out
+
+
+def _rows_after(
+    segments: dict[int, _PartitionDelta], upto_seq: int
+) -> dict[int, _PartitionDelta]:
+    """Segments keeping only rows appended after ``upto_seq``."""
+    out: dict[int, _PartitionDelta] = {}
+    for pid, delta in segments.items():
+        keep = delta.seqs > upto_seq
+        if keep.all():
+            out[pid] = delta
+        elif keep.any():
+            out[pid] = _PartitionDelta(
+                codes=delta.codes[keep],
+                ids=delta.ids[keep],
+                vectors=delta.vectors[keep],
+                seqs=delta.seqs[keep],
+            )
+    return out
+
+
+def _build_view(
+    segments: dict[int, _PartitionDelta],
+    tombstones: dict[int, int],
+    index: _HasPartitions,
+    generation: int,
+    version: int,
+    seq: int,
+) -> DeltaView:
+    """Materialize the overlay: segment partitions + masked base copies."""
+    segment_parts = {
+        pid: Partition(delta.codes, delta.ids, partition_id=pid)
+        for pid, delta in sorted(segments.items())
+    }
+    tombstone_ids = np.array(sorted(tombstones), dtype=np.int64)
+    masked: dict[int, Partition] = {}
+    if len(tombstone_ids):
+        for pid, part in enumerate(index.partitions):
+            if len(part.ids) == 0:
+                continue
+            hit = np.isin(part.ids, tombstone_ids)
+            if hit.any():
+                keep = ~hit
+                masked[pid] = Partition(
+                    np.ascontiguousarray(np.asarray(part.codes)[keep]),
+                    part.ids[keep],
+                    partition_id=pid,
+                )
+    return DeltaView(
+        generation=generation,
+        version=version,
+        seq=seq,
+        segments=segment_parts,
+        masked=masked,
+        tombstone_ids=tombstone_ids,
+    )
+
+
+class DeltaStore:
+    """Thread-safe accumulation of adds/deletes over a read-only base.
+
+    The store is deliberately index-agnostic: callers hand it already
+    routed and encoded rows (``apply_add``) and it only needs the base
+    index again to cut a :class:`DeltaView` (for the per-partition
+    tombstone masking).  Coarse and product quantizers never change
+    across compactions, so encodings are generation-independent.
+    """
+
+    def __init__(self, *, generation: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._segments: dict[int, _PartitionDelta] = {}
+        self._tombstones: dict[int, int] = {}
+        self._seq = 0
+        self._version = 0
+        self._generation = int(generation)
+        self._view_cache: DeltaView | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    @property
+    def n_rows(self) -> int:
+        """Rows currently living in delta segments."""
+        with self._lock:
+            return sum(len(delta.ids) for delta in self._segments.values())
+
+    @property
+    def n_tombstones(self) -> int:
+        with self._lock:
+            return len(self._tombstones)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_add(
+        self,
+        labels: np.ndarray,
+        codes: np.ndarray,
+        ids: np.ndarray,
+        vectors: np.ndarray,
+    ) -> int:
+        """Record already-encoded rows; returns the mutation's sequence.
+
+        Adds are upserts: every id is tombstoned first (masking any base
+        copy) and physically replaced inside the delta segments, then the
+        new rows are appended to their partitions' segments.
+        """
+        labels = np.asarray(labels)
+        codes = np.asarray(codes)
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.asarray(vectors)
+        if ids.ndim != 1:
+            raise ConfigurationError("ids must be a 1-D integer array")
+        if vectors.ndim != 2 or codes.ndim != 2 or labels.ndim != 1:
+            raise ConfigurationError(
+                "apply_add expects 2-D vectors/codes and 1-D labels"
+            )
+        if not (len(labels) == len(codes) == len(ids) == len(vectors)):
+            raise ConfigurationError(
+                "labels, codes, ids and vectors must have matching lengths"
+            )
+        if len(np.unique(ids)) != len(ids):
+            raise ConfigurationError("ids within one add() call must be unique")
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            for identifier in ids.tolist():
+                self._tombstones[identifier] = seq
+            self._segments = _with_rows(
+                _without_ids(self._segments, ids), labels, codes, ids,
+                vectors, seq,
+            )
+            self._version += 1
+            self._view_cache = None
+            return seq
+
+    def apply_delete(self, ids: np.ndarray) -> int:
+        """Tombstone ids (masking the base) and drop them from segments.
+
+        Deleting an id the index never held is a harmless no-op mask
+        that the next compaction clears.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ConfigurationError("ids must be a 1-D integer array")
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            for identifier in ids.tolist():
+                self._tombstones[identifier] = seq
+            self._segments = _without_ids(self._segments, ids)
+            self._version += 1
+            self._view_cache = None
+            return seq
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def view(self, index: _HasPartitions) -> DeltaView | None:
+        """Cut an immutable overlay view against ``index``'s partitions.
+
+        Returns None when the store is empty — callers then take the
+        unmodified (byte-identical) read-only code path.  Views are
+        cached per store version, so steady-state reads pay a dict
+        lookup, not a rebuild.
+        """
+        with self._lock:
+            if not self._segments and not self._tombstones:
+                return None
+            cached = self._view_cache
+            if cached is not None:
+                return cached
+            view = _build_view(
+                self._segments, self._tombstones, index,
+                self._generation, self._version, self._seq,
+            )
+            self._view_cache = view
+            return view
+
+    # ------------------------------------------------------------------
+    # compaction hand-off
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DeltaSnapshot:
+        """Cut the drain snapshot compaction will fold into a new base."""
+        with self._lock:
+            additions = {
+                pid: (delta.vectors, delta.ids)
+                for pid, delta in sorted(self._segments.items())
+            }
+            n_rows = sum(len(ids) for _, ids in additions.values())
+            return DeltaSnapshot(
+                seq=self._seq,
+                tombstone_ids=np.array(sorted(self._tombstones), dtype=np.int64),
+                additions=additions,
+                n_rows=n_rows,
+            )
+
+    def commit(self, upto_seq: int, *, generation: int) -> None:
+        """Drop state with ``seq <= upto_seq``; adopt the new generation.
+
+        Mutations that arrived after the snapshot (``seq > upto_seq``)
+        survive untouched: their segment rows stay live and their
+        tombstones keep masking the new base (which may contain a copy
+        of a since-deleted or since-re-added id folded in by the
+        concurrent compaction).
+        """
+        with self._lock:
+            self._segments = _rows_after(self._segments, upto_seq)
+            self._tombstones = {
+                identifier: seq
+                for identifier, seq in self._tombstones.items()
+                if seq > upto_seq
+            }
+            self._generation = int(generation)
+            self._version += 1
+            self._view_cache = None

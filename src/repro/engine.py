@@ -14,7 +14,21 @@ reload — is reachable through three calls::
 :class:`EngineConfig` is a frozen dataclass: one immutable value object
 holds every build-time and query-time knob, validated on construction,
 so a configuration is hashable, comparable and printable — and cannot
-drift between the build and the queries it serves.
+drift between the build and the queries it serves.  :meth:`Engine.build`
+and :meth:`Engine.load` also accept the config fields directly as
+keyword overrides (``Engine.build(vectors, n_partitions=64)``) — the
+kwargs are merged into the config through :func:`dataclasses.replace`,
+so there is exactly one set of knobs whichever spelling you use.
+
+Mutable engines (``mutable=True``) add a write API on top of the same
+read path: :meth:`Engine.add` and :meth:`Engine.delete` accumulate in an
+in-memory delta overlay (:mod:`repro.delta`) while the base artifact
+stays immutable, and :meth:`Engine.compact` folds the drained overlay
+into a new base *generation* — re-encoding through the process pool,
+atomically re-saving the artifact, and swapping searcher and executors
+under an epoch scheme that lets in-flight readers finish on the old
+base untouched.  Queries that probe no mutated partition stay
+byte-identical to the read-only engine throughout.
 
 The facade adds no new algorithmic behavior: it wires the existing
 :class:`~repro.search.ANNSearcher` (unsharded) and
@@ -26,16 +40,27 @@ config answers identically whether ``n_shards`` is 1 or 8.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from .delta.store import DeltaView
+
 from .core import PQFastScanner, QuantizationOnlyScanner
-from .exceptions import ConfigurationError
+from .delta import (
+    CompactionReport,
+    DeltaSnapshot,
+    DeltaStore,
+    encode_vectors,
+    fold_index,
+)
+from .exceptions import ConfigurationError, SimulationError
 from .ivf.inverted_index import IVFADCIndex
-from .obs import Observability
+from .obs import Observability, get_observability
 from .persistence import (
     load_index,
     load_sharded_index,
@@ -44,7 +69,7 @@ from .persistence import (
 )
 from .pq.product_quantizer import ProductQuantizer
 from .scan import SCANNERS, PartitionScanner
-from .search import ANNSearcher, SearchResult
+from .search import GATHER_TIMEOUT_S, ANNSearcher, SearchResult
 from .shard import ScatterGatherExecutor, ShardedIndex, ShardedResponse
 
 __all__ = ["Engine", "EngineConfig", "SCANNER_KINDS"]
@@ -59,7 +84,9 @@ class EngineConfig:
 
     Build-time fields (``m`` … ``seed``) shape the index; query-time
     fields (``scanner`` … ``backoff_s``) shape how batches execute. All
-    fields are keyword-friendly with production-ready defaults.
+    fields are keyword-friendly with production-ready defaults, and all
+    of them may equally be passed as keyword overrides to
+    :meth:`Engine.build` / :meth:`Engine.load`.
 
     Attributes:
         m: PQ sub-quantizer count (the paper targets PQ 8×8).
@@ -74,11 +101,20 @@ class EngineConfig:
         seed: RNG seed for PQ and coarse training.
         keep_vectors: retain the raw vectors inside the engine to enable
             exact re-ranking (``rerank=`` in :meth:`Engine.search`).
+            Incompatible with ``mutable=True`` (the kept array cannot
+            track streaming writes).
+        mutable: enable the write API — :meth:`Engine.add`,
+            :meth:`Engine.delete` and :meth:`Engine.compact`. Reads on a
+            mutable engine merge the uncompacted delta overlay; queries
+            probing only unmutated partitions stay byte-identical to a
+            read-only engine on the same data.
         scanner: Step-3 scanner kind, one of :data:`SCANNER_KINDS`.
         keep: PQ Fast Scan's keep fraction (ignored by baselines).
         nprobe: default partitions probed per query.
         n_workers: workers (per shard, when sharded) — threads for
-            ``executor="thread"``, processes for ``executor="process"``.
+            ``executor="thread"``, processes for ``executor="process"``;
+            also the encoder pool size :meth:`Engine.compact` re-encodes
+            the drained delta with.
         executor: ``"auto"`` (default) resolves to ``"process"`` for
             sharded engines (``n_shards > 1`` — pinned per-shard process
             pools whose workers mmap the saved shard artifacts) and
@@ -101,6 +137,7 @@ class EngineConfig:
     coarse_max_iter: int = 20
     seed: int = 0
     keep_vectors: bool = False
+    mutable: bool = False
     scanner: str = "fastpq"
     keep: float = 0.005
     nprobe: int = 1
@@ -127,6 +164,12 @@ class EngineConfig:
         if self.shard_layout not in ("modulo", "contiguous"):
             raise ConfigurationError(
                 f"unknown shard_layout {self.shard_layout!r}"
+            )
+        if self.mutable and self.keep_vectors:
+            raise ConfigurationError(
+                "keep_vectors=True (exact re-ranking) is not supported with "
+                "mutable=True: the kept vector array cannot track streaming "
+                "writes — compact into a read-only engine to re-rank"
             )
         if self.scanner not in SCANNER_KINDS:
             raise ConfigurationError(
@@ -193,8 +236,49 @@ class EngineConfig:
         return lambda: cls()
 
 
+def _merge_config(
+    config: EngineConfig | None, overrides: dict[str, object]
+) -> EngineConfig:
+    """``config`` (or the defaults) with keyword overrides applied.
+
+    This is the single entry point :meth:`Engine.build` and
+    :meth:`Engine.load` funnel their kwargs through: every override must
+    name an :class:`EngineConfig` field, so a typo'd knob fails loudly
+    instead of being silently dropped.
+    """
+    valid = {field.name for field in fields(EngineConfig)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown EngineConfig field(s) {unknown}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    if config is None:
+        return EngineConfig(**overrides)  # type: ignore[arg-type]
+    if not overrides:
+        return config
+    return replace(config, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class _PinnedEpoch:
+    """One reader's consistent snapshot of the engine's swap-able state.
+
+    Compaction publishes a new base by swapping every field below under
+    the engine lock and bumping the epoch; a reader that pinned the old
+    epoch keeps scanning the old searcher/executor until it unpins, at
+    which point the drained epoch's resources are released.
+    """
+
+    epoch: int
+    index: IVFADCIndex
+    searcher: ANNSearcher
+    scatter: ScatterGatherExecutor | None
+    view: "DeltaView | None"
+
+
 class Engine:
-    """Facade bundling build, sharding, search and persistence.
+    """Facade bundling build, sharding, search, persistence and writes.
 
     Construct through :meth:`build` or :meth:`load`; the raw constructor
     is for advanced wiring (pre-built index / sharded layout).
@@ -207,7 +291,10 @@ class Engine:
         index_path: the saved artifact this engine was loaded from
             (:meth:`load` fills it in). With ``executor="process"`` the
             worker processes mmap this artifact directly; without it the
-            process backend saves a temporary copy on first use.
+            process backend saves a temporary copy on first use. Mutable
+            engines also re-save this artifact on every :meth:`compact`.
+        mmap: whether the artifact was memory-mapped at load time;
+            :meth:`compact` reloads the re-saved artifact the same way.
     """
 
     def __init__(
@@ -219,6 +306,7 @@ class Engine:
         vectors: np.ndarray | None = None,
         index_path: str | Path | None = None,
         observability: Observability | None = None,
+        mmap: bool = False,
     ):
         if (sharded is None) != (config.n_shards == 1):
             raise ConfigurationError(
@@ -231,6 +319,7 @@ class Engine:
         self.vectors = None if vectors is None else np.asarray(vectors, float)
         self.index_path = None if index_path is None else Path(index_path)
         self.observability = observability
+        self._mmap = bool(mmap)
         factory = config.scanner_factory(index.pq)
         unsharded_path = (
             self.index_path
@@ -240,16 +329,29 @@ class Engine:
         self._searcher = ANNSearcher(
             index, factory(), vectors=self.vectors, index_path=unsharded_path
         )
-        # Guards self._scatter against concurrent search/close callers.
-        # The scatter-gather executor is built outside this lock (its
-        # constructor spins pools up — lint rule R7), under the
-        # creation lock below, and published under this one. Order is
-        # always _create_lock -> _lock.
+        # Guards the swap-able state (index/searcher/scatter, epoch and
+        # reader counts) against concurrent search/compact/close. The
+        # scatter-gather executor is built outside this lock (its
+        # constructor spins pools up — lint rule R7), under the creation
+        # lock below, and published under this one. Order is always
+        # _compact_lock -> _create_lock -> _lock -> DeltaStore._lock.
         self._lock = threading.Lock()
         self._create_lock = threading.Lock()
+        self._compact_lock = threading.Lock()
+        self._delta = DeltaStore(generation=index.generation) if config.mutable else None
+        self._closed = False
+        # Epoch machinery: readers pin the epoch they started on;
+        # compaction retires an epoch by bumping the counter and waits
+        # on the retired epoch's event before closing its resources.
+        self._epoch = 0
+        self._reader_counts: dict[int, int] = {0: 0}
+        self._retired: dict[int, threading.Event] = {}
         self._scatter: ScatterGatherExecutor | None = None
-        if sharded is not None:
-            self._scatter = self._build_scatter()
+        if sharded is not None or config.mutable:
+            # Mutable engines build the scatter wrapper eagerly so a
+            # pinned epoch always carries a consistent executor (the
+            # lazy build could otherwise race a compaction swap).
+            self._scatter = self._build_scatter(index, sharded)
 
     # -- construction -------------------------------------------------------
 
@@ -261,14 +363,17 @@ class Engine:
         *,
         ids: np.ndarray | None = None,
         observability: Observability | None = None,
+        **config_overrides: object,
     ) -> "Engine":
         """Train, encode and index ``vectors`` under ``config``.
 
         The product quantizer and the coarse quantizer are trained on
         ``vectors`` themselves (the paper's experimental setup); pass
-        ``ids`` to control the database ids returned by searches.
+        ``ids`` to control the database ids returned by searches. Any
+        :class:`EngineConfig` field may be passed directly as a keyword
+        override (``Engine.build(vectors, mutable=True, n_shards=4)``).
         """
-        config = config if config is not None else EngineConfig()
+        config = _merge_config(config, config_overrides)
         vectors = np.asarray(vectors, dtype=np.float64)
         pq = ProductQuantizer(
             m=config.m,
@@ -304,15 +409,18 @@ class Engine:
         *,
         mmap: bool = False,
         observability: Observability | None = None,
+        **config_overrides: object,
     ) -> "Engine":
         """Load an engine from a :meth:`save` artifact.
 
         A directory loads as a sharded layout, a file as an unsharded
-        index. ``config`` supplies the query-time settings; its
-        build-time fields (and ``n_shards`` for sharded artifacts) are
-        overridden by what the artifact actually contains. Loading an
-        *unsharded* file with ``config.n_shards > 1`` re-shards the
-        index in memory (cheap: partitions are shared, not copied).
+        index. ``config`` supplies the query-time settings (and, like
+        :meth:`build`, every field may be passed as a keyword override —
+        ``Engine.load(path, mutable=True)``); its build-time fields (and
+        ``n_shards`` for sharded artifacts) are overridden by what the
+        artifact actually contains. Loading an *unsharded* file with
+        ``config.n_shards > 1`` re-shards the index in memory (cheap:
+        partitions are shared, not copied).
 
         With ``mmap=True`` the partition codes and ids are memory-mapped
         read-only from the artifact instead of copied into the heap
@@ -320,7 +428,7 @@ class Engine:
         remembers ``path``, so ``executor="process"`` workers attach to
         this artifact directly instead of saving a temporary copy.
         """
-        config = config if config is not None else EngineConfig()
+        config = _merge_config(config, config_overrides)
         path = Path(path)
         if path.is_dir():
             sharded = load_sharded_index(path, mmap=mmap)
@@ -340,6 +448,7 @@ class Engine:
                 sharded=sharded,
                 index_path=path,
                 observability=observability,
+                mmap=mmap,
             )
         index = load_index(path, mmap=mmap)
         config = replace(
@@ -362,15 +471,35 @@ class Engine:
             sharded=sharded,
             index_path=path,
             observability=observability,
+            mmap=mmap,
         )
 
     def save(self, path: str | Path) -> None:
         """Persist the engine's index: a directory when sharded, a file
-        otherwise (both atomic — see :mod:`repro.persistence`)."""
-        if self.sharded is not None:
-            save_sharded_index(self.sharded, path)
+        otherwise (both atomic — see :mod:`repro.persistence`).
+
+        A mutable engine with uncompacted writes refuses to save — the
+        artifact format holds exactly one base generation, so call
+        :meth:`compact` first to fold the delta in.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "Engine is closed; create a new engine"
+                )
+            index = self.index
+            sharded = self.sharded
+        if self._delta is not None and (
+            self._delta.n_rows or self._delta.n_tombstones
+        ):
+            raise ConfigurationError(
+                "engine has uncompacted writes; call compact() before save() "
+                "so the artifact holds a single folded generation"
+            )
+        if sharded is not None:
+            save_sharded_index(sharded, path)
         else:
-            save_index(self.index, path)
+            save_index(index, path)
 
     # -- queries ------------------------------------------------------------
 
@@ -387,35 +516,48 @@ class Engine:
         Sharded engines scatter the batch and raise if any shard
         degraded — use :meth:`search_detailed` when partial results are
         acceptable. ``rerank`` (exact re-ranking of an ADC short-list)
-        requires ``keep_vectors=True`` at build time and an unsharded
-        engine.
+        requires ``keep_vectors=True`` at build time and an unsharded,
+        read-only engine.
+
+        On a mutable engine the query merges the uncompacted delta
+        overlay: tombstoned rows never surface, added rows compete in
+        the same top-k accumulation, and queries probing only unmutated
+        partitions return byte-identical results to a read-only engine.
         """
         nprobe = nprobe if nprobe is not None else self.config.nprobe
         queries = np.asarray(queries, dtype=np.float64)
-        if self.sharded is None:
-            with self._lock:
-                scatter = self._scatter
-        else:
-            scatter = None if queries.ndim == 1 else self._ensure_scatter()
-        if scatter is None or queries.ndim == 1:
-            return self._searcher.search(
-                queries,
-                topk=k,
-                nprobe=nprobe,
-                rerank=rerank,
-                n_workers=self.config.n_workers,
-                executor=(
-                    "process"
-                    if self.config.resolved_executor == "process"
-                    else "batch"
-                ),
-            )
-        if rerank:
+        if rerank and self.config.mutable:
             raise ConfigurationError(
-                "rerank is not supported on the sharded batch path; "
-                "use an unsharded engine (n_shards=1) for re-ranking"
+                "rerank is not supported on mutable engines (the kept "
+                "vector array cannot track streaming writes); compact and "
+                "reload read-only to re-rank"
             )
-        response = scatter.run(queries, topk=k, nprobe=nprobe)
+        pin = self._pin()
+        try:
+            if pin.scatter is None or self.config.n_shards == 1 or queries.ndim == 1:
+                return pin.searcher.search(
+                    queries,
+                    topk=k,
+                    nprobe=nprobe,
+                    rerank=rerank,
+                    n_workers=self.config.n_workers,
+                    executor=(
+                        "process"
+                        if self.config.resolved_executor == "process"
+                        else "batch"
+                    ),
+                    delta=pin.view,
+                )
+            if rerank:
+                raise ConfigurationError(
+                    "rerank is not supported on the sharded batch path; "
+                    "use an unsharded engine (n_shards=1) for re-ranking"
+                )
+            response = pin.scatter.run(
+                queries, topk=k, nprobe=nprobe, delta_view=pin.view
+            )
+        finally:
+            self._unpin(pin.epoch)
         if response.partial:
             degraded = [s.as_dict() for s in response.shard_statuses if not s.ok]
             raise ConfigurationError(
@@ -436,41 +578,321 @@ class Engine:
         This is the graceful-degradation entry point: shard timeouts and
         failures yield ``partial=True`` plus per-shard statuses instead
         of an exception. Unsharded engines answer through an implicit
-        single-shard layout (still byte-identical).
+        single-shard layout (still byte-identical); mutable engines
+        merge the delta overlay exactly like :meth:`search`.
         """
         nprobe = nprobe if nprobe is not None else self.config.nprobe
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
-        return self._ensure_scatter().run(queries, topk=k, nprobe=nprobe)
+        # Publish the lazy single-shard wrapper *before* pinning: the pin
+        # then captures a scatter consistent with its epoch even if a
+        # compaction swap lands in between (compaction rebuilds any
+        # published scatter).
+        self._ensure_scatter()
+        pin = self._pin()
+        try:
+            if pin.scatter is None:
+                raise ConfigurationError(
+                    "Engine is closed; create a new engine"
+                )
+            return pin.scatter.run(
+                queries, topk=k, nprobe=nprobe, delta_view=pin.view
+            )
+        finally:
+            self._unpin(pin.epoch)
 
-    def _build_scatter(self) -> ScatterGatherExecutor:
-        """A fresh scatter-gather executor over this engine's layout.
+    # -- writes (mutable engines) -------------------------------------------
 
-        Unsharded engines lazily wrap their index as one healthy shard
-        so :meth:`search_detailed` callers get a uniform response type.
+    def add(self, vectors: np.ndarray, ids: np.ndarray) -> int:
+        """Insert (or upsert) vectors; returns the write's sequence number.
+
+        Rows are routed and PQ-encoded immediately — against quantizers
+        that never change across compactions, so an ``add`` may safely
+        race a background :meth:`compact` — and appended to the
+        in-memory delta overlay. Re-adding an existing id replaces it
+        everywhere (the stale base copy is tombstoned, any stale delta
+        copy physically removed). Call :meth:`compact` to fold
+        accumulated writes into the base artifact.
         """
-        if self.sharded is not None:
-            sharded_dir = (
-                self.index_path
-                if self.index_path is not None and self.index_path.is_dir()
-                else None
+        delta = self._require_mutable("add")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        with self._lock:
+            index = self.index
+        labels, codes = encode_vectors(index, vectors)
+        seq = delta.apply_add(labels, codes, ids, vectors)
+        self._obs().record_mutation(
+            "add", len(ids), delta.n_rows, delta.n_tombstones
+        )
+        return seq
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Delete ids; returns the write's sequence number.
+
+        Base copies are tombstoned (masked at query time until the next
+        :meth:`compact` drops them physically); delta copies are removed
+        immediately. Deleting an id the index never held is a harmless
+        no-op mask.
+        """
+        delta = self._require_mutable("delete")
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        seq = delta.apply_delete(ids)
+        self._obs().record_mutation(
+            "delete", len(ids), delta.n_rows, delta.n_tombstones
+        )
+        return seq
+
+    def compact(self) -> CompactionReport:
+        """Fold the delta overlay into a new base generation.
+
+        The heavy phase is lock-free for writers: a snapshot of the
+        overlay is cut at sequence ``S``, its rows are re-encoded
+        through the encoder process pool (``n_workers``), and
+        :func:`~repro.delta.fold_index` builds the next-generation base.
+        When the engine has an artifact it is re-saved atomically
+        (:mod:`repro.persistence`) and reloaded with the same ``mmap``
+        mode. The swap then publishes the new base under the engine
+        lock: a fresh searcher (and scatter-gather executor), a bumped
+        epoch, and :meth:`~repro.delta.DeltaStore.commit` dropping
+        exactly the drained state — writes that raced the re-encode
+        survive in the overlay and stay correct. In-flight readers
+        pinned to the old epoch finish on the old base untouched;
+        their resources are released once the last one unpins.
+
+        Concurrent ``compact()`` calls serialize. Returns a
+        :class:`~repro.delta.CompactionReport` (a no-op report when the
+        overlay was empty).
+        """
+        delta = self._require_mutable("compact")
+        t0 = time.perf_counter()
+        drain_event: threading.Event | None = None
+        old_searcher: ANNSearcher | None = None
+        old_scatter: ScatterGatherExecutor | None = None
+        new_scatter: ScatterGatherExecutor | None = None
+        aborted = False
+        with self._compact_lock:
+            with self._lock:
+                if self._closed:
+                    raise ConfigurationError(
+                        "Engine is closed; create a new engine"
+                    )
+                index = self.index
+            snapshot = delta.snapshot()
+            if snapshot.empty:
+                return CompactionReport(
+                    generation=index.generation,
+                    n_folded=0,
+                    n_dropped=0,
+                    n_total=len(index),
+                    wall_time_s=time.perf_counter() - t0,
+                    encode_time_s=0.0,
+                )
+            additions, encode_time_s = self._encode_snapshot(index, snapshot)
+            n_before = len(index)
+            folded = fold_index(index, snapshot.tombstone_ids, additions)
+            n_folded = snapshot.n_rows
+            n_dropped = n_before + n_folded - len(folded)
+            # Persist in the artifact's own format: a single-file index
+            # is re-saved as a file even when the engine re-sharded it in
+            # memory; a sharded directory is re-saved shard by shard.
+            new_sharded: ShardedIndex | None = None
+            unsharded_path: Path | None = None
+            if self.index_path is not None and self.index_path.is_file():
+                save_index(folded, self.index_path)
+                folded = load_index(self.index_path, mmap=self._mmap)
+                unsharded_path = self.index_path
+            if self.sharded is not None:
+                new_sharded = ShardedIndex.from_index(
+                    folded,
+                    n_shards=self.config.n_shards,
+                    layout=self.config.shard_layout,
+                )
+                if self.index_path is not None and self.index_path.is_dir():
+                    save_sharded_index(new_sharded, self.index_path)
+                    if self._mmap:
+                        new_sharded = load_sharded_index(
+                            self.index_path, mmap=True
+                        )
+                        folded = _global_view(new_sharded)
+            factory = self.config.scanner_factory(folded.pq)
+            new_searcher = ANNSearcher(
+                folded, factory(), index_path=unsharded_path
             )
-            return ScatterGatherExecutor(
-                self.sharded,
-                self.config.scanner_factory(self.index.pq),
-                n_workers=self.config.n_workers,
-                backend=self.config.resolved_executor,
-                artifact_dir=sharded_dir,
-                deadline_s=self.config.deadline_s,
-                max_retries=self.config.max_retries,
-                backoff_s=self.config.backoff_s,
-                observability=self.observability,
+            with self._create_lock:
+                with self._lock:
+                    need_scatter = self._scatter is not None
+                if need_scatter:
+                    new_scatter = self._build_scatter(folded, new_sharded)
+                with self._lock:
+                    if self._closed:
+                        aborted = True
+                    else:
+                        old_searcher = self._searcher
+                        old_scatter = self._scatter
+                        self.index = folded
+                        self.sharded = new_sharded
+                        self._searcher = new_searcher
+                        self._scatter = new_scatter
+                        retiring = self._epoch
+                        self._epoch = retiring + 1
+                        self._reader_counts[self._epoch] = 0
+                        if self._reader_counts.get(retiring, 0) > 0:
+                            drain_event = threading.Event()
+                            self._retired[retiring] = drain_event
+                        else:
+                            self._reader_counts.pop(retiring, None)
+                        delta.commit(
+                            snapshot.seq, generation=folded.generation
+                        )
+        if aborted:
+            new_searcher.close()
+            if new_scatter is not None:
+                new_scatter.close()
+            raise ConfigurationError(
+                "Engine was closed during compact(); the overlay was not "
+                "committed"
             )
-        single = ShardedIndex.from_index(self.index, n_shards=1)
+        if drain_event is not None:
+            drain_event.wait(timeout=GATHER_TIMEOUT_S)
+        if old_scatter is not None:
+            old_scatter.close()
+        if old_searcher is not None:
+            old_searcher.close()
+        wall_time_s = time.perf_counter() - t0
+        self._obs().record_compaction(
+            wall_time_s,
+            folded.generation,
+            delta_rows=delta.n_rows,
+            tombstones=delta.n_tombstones,
+        )
+        return CompactionReport(
+            generation=folded.generation,
+            n_folded=n_folded,
+            n_dropped=n_dropped,
+            n_total=len(folded),
+            wall_time_s=wall_time_s,
+            encode_time_s=encode_time_s,
+        )
+
+    def _encode_snapshot(
+        self, index: IVFADCIndex, snapshot: DeltaSnapshot
+    ) -> tuple[dict[int, tuple[np.ndarray, np.ndarray]], float]:
+        """Re-encode a drain snapshot's rows; returns (additions, time).
+
+        The pool workers attach to the saved artifact when the engine
+        has an unsharded one (its quantizers are generation-independent,
+        so an older generation on disk encodes identically); otherwise
+        :func:`~repro.delta.encode_vectors` temp-saves the index itself.
+        """
+        additions_in = snapshot.additions
+        if not additions_in:
+            return {}, 0.0
+        vec_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        pid_parts: list[np.ndarray] = []
+        for pid, (vectors, row_ids) in additions_in.items():
+            vec_parts.append(vectors)
+            id_parts.append(row_ids)
+            pid_parts.append(np.full(len(row_ids), pid, dtype=np.int64))
+        all_vectors = np.concatenate(vec_parts)
+        all_ids = np.concatenate(id_parts)
+        expected = np.concatenate(pid_parts)
+        artifact = (
+            self.index_path
+            if self.index_path is not None and self.index_path.is_file()
+            else None
+        )
+        t0 = time.perf_counter()
+        labels, codes = encode_vectors(
+            index,
+            all_vectors,
+            index_path=artifact,
+            n_workers=self.config.n_workers,
+        )
+        encode_time_s = time.perf_counter() - t0
+        if not np.array_equal(labels, expected):
+            raise SimulationError(
+                "compaction re-encode routed rows to different partitions "
+                "than their add-time encoding — the coarse codebooks "
+                "diverged, which the overlay design forbids"
+            )
+        additions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for pid in additions_in:
+            selected = expected == pid
+            additions[pid] = (codes[selected], all_ids[selected])
+        return additions, encode_time_s
+
+    # -- epoch pinning ------------------------------------------------------
+
+    def _pin(self) -> _PinnedEpoch:
+        """Pin the current epoch's state for one read."""
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "Engine is closed; create a new engine"
+                )
+            epoch = self._epoch
+            self._reader_counts[epoch] += 1
+            view = (
+                None if self._delta is None else self._delta.view(self.index)
+            )
+            return _PinnedEpoch(
+                epoch=epoch,
+                index=self.index,
+                searcher=self._searcher,
+                scatter=self._scatter,
+                view=view,
+            )
+
+    def _unpin(self, epoch: int) -> None:
+        """Release one read's pin; signal compaction when an epoch drains."""
+        drained: threading.Event | None = None
+        with self._lock:
+            self._reader_counts[epoch] -= 1
+            if self._reader_counts[epoch] == 0 and epoch != self._epoch:
+                self._reader_counts.pop(epoch, None)
+                drained = self._retired.pop(epoch, None)
+        if drained is not None:
+            drained.set()
+
+    def _require_mutable(self, op: str) -> DeltaStore:
+        with self._lock:
+            closed = self._closed
+        if closed:
+            raise ConfigurationError("Engine is closed; create a new engine")
+        if self._delta is None:
+            raise ConfigurationError(
+                f"Engine.{op}() requires a mutable engine; build or load "
+                "with mutable=True"
+            )
+        return self._delta
+
+    def _obs(self) -> Observability:
+        return (
+            self.observability
+            if self.observability is not None
+            else get_observability()
+        )
+
+    def _build_scatter(
+        self, index: IVFADCIndex, sharded: ShardedIndex | None
+    ) -> ScatterGatherExecutor:
+        """A fresh scatter-gather executor over the given layout.
+
+        Unsharded engines wrap their index as one healthy shard so
+        :meth:`search_detailed` callers get a uniform response type.
+        """
+        layout = (
+            sharded
+            if sharded is not None
+            else ShardedIndex.from_index(index, n_shards=1)
+        )
         return ScatterGatherExecutor(
-            single,
-            self.config.scanner_factory(self.index.pq),
+            layout,
+            self.config.scanner_factory(index.pq),
             n_workers=self.config.n_workers,
             backend=self.config.resolved_executor,
             deadline_s=self.config.deadline_s,
@@ -480,46 +902,70 @@ class Engine:
         )
 
     def _ensure_scatter(self) -> ScatterGatherExecutor:
-        """The engine's scatter-gather executor, (re)built on demand.
+        """The engine's scatter-gather executor, built on demand.
 
         Safe for concurrent callers: reads/publishes happen under
         ``self._lock`` while construction — which saves shard artifacts
         and spins pools up (R7) — is serialized by ``self._create_lock``
-        so racing callers build exactly one executor. Also the reason a
-        closed engine stays usable: the next sharded search lands here
-        and rebuilds.
+        so racing callers build exactly one executor. Compaction holds
+        the same creation lock across its rebuild-and-swap, so a lazy
+        build can never publish an executor over a retired base.
         """
         with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "Engine is closed; create a new engine"
+                )
             scatter = self._scatter
         if scatter is not None:
             return scatter
         with self._create_lock:
             with self._lock:
                 scatter = self._scatter
+                current_index = self.index
+                current_sharded = self.sharded
             if scatter is not None:
                 return scatter
-            built = self._build_scatter()
+            built = self._build_scatter(current_index, current_sharded)
             with self._lock:
-                self._scatter = built
+                if self._closed:
+                    rejected = True
+                else:
+                    rejected = False
+                    self._scatter = built
+            if rejected:
+                built.close()
+                raise ConfigurationError(
+                    "Engine is closed; create a new engine"
+                )
             return built
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release executor resources (idempotent, concurrency-safe).
+        """Shut the engine down (terminal, idempotent, concurrency-safe).
 
-        Shuts down every pinned pool the engine spun up: the searcher's
+        Releases every pinned pool the engine spun up — the searcher's
         cached thread/process executors and the scatter-gather
-        executor's per-shard pools and gather pool (plus any temporary
-        artifacts). The engine stays usable after closing — later
-        searches build fresh pools (and, on the sharded path, a fresh
-        scatter-gather executor) on demand.
+        executor's per-shard pools, gather pool and temporary artifacts.
+        A closed engine rejects every further operation with
+        :class:`~repro.exceptions.ConfigurationError`; in-flight
+        searches are not drained and may error. Uncompacted writes are
+        discarded — call :meth:`compact` first to keep them.
         """
         with self._lock:
+            self._closed = True
             scatter, self._scatter = self._scatter, None
+            searcher = self._searcher
         if scatter is not None:
             scatter.close()
-        self._searcher.close()
+        searcher.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (closing is terminal)."""
+        with self._lock:
+            return self._closed
 
     def __enter__(self) -> "Engine":
         return self
@@ -533,8 +979,21 @@ class Engine:
     def n_shards(self) -> int:
         return self.config.n_shards
 
+    @property
+    def generation(self) -> int:
+        """Base generation currently published (0 until first compact)."""
+        with self._lock:
+            return self.index.generation
+
+    @property
+    def n_pending_writes(self) -> int:
+        """Uncompacted overlay size: delta rows plus live tombstones."""
+        if self._delta is None:
+            return 0
+        return self._delta.n_rows + self._delta.n_tombstones
+
     def __len__(self) -> int:
-        """Vectors indexed by the engine."""
+        """Vectors in the published base (excluding uncompacted writes)."""
         return len(self.index)
 
     def __repr__(self) -> str:
@@ -542,7 +1001,8 @@ class Engine:
             f"Engine(n={len(self)}, m={self.config.m}, bits={self.config.bits}, "
             f"n_partitions={self.config.n_partitions}, "
             f"n_shards={self.config.n_shards}, "
-            f"scanner={self.config.scanner!r})"
+            f"scanner={self.config.scanner!r}, "
+            f"mutable={self.config.mutable})"
         )
 
 
@@ -564,4 +1024,5 @@ def _global_view(sharded: ShardedIndex) -> IVFADCIndex:
     index._coarse = reference.coarse
     index._partitions = sharded.partitions
     index._n_total = len(sharded)
+    index.generation = sharded.generation
     return index

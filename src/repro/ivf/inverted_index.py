@@ -83,6 +83,10 @@ class IVFADCIndex:
         self._coarse: VectorQuantizer | None = None
         self._partitions: list[Partition] = []
         self._n_total = 0
+        #: Compaction counter. 0 for a freshly built index; each
+        #: compaction folds the delta into a new index at generation+1.
+        #: Persisted by :func:`repro.persistence.save_index`.
+        self.generation = 0
 
     # -- construction ---------------------------------------------------------
 

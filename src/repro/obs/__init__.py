@@ -55,6 +55,13 @@ metric                                          kind       labels
 ``repro_serve_queue_wait_seconds``              histogram  —
 ``repro_serve_latency_seconds``                 histogram  —
 ``repro_serve_batch_size``                      histogram  —
+``repro_mutations_total``                       counter    ``op``
+``repro_mutation_rows_total``                   counter    ``op``
+``repro_delta_rows``                            gauge      —
+``repro_tombstones``                            gauge      —
+``repro_compactions_total``                     counter    —
+``repro_compaction_seconds``                    histogram  —
+``repro_generation``                            gauge      —
 ==============================================  =========  ==================
 """
 
@@ -270,6 +277,37 @@ class Observability:
             help="Requests coalesced into one flushed micro-batch.",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
         )
+        self._mutations = m.counter(
+            "repro_mutations_total",
+            help="Write-API calls by operation (add/delete).",
+            labelnames=("op",),
+        )
+        self._mutation_rows = m.counter(
+            "repro_mutation_rows_total",
+            help="Rows touched by write-API calls, by operation.",
+            labelnames=("op",),
+        )
+        self._delta_rows = m.gauge(
+            "repro_delta_rows",
+            help="Rows currently living in uncompacted delta segments.",
+        )
+        self._tombstones = m.gauge(
+            "repro_tombstones",
+            help="Live tombstones masking base rows until compaction.",
+        )
+        self._compactions = m.counter(
+            "repro_compactions_total",
+            help="Completed (non-no-op) compactions.",
+        )
+        self._compaction_wall = m.histogram(
+            "repro_compaction_seconds",
+            help="End-to-end wall time of one compaction.",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0),
+        )
+        self._generation = m.gauge(
+            "repro_generation",
+            help="Base generation currently published by the engine.",
+        )
 
     # -- instrumentation points ---------------------------------------------
 
@@ -402,6 +440,39 @@ class Observability:
             return
         self._serve_flushes.inc(1.0, reason=reason)
         self._serve_batch_size.observe(float(batch_size))
+
+    def record_mutation(
+        self, op: str, n_rows: int, delta_rows: int, tombstones: int
+    ) -> None:
+        """Account one write-API call and refresh the overlay gauges."""
+        if not self.enabled:
+            return
+        self._mutations.inc(1.0, op=op)
+        self._mutation_rows.inc(float(n_rows), op=op)
+        with self._derived_lock:
+            self._delta_rows.set(float(delta_rows))
+            self._tombstones.set(float(tombstones))
+
+    def record_compaction(
+        self,
+        wall_time_s: float,
+        generation: int,
+        delta_rows: int = 0,
+        tombstones: int = 0,
+    ) -> None:
+        """Account one completed compaction and the generation it published.
+
+        ``delta_rows``/``tombstones`` are the overlay sizes *after* the
+        commit — writes that raced the compaction survive the drain.
+        """
+        if not self.enabled:
+            return
+        self._compactions.inc(1.0)
+        self._compaction_wall.observe(wall_time_s)
+        with self._derived_lock:
+            self._generation.set(float(generation))
+            self._delta_rows.set(float(delta_rows))
+            self._tombstones.set(float(tombstones))
 
     # -- export conveniences ------------------------------------------------
 

@@ -115,6 +115,7 @@ def save_index(
         "coarse": index.coarse.codebook,
         "encode_residuals": np.array([index.encode_residuals]),
         "n_partitions": np.array([index.n_partitions]),
+        "generation": np.array([index.generation], dtype=np.int64),
     }
     for pid, part in enumerate(index.partitions):
         payload[f"codes_{pid}"] = part.codes
@@ -152,6 +153,9 @@ def load_index(path: str | Path, *, mmap: bool = False) -> IVFADCIndex:
         encode_residuals=bool(_require(data, "encode_residuals", path)[0]),
     )
     index._coarse = VectorQuantizer.from_codebook(_require(data, "coarse", path))
+    # Pre-1.5 artifacts have no generation stamp; they are generation 0.
+    if "generation" in data:
+        index.generation = int(data["generation"][0])
     partitions = []
     total = 0
     for pid in range(index.n_partitions):
@@ -199,6 +203,7 @@ def save_sharded_index(
         "kind": np.array(["sharded-index"]),
         "n_shards": np.array([sharded.n_shards]),
         "n_partitions": np.array([sharded.n_partitions]),
+        "generation": np.array([sharded.generation], dtype=np.int64),
     }
     for shard in sharded.shards:
         manifest[f"owned_{shard.shard_id}"] = np.array(
@@ -234,6 +239,7 @@ def load_sharded_index(path: str | Path, *, mmap: bool = False) -> "ShardedIndex
     manifest = _load_checked(directory / "manifest.npz", expected_kind="sharded-index")
     n_shards = int(_require(manifest, "n_shards", directory)[0])
     n_partitions = int(_require(manifest, "n_partitions", directory)[0])
+    generation = int(manifest["generation"][0]) if "generation" in manifest else 0
     if n_shards < 1:
         raise DatasetError(f"{directory}: manifest has n_shards={n_shards}")
     shards = []
@@ -244,6 +250,16 @@ def load_sharded_index(path: str | Path, *, mmap: bool = False) -> "ShardedIndex
             raise DatasetError(
                 f"{shard_path}: has {index.n_partitions} partitions, "
                 f"manifest says {n_partitions}"
+            )
+        if index.generation != generation:
+            # A crash between the per-shard writes and the manifest write
+            # of a compaction swap leaves shard files from one generation
+            # under a manifest from another; mixing them would silently
+            # serve a corrupt view, so the stamp turns it into an error.
+            raise DatasetError(
+                f"{shard_path}: is generation {index.generation}, "
+                f"manifest says {generation} (torn compaction save; "
+                "re-run compaction or restore a complete layout)"
             )
         owned = _require(manifest, f"owned_{shard_id}", directory)
         if owned.ndim != 1 or not np.issubdtype(owned.dtype, np.integer):

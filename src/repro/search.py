@@ -36,7 +36,7 @@ import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -49,7 +49,8 @@ from .scan.naive import NaiveScanner
 from .scan.topk import TopKAccumulator, select_topk
 from .simd.counters import WorkerStats, aggregate_worker_stats
 
-if TYPE_CHECKING:  # import cycle: repro.parallel imports repro.search
+if TYPE_CHECKING:  # import cycles: repro.parallel/repro.delta import repro.search
+    from .delta.store import DeltaView
     from .parallel import ProcessBatchExecutor
 
 __all__ = [
@@ -352,6 +353,29 @@ class StreamingMerger:
         self.n_folds += 1
         self.merge_time_s += time.perf_counter() - t0
 
+    def fold_extra(self, partials: list[list[ScanResult | None]]) -> None:
+        """Fold *extra* candidates without claiming plan coverage.
+
+        The delta-overlay path scans a partition's delta segment in
+        addition to its base: the base scan owns the (query, probe) cell
+        of the plan, while the segment's candidates merely join the same
+        accumulation. ``fold_extra`` offers every non-``None`` scan to
+        the accumulators (and accounts its scanned/pruned counters) but
+        leaves :attr:`complete` untouched, so coverage still reflects
+        the base plan alone.
+        """
+        t0 = time.perf_counter()
+        for row, scans in enumerate(partials):
+            accumulator = self._accumulators[row]
+            for scan in scans:
+                if scan is None:
+                    continue
+                accumulator.offer_many(scan.distances, scan.ids)
+                self._n_scanned[row] += scan.n_scanned
+                self._n_pruned[row] += scan.n_pruned
+        self.n_folds += 1
+        self.merge_time_s += time.perf_counter() - t0
+
     def results(self, *, require_complete: bool = True) -> list[SearchResult]:
         """Finalize the merge; same contract as :func:`merge_partials`.
 
@@ -379,6 +403,97 @@ class StreamingMerger:
             )
         self.merge_time_s += time.perf_counter() - t0
         return out
+
+
+# -- delta overlay (mutable engines) -------------------------------------------
+
+
+def _strip_masked_jobs(plan: BatchPlan, masked: "Mapping[int, object]") -> BatchPlan:
+    """The plan without jobs whose partition is tombstone-masked.
+
+    Masked partitions cannot be scanned by the (base-artifact-backed)
+    executors — a worker would see the un-filtered base — so their jobs
+    are lifted out of the executor plan and scanned parent-side against
+    the view's filtered replacement. Jobs for untouched partitions pass
+    through object-identical, keeping the executor path byte-identical.
+    """
+    if not masked:
+        return plan
+    jobs = tuple(job for job in plan.jobs if job.partition_id not in masked)
+    return BatchPlan(
+        queries=plan.queries,
+        topk=plan.topk,
+        nprobe=plan.nprobe,
+        probed=plan.probed,
+        jobs=jobs,
+    )
+
+
+def _overlay_scan_grids(
+    index,
+    plan: BatchPlan,
+    view: "DeltaView",
+    scanner: PartitionScanner,
+    obs: Observability,
+) -> tuple[
+    list[list[ScanResult | None]] | None,
+    list[list[ScanResult | None]] | None,
+]:
+    """Parent-side scans of the dirty partitions of one batch plan.
+
+    Returns ``(masked_grid, extra_grid)``, each a ``(n_queries, nprobe)``
+    partial grid or ``None`` when the plan touches no such partition:
+
+    * ``masked_grid`` — scans of the tombstone-filtered *replacement*
+      partitions; folded with :meth:`StreamingMerger.fold`, they cover
+      the plan cells their stripped executor jobs left open.
+    * ``extra_grid`` — scans of the delta *segments*; folded with
+      :meth:`StreamingMerger.fold_extra`, they add candidates without
+      claiming coverage (the base cell is owned elsewhere).
+
+    Deltas are small, so both use the exact (naive) scanner regardless
+    of the configured base scanner — grouped layouts and min-tables
+    would be rebuilt on every mutation for no gain.
+    """
+    masked_grid: list[list[ScanResult | None]] | None = None
+    extra_grid: list[list[ScanResult | None]] | None = None
+    for job in plan.jobs:
+        masked = view.masked.get(job.partition_id)
+        segment = view.segments.get(job.partition_id)
+        if masked is None and segment is None:
+            continue
+        with obs.span("tables"):
+            tables = index.distance_tables_for_batch(
+                plan.queries[job.query_rows], job.partition_id
+            )
+        if masked is not None:
+            if masked_grid is None:
+                masked_grid = _empty_grid(plan)
+            with obs.span("scan"):
+                results = scan_partition_batch(scanner, tables, masked, plan.topk)
+            _place_results(masked_grid, job, results)
+        if segment is not None:
+            if extra_grid is None:
+                extra_grid = _empty_grid(plan)
+            with obs.span("scan"):
+                results = scan_partition_batch(scanner, tables, segment, plan.topk)
+            _place_results(extra_grid, job, results)
+    return masked_grid, extra_grid
+
+
+def _empty_grid(plan: BatchPlan) -> list[list[ScanResult | None]]:
+    return [[None] * plan.nprobe for _ in range(plan.n_queries)]
+
+
+def _place_results(
+    grid: list[list[ScanResult | None]],
+    job: PartitionJob,
+    results: list[ScanResult],
+) -> None:
+    for row, position, result in zip(
+        job.query_rows, job.probe_positions, results
+    ):
+        grid[int(row)][int(position)] = result
 
 
 @dataclass
@@ -735,6 +850,11 @@ class ANNSearcher:
         self.scanner = scanner if scanner is not None else NaiveScanner()
         self.vectors = None if vectors is None else np.asarray(vectors, float)
         self.index_path = None if index_path is None else Path(index_path)
+        # Delta segments and masked partitions are always scanned with
+        # the exact naive scanner (see _overlay_scan_grids); stateless,
+        # so one shared instance serves every executor path.
+        self._overlay_scanner = NaiveScanner()
+        self._closed = False
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._process_executors: dict[int, "ProcessBatchExecutor"] = {}
         self._batch_executors: dict[int, BatchExecutor] = {}
@@ -763,6 +883,7 @@ class ANNSearcher:
         *,
         executor: str = "batch",
         n_workers: int = 1,
+        delta: "DeltaView | None" = None,
     ) -> SearchResult | list[SearchResult]:
         """Search the ``nprobe`` most relevant partitions per query.
 
@@ -785,10 +906,30 @@ class ANNSearcher:
         recomputes their exact distances against the stored original
         vectors and returns the best ``topk`` of those — requires the
         searcher to have been built with ``vectors``.
+
+        ``delta`` overlays a mutable engine's uncompacted writes
+        (:class:`~repro.delta.DeltaView`): tombstone-masked partitions
+        are scanned against their filtered replacements and delta
+        segments join the same top-k merge. Queries probing no mutated
+        partition take the unmodified code paths and stay byte-identical
+        to a delta-free search. Overlay scans run in the calling process
+        for every executor (workers only ever see the immutable base
+        artifact). ``rerank`` with a non-clean delta raises
+        :class:`ConfigurationError` — the stored vectors go stale under
+        mutation.
         """
+        self._require_open()
         queries = np.asarray(queries, dtype=np.float64)
+        if delta is not None and delta.clean:
+            delta = None
+        if delta is not None and rerank:
+            raise ConfigurationError(
+                "rerank is not supported over uncompacted writes (the "
+                "stored vectors go stale under mutation); call compact() "
+                "before re-ranking"
+            )
         if queries.ndim == 1:
-            return self._search_one(queries, topk, nprobe, rerank)
+            return self._search_one(queries, topk, nprobe, rerank, delta=delta)
         if queries.ndim != 2:
             raise ConfigurationError(
                 f"queries must be 1-D or 2-D, got shape {queries.shape}"
@@ -799,14 +940,15 @@ class ANNSearcher:
             )
         if executor == "sequential":
             return [
-                self._search_one(q, topk, nprobe, rerank) for q in queries
+                self._search_one(q, topk, nprobe, rerank, delta=delta)
+                for q in queries
             ]
         if executor == "process":
             return self._search_many_process(
-                queries, topk, nprobe, rerank, n_workers=n_workers
+                queries, topk, nprobe, rerank, n_workers=n_workers, delta=delta
             )
         return self._search_many(
-            queries, topk, nprobe, rerank, n_workers=n_workers
+            queries, topk, nprobe, rerank, n_workers=n_workers, delta=delta
         )
 
     def _search_one(
@@ -815,6 +957,7 @@ class ANNSearcher:
         topk: int = 10,
         nprobe: int = 1,
         rerank: int = 0,
+        delta: "DeltaView | None" = None,
     ) -> SearchResult:
         """Single-query Algorithm-1 loop (route → tables → scan → merge)."""
         if topk < 1:
@@ -833,15 +976,28 @@ class ANNSearcher:
         for pid in probed:
             with obs.span("tables"):
                 tables = self.index.distance_tables_for(query, pid)
-            partition = self.index.partitions[pid]
+            masked = delta.masked.get(pid) if delta is not None else None
+            segment = delta.segments.get(pid) if delta is not None else None
+            # A tombstone-masked partition is scanned via its filtered
+            # replacement (exact scanner — see _overlay_scan_grids);
+            # untouched partitions take the configured scanner unchanged.
+            partition = self.index.partitions[pid] if masked is None else masked
+            scanner = self.scanner if masked is None else self._overlay_scanner
             with obs.span("scan"):
-                result: ScanResult = self.scanner.scan(
-                    tables, partition, topk=topk
-                )
+                result: ScanResult = scanner.scan(tables, partition, topk=topk)
             all_ids.append(result.ids)
             all_dists.append(result.distances)
             n_scanned += result.n_scanned
             n_pruned += result.n_pruned
+            if segment is not None:
+                with obs.span("scan"):
+                    extra = self._overlay_scanner.scan(
+                        tables, segment, topk=topk
+                    )
+                all_ids.append(extra.ids)
+                all_dists.append(extra.distances)
+                n_scanned += extra.n_scanned
+                n_pruned += extra.n_pruned
         ids = np.concatenate(all_ids) if all_ids else np.empty(0, dtype=np.int64)
         dists = (
             np.concatenate(all_dists) if all_dists else np.empty(0, dtype=np.float64)
@@ -864,6 +1020,7 @@ class ANNSearcher:
         rerank: int,
         *,
         n_workers: int = 1,
+        delta: "DeltaView | None" = None,
     ) -> list[SearchResult]:
         """Batch path: the partition-major engine, one result per query."""
         if len(queries) == 0:
@@ -871,6 +1028,10 @@ class ANNSearcher:
         if topk < 1:
             raise ConfigurationError("topk must be >= 1")
         executor = self._batch_executor(n_workers)
+        if delta is not None:
+            return self._search_many_dirty(
+                executor, queries, topk, nprobe, delta
+            )
         if rerank:
             self._check_rerank(topk, rerank)
             shortlists = executor.run(queries, topk=rerank, nprobe=nprobe)
@@ -888,6 +1049,7 @@ class ANNSearcher:
         rerank: int,
         *,
         n_workers: int = 1,
+        delta: "DeltaView | None" = None,
     ) -> list[SearchResult]:
         """Process-pool batch path; byte-identical to the other executors."""
         if len(queries) == 0:
@@ -895,6 +1057,10 @@ class ANNSearcher:
         if topk < 1:
             raise ConfigurationError("topk must be >= 1")
         executor = self._process_executor(n_workers)
+        if delta is not None:
+            return self._search_many_dirty(
+                executor, queries, topk, nprobe, delta
+            )
         if rerank:
             self._check_rerank(topk, rerank)
             shortlists = executor.run(queries, topk=rerank, nprobe=nprobe)
@@ -903,6 +1069,61 @@ class ANNSearcher:
                 for query, shortlist in zip(queries, shortlists)
             ]
         return executor.run(queries, topk=topk, nprobe=nprobe)
+
+    def _search_many_dirty(
+        self,
+        executor: "BatchExecutor | ProcessBatchExecutor",
+        queries: np.ndarray,
+        topk: int,
+        nprobe: int,
+        delta: "DeltaView",
+    ) -> list[SearchResult]:
+        """Batch path with a delta overlay, for either executor kind.
+
+        The executor scans the plan minus any tombstone-masked
+        partitions (their jobs would read the un-filtered base); the
+        parent scans the filtered replacements and the delta segments
+        and folds everything through one :class:`StreamingMerger`, whose
+        total (distance, id) order makes the result independent of fold
+        order — and byte-identical to the delta-free path for queries
+        whose probes miss every mutated partition.
+        """
+        obs = get_observability()
+        start = time.perf_counter()
+        with obs.span("route"):
+            plan = executor.planner.plan(queries, topk=topk, nprobe=nprobe)
+        partials, worker_stats = executor.scan_plan(
+            _strip_masked_jobs(plan, delta.masked), obs=obs
+        )
+        merger = StreamingMerger(plan)
+        merger.fold(partials)
+        masked_grid, extra_grid = _overlay_scan_grids(
+            self.index, plan, delta, self._overlay_scanner, obs
+        )
+        if masked_grid is not None:
+            merger.fold(masked_grid)
+        if extra_grid is not None:
+            merger.fold_extra(extra_grid)
+        with obs.span("merge"):
+            results = merger.results()
+        obs.record_batch(
+            plan.n_queries, time.perf_counter() - start, worker_stats
+        )
+        return results
+
+    def _require_open(self) -> None:
+        """Raise when the searcher was closed (the lifecycle contract)."""
+        with self._lock:
+            closed = self._closed
+        if closed:
+            raise ConfigurationError(
+                "ANNSearcher is closed; create a new searcher"
+            )
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def _batch_executor(self, n_workers: int) -> BatchExecutor:
         """A cached thread :class:`BatchExecutor` per worker count.
@@ -917,19 +1138,28 @@ class ANNSearcher:
         it (R7). A :class:`BatchExecutor` spawns its worker pool lazily
         on first run, so the loser of a creation race discards a cheap
         shell whose pool never existed — exactly one pool per worker
-        count ever spins up.
+        count ever spins up. A close() racing the publish wins: the
+        fresh executor is discarded and the search raises.
         """
         with self._lock:
             cached = self._batch_executors.get(n_workers)
         if cached is not None:
             return cached
         fresh = BatchExecutor(self.index, self.scanner, n_workers=n_workers)
+        rejected = False
         with self._lock:
-            current = self._batch_executors.get(n_workers)
-            if current is None:
-                self._batch_executors[n_workers] = fresh
-                return fresh
+            if self._closed:
+                rejected = True
+            else:
+                current = self._batch_executors.get(n_workers)
+                if current is None:
+                    self._batch_executors[n_workers] = fresh
+                    return fresh
         fresh.close()
+        if rejected:
+            raise ConfigurationError(
+                "ANNSearcher is closed; create a new searcher"
+            )
         return current
 
     def _ensure_index_path(self) -> Path:
@@ -944,6 +1174,10 @@ class ANNSearcher:
         from .persistence import save_index
 
         with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "ANNSearcher is closed; create a new searcher"
+                )
             if self.index_path is not None:
                 return self.index_path
             tempdir = tempfile.TemporaryDirectory(prefix="repro-index-")
@@ -994,23 +1228,32 @@ class ANNSearcher:
                     if artifact_gone:
                         continue
                     raise
+                rejected = False
                 with self._lock:
-                    self._process_executors[n_workers] = fresh
+                    if self._closed:
+                        rejected = True
+                    else:
+                        self._process_executors[n_workers] = fresh
+                if rejected:
+                    fresh.close()
+                    raise ConfigurationError(
+                        "ANNSearcher is closed; create a new searcher"
+                    )
                 return fresh
 
     def close(self) -> None:
-        """Shut down any pinned pools (and delete the temporary artifact).
+        """Shut the searcher down for good (the lifecycle contract).
 
-        Idempotent and safe against concurrent searches; releases the
-        process pools of ``executor="process"`` searches and the
-        persistent thread pools of multi-worker ``executor="batch"``
-        searches. A tempdir-backed ``index_path`` is reset to ``None``
-        (the artifact it pointed at is deleted here), while a
-        user-supplied path is kept. The searcher stays usable — later
-        searches spin fresh pools (and, if needed, a fresh temporary
-        artifact) up again.
+        Releases the process pools of ``executor="process"`` searches,
+        the persistent thread pools of multi-worker ``executor="batch"``
+        searches and any temporary artifact. Terminal: every later
+        :meth:`search` raises :class:`ConfigurationError`. Idempotent
+        and safe against concurrent close()/search() callers — a search
+        racing the close either completes or raises, it never resurrects
+        a pool.
         """
         with self._lock:
+            self._closed = True
             process_executors = dict(self._process_executors)
             self._process_executors.clear()
             batch_executors = dict(self._batch_executors)
@@ -1033,62 +1276,32 @@ class ANNSearcher:
 
     # -- deprecated entry points (PR 4 API collapse) ------------------------
 
-    def search_batch(
-        self,
-        queries: np.ndarray,
-        topk: int = 10,
-        nprobe: int = 1,
-        rerank: int = 0,
-        *,
-        n_workers: int = 1,
-    ) -> list[SearchResult]:
-        """Deprecated alias of :meth:`search` with a 2-D batch.
+    def search_batch(self, *args: object, **kwargs: object) -> None:
+        """Removed alias of :meth:`search` with a 2-D batch.
 
         .. deprecated:: 1.1
-            Call ``search(queries, ...)`` instead; this shim returns
-            byte-identical results and will be removed in a later
-            release.
+            Deprecated in 1.1, removed in 1.5 (end of the PR-4
+            deprecation cycle); calling it now raises.
         """
-        warnings.warn(
-            "ANNSearcher.search_batch is deprecated; search() now accepts "
-            "query batches directly",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        return self._search_many(
-            queries, topk, nprobe, rerank, n_workers=n_workers
+        raise ConfigurationError(
+            "ANNSearcher.search_batch was removed in 1.5 (deprecated "
+            "since 1.1); call search(queries, ...) — it accepts 2-D "
+            "batches directly and returns byte-identical results"
         )
 
-    def search_batch_sequential(
-        self,
-        queries: np.ndarray,
-        topk: int = 10,
-        nprobe: int = 1,
-        rerank: int = 0,
-    ) -> list[SearchResult]:
-        """Deprecated alias of ``search(..., executor="sequential")``.
+    def search_batch_sequential(self, *args: object, **kwargs: object) -> None:
+        """Removed alias of ``search(..., executor="sequential")``.
 
         .. deprecated:: 1.1
-            The per-query reference loop is now selected with the
-            ``executor`` keyword; this shim returns byte-identical
-            results and will be removed in a later release.
+            Deprecated in 1.1, removed in 1.5 (end of the PR-4
+            deprecation cycle); calling it now raises.
         """
-        warnings.warn(
-            'ANNSearcher.search_batch_sequential is deprecated; use '
-            'search(queries, ..., executor="sequential")',
-            DeprecationWarning,
-            stacklevel=2,
+        raise ConfigurationError(
+            "ANNSearcher.search_batch_sequential was removed in 1.5 "
+            "(deprecated since 1.1); call "
+            'search(queries, ..., executor="sequential") for the '
+            "byte-identical per-query reference loop"
         )
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        return [
-            self._search_one(q, topk=topk, nprobe=nprobe, rerank=rerank)
-            for q in queries
-        ]
 
     # -- re-ranking ---------------------------------------------------------
 

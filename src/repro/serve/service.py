@@ -28,6 +28,14 @@ many single-query clients into batches until now.
    immediately with :data:`STATUS_OVERLOAD` and no result. Shedding is
    deliberate open-loop hygiene — a saturated server answering a few
    clients fast beats one answering every client late.
+4. **Writes** — a server over a mutable :class:`~repro.engine.Engine`
+   (:meth:`MicroBatchServer.for_engine` with ``mutable=True``) also
+   accepts ``await server.add(vector, id)`` / ``await server.delete(id)``
+   through the *same* admission queue, so writes share the shedding
+   policy and the enqueue order with reads. Within one flushed
+   micro-batch the writes apply first, in enqueue order, then the reads
+   run as one batch — a client whose write was admitted reads its own
+   write from the next flush on.
 
 Every request is accounted through :mod:`repro.obs`: queue-wait,
 batch-size and end-to-end latency histograms plus per-status request
@@ -61,7 +69,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, SimulationError
 from ..obs import Observability, get_observability
 from ..search import ANNSearcher, SearchResult
 
@@ -146,7 +154,8 @@ class ServedResult:
             (:data:`STATUS_ERROR` outcomes surface as the raised
             exception instead, so ``status`` is never ``"error"`` here).
         result: the merged :class:`~repro.search.SearchResult`
-            (``None`` when shed).
+            (``None`` when shed — and always ``None`` for served writes,
+            whose success is the :data:`STATUS_OK` itself).
         queue_wait_s: time from enqueue until the batch started
             executing (0 when shed).
         batch_size: size of the micro-batch that served this request
@@ -165,13 +174,26 @@ class ServedResult:
         return self.status == STATUS_OK
 
 
+#: Request kinds flowing through the admission queue.
+_KIND_SEARCH = "search"
+_KIND_ADD = "add"
+_KIND_DELETE = "delete"
+
+
 @dataclass
 class _PendingRequest:
-    """One enqueued query awaiting its micro-batch."""
+    """One enqueued request (read or write) awaiting its micro-batch.
 
-    query: np.ndarray
+    ``query`` holds the search query (:data:`_KIND_SEARCH`) or the
+    vector to insert (:data:`_KIND_ADD`); ``write_id`` the database id
+    of a write.
+    """
+
+    kind: str
+    query: np.ndarray | None
     enqueued_at: float
     future: "asyncio.Future[ServedResult]"
+    write_id: int | None = None
 
 
 class MicroBatchServer:
@@ -188,6 +210,11 @@ class MicroBatchServer:
             :class:`~repro.search.SearchResult` per row. The provided
             constructors wire this to the byte-identical batch engines.
         config: micro-batching and admission knobs.
+        write_fn: callable applying one write — ``(kind, vector, id)``
+            with ``kind`` ``"add"`` (``vector`` is the 1-D row) or
+            ``"delete"`` (``vector`` is None). Runs on the flush worker
+            thread, before the batch's reads. Without it the server is
+            read-only and :meth:`add`/:meth:`delete` raise.
         observability: explicit observability handle; default is the
             process-wide instance, resolved at each flush.
     """
@@ -197,11 +224,14 @@ class MicroBatchServer:
         batch_fn: Callable[[np.ndarray], Sequence[SearchResult]],
         config: ServeConfig | None = None,
         *,
+        write_fn: Callable[[str, np.ndarray | None, int], None] | None = None,
         observability: Observability | None = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.observability = observability
         self._batch_fn = batch_fn
+        self._write_fn = write_fn
+        self._closed = False
         self._queue: "asyncio.Queue[_PendingRequest]" | None = None
         self._coalescer: "asyncio.Task[None]" | None = None
         self._flush_slots: asyncio.Semaphore | None = None
@@ -266,19 +296,46 @@ class MicroBatchServer:
         observability: Observability | None = None,
     ) -> "MicroBatchServer":
         """A server over :meth:`Engine.search` (sharded engines scatter
-        each micro-batch across their shards as usual)."""
+        each micro-batch across their shards as usual).
+
+        A mutable engine (``mutable=True``) additionally gets the write
+        path wired: :meth:`add` and :meth:`delete` route through the
+        engine's delta overlay, applied on the flush thread before each
+        micro-batch's reads."""
 
         def batch_fn(queries: np.ndarray) -> Sequence[SearchResult]:
             results = engine.search(queries, k=k, nprobe=nprobe)
             # 2-D input always returns a list; keep mypy informed.
             return results if isinstance(results, list) else [results]
 
-        return cls(batch_fn, config, observability=observability)
+        write_fn: Callable[[str, np.ndarray | None, int], None] | None = None
+        if engine.config.mutable:
+
+            def write_fn(
+                kind: str, vector: np.ndarray | None, write_id: int
+            ) -> None:
+                ids = np.array([write_id], dtype=np.int64)
+                if kind == _KIND_ADD:
+                    if vector is None:
+                        raise SimulationError(
+                            "add request reached write_fn without a vector"
+                        )
+                    engine.add(vector[None, :], ids)
+                else:
+                    engine.delete(ids)
+
+        return cls(
+            batch_fn, config, write_fn=write_fn, observability=observability
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
         """Spawn the coalescer task and the flush thread pool (idempotent)."""
+        if self._closed:
+            raise ConfigurationError(
+                "MicroBatchServer is closed; create a new server"
+            )
         if self._coalescer is not None:
             return
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
@@ -342,6 +399,33 @@ class MicroBatchServer:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
 
+    def close(self) -> None:
+        """Mark the server terminally closed (idempotent, concurrency-safe).
+
+        A running server must be drained first — ``close()`` raises
+        while the coalescer is alive (call ``await stop()``; unlike
+        ``stop``, ``close`` is synchronous and holds no resources to
+        release). After ``close`` every further :meth:`start`,
+        :meth:`search`, :meth:`add` or :meth:`delete` raises
+        :class:`~repro.exceptions.ConfigurationError`.
+        """
+        if self._coalescer is not None:
+            raise ConfigurationError(
+                "MicroBatchServer is running; await stop() before close()"
+            )
+        self._closed = True
+
+    def __enter__(self) -> "MicroBatchServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (closing is terminal)."""
+        return self._closed
+
     @property
     def running(self) -> bool:
         return self._coalescer is not None
@@ -361,20 +445,55 @@ class MicroBatchServer:
         batch itself raises, the exception propagates to every awaiting
         client of that batch.
         """
-        queue = self._queue
-        if queue is None or self._coalescer is None:
-            raise ConfigurationError(
-                "MicroBatchServer is not running; enter 'async with "
-                "server:' or await server.start() first"
-            )
         q = np.asarray(query, dtype=np.float64)
         if q.ndim != 1:
             raise ConfigurationError(
                 f"serve requests are single 1-D queries, got shape {q.shape}"
             )
+        return await self._enqueue(_KIND_SEARCH, q, None)
+
+    async def add(self, vector: np.ndarray, id: int) -> ServedResult:
+        """Insert (or upsert) one row through the admission queue.
+
+        The write shares the bounded queue — and the shedding policy —
+        with reads; it applies on the flush thread *before* the reads of
+        its micro-batch, so a client whose write was admitted observes
+        it from that flush on. Requires a server constructed with a
+        ``write_fn`` (:meth:`for_engine` over a mutable engine).
+        """
+        self._require_writable("add")
+        v = np.asarray(vector, dtype=np.float64)
+        if v.ndim != 1:
+            raise ConfigurationError(
+                f"serve writes are single 1-D rows, got shape {v.shape}"
+            )
+        return await self._enqueue(_KIND_ADD, v, int(id))
+
+    async def delete(self, id: int) -> ServedResult:
+        """Delete one id through the admission queue (see :meth:`add`)."""
+        self._require_writable("delete")
+        return await self._enqueue(_KIND_DELETE, None, int(id))
+
+    async def _enqueue(
+        self, kind: str, query: np.ndarray | None, write_id: int | None
+    ) -> ServedResult:
+        queue = self._queue
+        if queue is None or self._coalescer is None:
+            if self._closed:
+                raise ConfigurationError(
+                    "MicroBatchServer is closed; create a new server"
+                )
+            raise ConfigurationError(
+                "MicroBatchServer is not running; enter 'async with "
+                "server:' or await server.start() first"
+            )
         loop = asyncio.get_running_loop()
         request = _PendingRequest(
-            query=q, enqueued_at=loop.time(), future=loop.create_future()
+            kind=kind,
+            query=query,
+            enqueued_at=loop.time(),
+            future=loop.create_future(),
+            write_id=write_id,
         )
         try:
             queue.put_nowait(request)
@@ -389,6 +508,14 @@ class MicroBatchServer:
                 latency_s=0.0,
             )
         return await request.future
+
+    def _require_writable(self, op: str) -> None:
+        if self._write_fn is None:
+            raise ConfigurationError(
+                f"MicroBatchServer.{op}() requires a writable server; "
+                "construct with for_engine() over a mutable engine (or "
+                "pass write_fn)"
+            )
 
     # -- internals -----------------------------------------------------------
 
@@ -455,17 +582,45 @@ class MicroBatchServer:
     async def _flush(
         self, batch: list[_PendingRequest], reason: str, release_slot: bool
     ) -> None:
-        """Execute one micro-batch off-loop and resolve its futures."""
+        """Execute one micro-batch off-loop and resolve its futures.
+
+        Writes apply first, in enqueue order, on the flush thread; the
+        batch's reads then run as one engine batch. A write failure
+        fails the whole micro-batch (every awaiting client sees the
+        exception) — partial application would leave the clients unable
+        to tell which writes landed.
+        """
         loop = asyncio.get_running_loop()
         obs = self._obs()
         try:
             self.n_flushes += 1
             obs.record_flush(len(batch), reason)
             started = loop.time()
-            queries = np.stack([request.query for request in batch])
+            writes = [r for r in batch if r.kind != _KIND_SEARCH]
+            reads = [r for r in batch if r.kind == _KIND_SEARCH]
+            queries = (
+                np.stack([request.query for request in reads])
+                if reads
+                else None
+            )
+            write_fn = self._write_fn
+            batch_fn = self._batch_fn
+
+            def execute() -> Sequence[SearchResult]:
+                for op in writes:
+                    if write_fn is None or op.write_id is None:
+                        raise SimulationError(
+                            "write request queued on a server without a "
+                            "write_fn or without an id"
+                        )
+                    write_fn(op.kind, op.query, op.write_id)
+                if queries is None:
+                    return []
+                return batch_fn(queries)
+
             try:
                 results = await loop.run_in_executor(
-                    self._flush_pool, self._batch_fn, queries
+                    self._flush_pool, execute
                 )
             except Exception as exc:
                 self.n_errors += len(batch)
@@ -480,10 +635,10 @@ class MicroBatchServer:
                         request.future.set_exception(exc)
                 return
             finished = loop.time()
-            if len(results) != len(batch):
+            if len(results) != len(reads):
                 mismatch: Exception = ConfigurationError(
                     f"batch function returned {len(results)} results for "
-                    f"{len(batch)} queries"
+                    f"{len(reads)} queries"
                 )
                 self.n_errors += len(batch)
                 for request in batch:
@@ -496,7 +651,11 @@ class MicroBatchServer:
                         request.future.set_exception(mismatch)
                 return
             self.n_served += len(batch)
-            for request, result in zip(batch, results):
+            paired = [
+                (request, result)
+                for request, result in zip(reads, results)
+            ] + [(request, None) for request in writes]
+            for request, result in paired:
                 served = ServedResult(
                     status=STATUS_OK,
                     result=result,

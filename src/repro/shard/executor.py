@@ -53,12 +53,14 @@ from typing import TYPE_CHECKING, Callable, Sequence, cast
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..delta.store import DeltaView
     from ..parallel import ProcessBatchExecutor
 
 from ..exceptions import ConfigurationError
 from ..ivf.inverted_index import IVFADCIndex
 from ..obs import Observability, get_observability
 from ..scan.base import PartitionScanner, ScanResult
+from ..scan.naive import NaiveScanner
 from ..search import (
     GATHER_TIMEOUT_S,
     BatchExecutor,
@@ -66,6 +68,8 @@ from ..search import (
     BatchPlanner,
     SearchResult,
     StreamingMerger,
+    _overlay_scan_grids,
+    _strip_masked_jobs,
 )
 from ..simd.counters import WorkerStats, combine_worker_stats
 from .sharded_index import ShardedIndex
@@ -341,6 +345,9 @@ class ScatterGatherExecutor:
         self.backoff_s = backoff_s
         self.observability = observability
         self.router = ShardRouter(sharded)
+        # Delta segments and tombstone-masked replacements are scanned
+        # parent-side with the exact scanner (see _overlay_scan_grids).
+        self._delta_scanner = NaiveScanner()
         # Guards the temporary-artifact handle against concurrent
         # close() calls.
         self._lock = threading.Lock()
@@ -404,7 +411,12 @@ class ScatterGatherExecutor:
         init_obs.record_pool_spinup("gather")
 
     def run(
-        self, queries: np.ndarray, topk: int = 10, nprobe: int = 1
+        self,
+        queries: np.ndarray,
+        topk: int = 10,
+        nprobe: int = 1,
+        *,
+        delta_view: "DeltaView | None" = None,
     ) -> ShardedResponse:
         """Scatter ``queries`` across shards; gather and merge, streamed.
 
@@ -415,6 +427,13 @@ class ScatterGatherExecutor:
         ``gather_overlap_s`` reports how much merge time that hid. The
         deadline, retry and partial-result semantics are identical to
         the barrier gather this replaces.
+
+        With ``delta_view`` (a mutable engine's uncompacted overlay),
+        jobs for tombstone-masked partitions are lifted out of the shard
+        sub-plans and scanned parent-side against the view's filtered
+        replacements, and delta segments are scanned parent-side as
+        extra candidates — while the shards still scan every untouched
+        partition through the unchanged (byte-identical) path.
         """
         obs = (
             self.observability
@@ -446,6 +465,18 @@ class ScatterGatherExecutor:
             )
         with obs.span("route"):
             plan, subplans = self.router.plan(queries, topk=topk, nprobe=nprobe)
+        if delta_view is not None and delta_view.clean:
+            delta_view = None
+        if delta_view is not None and delta_view.masked:
+            # Masked partitions cannot be scanned shard-side (workers see
+            # the un-filtered base artifact); lift their jobs out. A
+            # sub-plan emptied by the strip loses its scatter task and
+            # its shard reports the ordinary no-jobs OK status.
+            subplans = {
+                shard_id: stripped
+                for shard_id, subplan in subplans.items()
+                if (stripped := _strip_masked_jobs(subplan, delta_view.masked)).jobs
+            }
 
         merger = StreamingMerger(plan)
         overlap_s = 0.0
@@ -470,6 +501,20 @@ class ScatterGatherExecutor:
             pool.submit(self._run_shard, sid, subplans[sid], obs): sid
             for sid in order
         }
+
+        if delta_view is not None:
+            # Parent-side overlay scans run while the shards are still
+            # scanning: filtered replacements cover the cells their
+            # stripped jobs left open, segments add extra candidates.
+            masked_grid, extra_grid = _overlay_scan_grids(
+                self.sharded, plan, delta_view, self._delta_scanner, obs
+            )
+            if masked_grid is not None:
+                with obs.span("merge"):
+                    merger.fold(masked_grid)
+            if extra_grid is not None:
+                with obs.span("merge"):
+                    merger.fold_extra(extra_grid)
 
         # Gather in completion order. A task still pending when the
         # deadline strikes is abandoned, NOT joined: it keeps running on
@@ -571,6 +616,12 @@ class ScatterGatherExecutor:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; a closed executor rejects runs."""
+        with self._lock:
+            return self._gather_pool is None
 
     # -- internals ----------------------------------------------------------
 

@@ -211,6 +211,11 @@ class ShardedIndex:
         return self.shards[0].index.encode_residuals
 
     @property
+    def generation(self) -> int:
+        """Compaction generation shared by every shard of the layout."""
+        return self.shards[0].index.generation
+
+    @property
     def partitions(self) -> list[Partition]:
         """Global partition list, each slot served by its owning shard."""
         return [
@@ -289,6 +294,7 @@ def _build_shard(
         seed=index.seed,
     )
     shard_index._coarse = index.coarse
+    shard_index.generation = index.generation
     owned_set = set(owned)
     partitions = []
     total = 0

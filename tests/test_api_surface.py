@@ -5,8 +5,10 @@ Two contracts live here:
 * the exported surface (every ``__all__`` symbol plus top-level
   signatures) matches the committed ``tools/public_api.json`` snapshot,
   so API changes are explicit diffs, and removals cannot ship silently;
-* the pre-1.1 call shapes still work, warn with ``DeprecationWarning``,
-  and return byte-identical results to their replacements.
+* the pre-1.1 call shapes either still work with a
+  ``DeprecationWarning`` (positional-config constructors) or — for the
+  ``search_batch`` family removed in 1.5 — raise a
+  :class:`ConfigurationError` naming the replacement.
 """
 
 from __future__ import annotations
@@ -85,7 +87,20 @@ class TestFacadeSignatures:
         assert {
             "m", "bits", "n_partitions", "n_shards", "scanner", "keep",
             "nprobe", "n_workers", "deadline_s", "max_retries", "backoff_s",
+            "mutable",
         } <= names
+
+    def test_engine_entry_points_take_config_overrides(self):
+        for method in (Engine.build, Engine.load):
+            sig = inspect.signature(method)
+            kinds = {p.kind for p in sig.parameters.values()}
+            assert inspect.Parameter.VAR_KEYWORD in kinds
+
+    def test_unknown_config_override_raises(self, dataset):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown EngineConfig"):
+            Engine.build(dataset.base, n_partitoins=4)
 
     def test_searcher_unified_search(self):
         sig = inspect.signature(ANNSearcher.search)
@@ -125,26 +140,23 @@ def queries_2d(dataset):
 
 
 class TestDeprecationShims:
-    def test_search_batch_warns_and_matches(self, searcher, queries_2d):
-        fresh = searcher.search(queries_2d, topk=10, nprobe=2)
-        with pytest.warns(DeprecationWarning, match="search_batch is deprecated"):
-            legacy = searcher.search_batch(queries_2d, topk=10, nprobe=2)
-        for a, b in zip(fresh, legacy):
-            assert a.ids.tobytes() == b.ids.tobytes()
-            assert a.distances.tobytes() == b.distances.tobytes()
-            assert a.probed == b.probed
+    def test_search_batch_raises_with_pointer(self, searcher, queries_2d):
+        from repro.exceptions import ConfigurationError
 
-    def test_search_batch_sequential_warns_and_matches(self, searcher, queries_2d):
-        fresh = searcher.search(
-            queries_2d, topk=10, nprobe=2, executor="sequential"
-        )
-        with pytest.warns(DeprecationWarning, match="search_batch_sequential"):
-            legacy = searcher.search_batch_sequential(
-                queries_2d, topk=10, nprobe=2
-            )
-        for a, b in zip(fresh, legacy):
-            assert a.ids.tobytes() == b.ids.tobytes()
-            assert a.distances.tobytes() == b.distances.tobytes()
+        with pytest.raises(
+            ConfigurationError, match=r"call search\(queries"
+        ):
+            searcher.search_batch(queries_2d, topk=10, nprobe=2)
+
+    def test_search_batch_sequential_raises_with_pointer(
+        self, searcher, queries_2d
+    ):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(
+            ConfigurationError, match=r'executor="sequential"'
+        ):
+            searcher.search_batch_sequential(queries_2d, topk=10, nprobe=2)
 
     def test_ivfadc_positional_n_partitions_warns_and_matches(self, dataset, pq):
         with pytest.warns(DeprecationWarning, match="n_partitions positionally"):

@@ -16,9 +16,11 @@ traffic exposed:
   counts.
 
 Cleanness contract under close-while-searching: every concurrent search
-either returns byte-identical results or raises an explicit error from
-the closed pool (never corrupt data), and the object stays usable —
-later searches respawn their pools.
+either returns byte-identical results or raises an explicit
+:class:`ConfigurationError` (never corrupt data). Since 1.5 ``close()``
+is *terminal* across the stack — a closed searcher or engine refuses
+every later call instead of silently respawning its pools (the shared
+lifecycle contract pinned by ``tests/test_lifecycle.py``).
 """
 
 from __future__ import annotations
@@ -56,29 +58,26 @@ def queries(dataset) -> np.ndarray:
     return dataset.queries
 
 
-class TestCloseReopen:
-    """close() → search → close() stays usable for every executor."""
+class TestTerminalClose:
+    """close() releases everything and refuses every later search."""
 
-    def test_process_close_resets_tempdir_backed_index_path(
+    def test_process_close_releases_tempdir_backed_index_path(
         self, index, queries
     ):
-        # Regression: on the seed, close() deleted the tempdir but kept
-        # index_path pointing into it, so the second process search
-        # attached workers to a dangling artifact path.
+        # Regression lineage: on the seed, close() deleted the tempdir
+        # but kept index_path pointing into it, handing workers a
+        # dangling artifact path. Terminal close keeps the fix — the
+        # tempdir is cleaned up exactly once — and refuses reuse.
         searcher = ANNSearcher(index)
-        first = searcher.search(
-            queries, topk=5, nprobe=2, executor="process"
-        )
+        searcher.search(queries, topk=5, nprobe=2, executor="process")
         assert searcher.index_path is not None
+        tempdir = searcher._tempdir
+        assert tempdir is not None
         searcher.close()
         assert searcher.index_path is None
         assert searcher._tempdir is None
-        again = searcher.search(
-            queries, topk=5, nprobe=2, executor="process"
-        )
-        assert _results_equal(first, again)
-        searcher.close()
-        assert searcher.index_path is None
+        with pytest.raises(ConfigurationError, match="closed"):
+            searcher.search(queries, topk=5, nprobe=2, executor="process")
 
     def test_close_keeps_user_supplied_index_path(
         self, index, queries, tmp_path
@@ -86,19 +85,14 @@ class TestCloseReopen:
         path = tmp_path / "index.npz"
         save_index(index, path)
         searcher = ANNSearcher(index, index_path=path)
-        first = searcher.search(
-            queries, topk=5, nprobe=2, executor="process"
-        )
+        searcher.search(queries, topk=5, nprobe=2, executor="process")
         searcher.close()
         assert searcher.index_path == path  # user-owned artifact is kept
         assert path.exists()
-        again = searcher.search(
-            queries, topk=5, nprobe=2, executor="process"
-        )
-        assert _results_equal(first, again)
-        searcher.close()
 
-    def test_close_reopen_cycle_all_executors(self, index, queries):
+    def test_all_executors_identical_then_close_refuses(
+        self, index, queries
+    ):
         searcher = ANNSearcher(index)
         baseline = searcher.search(
             queries, topk=5, nprobe=2, executor="sequential"
@@ -108,14 +102,15 @@ class TestCloseReopen:
                 queries, topk=5, nprobe=2, executor=executor
             )
             assert _results_equal(baseline, got), executor
-            searcher.close()
-            again = searcher.search(
-                queries, topk=5, nprobe=2, executor=executor
-            )
-            assert _results_equal(baseline, again), executor
-            searcher.close()
+        searcher.close()
         assert searcher._batch_executors == {}
         assert searcher._process_executors == {}
+        for executor in ANNSearcher.EXECUTORS:
+            with pytest.raises(ConfigurationError, match="closed"):
+                searcher.search(
+                    queries, topk=5, nprobe=2, executor=executor
+                )
+        searcher.close()  # idempotent
 
 
 class TestExecutorCacheRaces:
@@ -256,9 +251,14 @@ class TestExecutorCacheRaces:
         def hammer() -> None:
             try:
                 while not stop.is_set():
-                    got = searcher.search(
-                        queries, topk=5, nprobe=2, executor="batch"
-                    )
+                    try:
+                        got = searcher.search(
+                            queries, topk=5, nprobe=2, executor="batch"
+                        )
+                    except ConfigurationError:
+                        # Terminal close landed: every later search
+                        # refuses with the lifecycle error.
+                        return
                     outcomes.append(_results_equal(baseline, got))
             except BaseException as exc:  # noqa: BLE001
                 errors.append(exc)
@@ -266,16 +266,16 @@ class TestExecutorCacheRaces:
         threads = [threading.Thread(target=hammer) for _ in range(4)]
         for t in threads:
             t.start()
-        # close() racing live searches: the swap-under-lock must never
-        # corrupt results or crash the inline (n_workers=1) path.
+        # close() racing live searches: every in-flight search either
+        # completes byte-identical or raises the explicit lifecycle
+        # error — never corrupt results, never a crash.
         for _ in range(10):
             searcher.close()
         stop.set()
         for t in threads:
             t.join()
         assert not errors
-        assert outcomes and all(outcomes)
-        searcher.close()
+        assert all(outcomes)
         assert searcher._batch_executors == {}
         assert searcher._process_executors == {}
 
@@ -319,16 +319,18 @@ class TestEngineConcurrency:
         # thread and leak every loser's pinned pools.
         assert len({id(s) for s in scatters}) == 1
 
-    def test_engine_close_reopen_batch_path(self, engine, queries):
+    def test_engine_close_is_terminal(self, engine, queries):
         baseline = engine.search(queries, k=5, nprobe=2)
-        engine.close()
-        assert engine._scatter is None
-        again = engine.search(queries, k=5, nprobe=2)
-        assert _results_equal(baseline, again)
         detailed = engine.search_detailed(queries, k=5, nprobe=2)
         assert not detailed.partial
         assert _results_equal(baseline, detailed.results)
         engine.close()
+        assert engine._scatter is None
+        with pytest.raises(ConfigurationError, match="closed"):
+            engine.search(queries, k=5, nprobe=2)
+        with pytest.raises(ConfigurationError, match="closed"):
+            engine.search_detailed(queries, k=5, nprobe=2)
+        engine.close()  # idempotent
 
     def test_engine_close_under_search_detailed_load(self, engine, queries):
         stop = threading.Event()

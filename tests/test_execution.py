@@ -1,8 +1,9 @@
 """Tests for the partition-major batch execution engine.
 
 The engine's contract is *byte-identity*: for any scanner, nprobe and
-worker count, ``search_batch`` returns exactly what the sequential
-per-query loop returns — same ids, bit-identical distances, same stats.
+worker count, the batched ``search`` executor returns exactly what the
+sequential per-query loop returns — same ids, bit-identical distances,
+same stats.
 These tests pin that contract plus the planner's structural invariants
 and the per-worker accounting.
 """
@@ -63,10 +64,10 @@ class TestBatchEquivalence:
     ):
         scanner = _scanners(pq)[scanner_name]
         searcher = ANNSearcher(index4, scanner=scanner)
-        seq = searcher.search_batch_sequential(
-            batch_queries, topk=10, nprobe=nprobe
+        seq = searcher.search(
+            batch_queries, topk=10, nprobe=nprobe, executor="sequential"
         )
-        bat = searcher.search_batch(
+        bat = searcher.search(
             batch_queries, topk=10, nprobe=nprobe, n_workers=n_workers
         )
         _assert_identical(seq, bat)
@@ -75,17 +76,17 @@ class TestBatchEquivalence:
         searcher = ANNSearcher(
             index4, scanner=NaiveScanner(), vectors=dataset.base
         )
-        seq = searcher.search_batch_sequential(
-            batch_queries, topk=5, nprobe=2, rerank=20
+        seq = searcher.search(
+            batch_queries, topk=5, nprobe=2, rerank=20, executor="sequential"
         )
-        bat = searcher.search_batch(
+        bat = searcher.search(
             batch_queries, topk=5, nprobe=2, rerank=20, n_workers=2
         )
         _assert_identical(seq, bat)
 
     def test_matches_per_query_search(self, index4, batch_queries):
         searcher = ANNSearcher(index4, scanner=NaiveScanner())
-        bat = searcher.search_batch(batch_queries, topk=10, nprobe=2)
+        bat = searcher.search(batch_queries, topk=10, nprobe=2)
         for query, result in zip(batch_queries, bat):
             single = searcher.search(query, topk=10, nprobe=2)
             np.testing.assert_array_equal(single.ids, result.ids)
@@ -93,11 +94,13 @@ class TestBatchEquivalence:
 
     def test_empty_batch(self, index4):
         searcher = ANNSearcher(index4, scanner=NaiveScanner())
-        assert searcher.search_batch(np.empty((0, 128))) == []
+        assert searcher.search(np.empty((0, 128))) == []
 
-    def test_single_1d_query_promoted(self, index4, dataset):
+    def test_single_row_batch_matches_1d(self, index4, dataset):
         searcher = ANNSearcher(index4, scanner=NaiveScanner())
-        results = searcher.search_batch(dataset.queries[0], topk=10, nprobe=2)
+        results = searcher.search(
+            dataset.queries[0][None, :], topk=10, nprobe=2
+        )
         assert len(results) == 1
         single = searcher.search(dataset.queries[0], topk=10, nprobe=2)
         np.testing.assert_array_equal(results[0].ids, single.ids)

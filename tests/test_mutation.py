@@ -1,0 +1,455 @@
+"""Mutable-index tests: delta overlay, tombstones, compaction, serving.
+
+The write API's contract has three load-bearing clauses:
+
+* **byte-identity for untouched reads** — a query probing only
+  partitions that no write ever landed in returns byte-identical
+  results on a mutable engine (dirty overlay or freshly compacted) and
+  on a read-only engine over the same artifact, for every scanner and
+  executor backend;
+* **read-your-write overlay semantics** — adds surface immediately,
+  deletes never surface, an upsert replaces its id everywhere, and
+  ``compact()`` folds the overlay into a new base generation without
+  changing any answer;
+* **generation-swap safety** — readers (including the serving layer)
+  racing a background compaction see either the old or the new base,
+  never a torn mix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.persistence import load_index
+from repro.serve import MicroBatchServer
+from repro.delta import DeltaStore, fold_index
+
+
+def _same_answers(a, b) -> bool:
+    """ids + distances byte-equality of two SearchResult lists."""
+    if len(a) != len(b):
+        return False
+    return all(
+        ra.ids.tobytes() == rb.ids.tobytes()
+        and ra.distances.tobytes() == rb.distances.tobytes()
+        for ra, rb in zip(a, b)
+    )
+
+
+def _fully_identical(a, b) -> bool:
+    """Byte-identity including the scan statistics."""
+    return _same_answers(a, b) and all(
+        ra.n_scanned == rb.n_scanned
+        and ra.n_pruned == rb.n_pruned
+        and ra.probed == rb.probed
+        for ra, rb in zip(a, b)
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact(dataset, tmp_path_factory):
+    """One saved unsharded artifact every mutable engine loads a copy of."""
+    path = tmp_path_factory.mktemp("mutation") / "base.idx"
+    engine = Engine.build(
+        dataset.base,
+        n_partitions=8,
+        scanner="naive",
+        max_iter=2,
+        coarse_max_iter=4,
+        seed=5,
+    )
+    try:
+        engine.save(path)
+    finally:
+        engine.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def churn(artifact, dataset):
+    """Deterministic churn confined to the two largest partitions.
+
+    Returns (target_pids, new_vectors, new_ids, delete_ids,
+    clean_queries): adds that route into the targets, base ids to
+    delete from them, and queries that probe neither target.
+    """
+    index = load_index(artifact)
+    sizes = index.partition_sizes()
+    # Confine churn to the two *smallest* partitions: most queries then
+    # probe neither, leaving a large pool of provably-unaffected reads.
+    eligible = [int(p) for p in np.argsort(sizes) if sizes[p] >= 16]
+    target_pids = eligible[:2]
+
+    # Ids are row indices into the build vectors, so jittered copies of
+    # the targets' own members route back into the targets.
+    members = np.concatenate(
+        [index.partitions[pid].ids[:32] for pid in target_pids]
+    )
+    jitter = np.random.default_rng(17).normal(
+        scale=0.25, size=(len(members), dataset.base.shape[1])
+    )
+    pool = np.abs(dataset.base[members] + jitter)
+    routed = index.route_batch(pool, nprobe=1)[:, 0]
+    picked = np.flatnonzero(np.isin(routed, target_pids))[:32]
+    assert len(picked) >= 8, "churn fixture needs adds landing in targets"
+    new_vectors = pool[picked]
+    max_id = max(int(part.ids.max()) for part in index.partitions)
+    new_ids = np.arange(max_id + 1, max_id + 1 + len(picked), dtype=np.int64)
+    delete_ids = np.concatenate(
+        [index.partitions[pid].ids[:4] for pid in target_pids]
+    ).astype(np.int64)
+
+    probe_grid = index.route_batch(dataset.queries, nprobe=2)
+    unaffected = ~np.isin(probe_grid, target_pids).any(axis=1)
+    clean_queries = dataset.queries[unaffected][:16]
+    assert len(clean_queries) >= 4, "need queries avoiding the targets"
+    return target_pids, new_vectors, new_ids, delete_ids, clean_queries
+
+
+def _copy_artifact(artifact, tmp_path, name="copy.idx"):
+    import shutil
+
+    copy = tmp_path / name
+    shutil.copyfile(artifact, copy)
+    return copy
+
+
+_BACKEND_OVERRIDES = {
+    "thread": {"executor": "thread"},
+    "process": {"executor": "process"},
+    "sharded": {"n_shards": 2, "executor": "thread"},
+}
+
+
+class TestByteIdentityUnderChurn:
+    """The headline invariant, across scanners and executor backends."""
+
+    @pytest.mark.parametrize("scanner", ["naive", "libpq", "fastpq"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "sharded"])
+    def test_unaffected_queries_identical(
+        self, artifact, churn, tmp_path, scanner, backend
+    ):
+        _, new_vectors, new_ids, delete_ids, clean_queries = churn
+        overrides = _BACKEND_OVERRIDES[backend]
+        copy = _copy_artifact(artifact, tmp_path, f"{scanner}-{backend}.idx")
+        with Engine.load(
+            artifact, scanner=scanner, nprobe=2, **overrides
+        ) as readonly, Engine.load(
+            copy, scanner=scanner, nprobe=2, mutable=True, **overrides
+        ) as mutable:
+            expected = readonly.search(clean_queries, k=10)
+            mutable.add(new_vectors, new_ids)
+            mutable.delete(delete_ids)
+            dirty = mutable.search(clean_queries, k=10)
+            assert _fully_identical(expected, dirty)
+            report = mutable.compact()
+            assert report.generation == 1
+            assert report.n_folded == len(new_ids)
+            compacted = mutable.search(clean_queries, k=10)
+            assert _fully_identical(expected, compacted)
+
+    def test_search_detailed_identical_under_churn(
+        self, artifact, churn, tmp_path
+    ):
+        _, new_vectors, new_ids, delete_ids, clean_queries = churn
+        copy = _copy_artifact(artifact, tmp_path)
+        with Engine.load(
+            artifact, nprobe=2, executor="thread"
+        ) as readonly, Engine.load(
+            copy, nprobe=2, executor="thread", mutable=True
+        ) as mutable:
+            expected = readonly.search(clean_queries, k=10)
+            mutable.add(new_vectors, new_ids)
+            mutable.delete(delete_ids)
+            response = mutable.search_detailed(clean_queries, k=10)
+            assert not response.partial
+            assert _same_answers(expected, response.results)
+
+
+class TestOverlaySemantics:
+    """Adds surface, deletes vanish, upserts replace — then compaction
+    preserves every answer."""
+
+    @pytest.fixture()
+    def mutable_engine(self, artifact, tmp_path):
+        copy = _copy_artifact(artifact, tmp_path)
+        engine = Engine.load(
+            copy, mutable=True, nprobe=2, executor="thread"
+        )
+        yield engine
+        engine.close()
+
+    def test_added_row_surfaces_immediately(self, mutable_engine, churn):
+        _, new_vectors, new_ids, _, _ = churn
+        mutable_engine.add(new_vectors[:1], new_ids[:1])
+        # ADC distances are approximate, so assert top-k membership
+        # rather than an exact rank.
+        result = mutable_engine.search(new_vectors[0], k=10)
+        assert new_ids[0] in result.ids
+
+    def test_deleted_id_never_surfaces(self, mutable_engine, churn, dataset):
+        _, _, _, delete_ids, _ = churn
+        mutable_engine.delete(delete_ids)
+        results = mutable_engine.search(dataset.queries, k=50, nprobe=4)
+        surfaced = np.concatenate([r.ids for r in results])
+        assert not np.isin(surfaced, delete_ids).any()
+
+    def test_upsert_replaces_everywhere(self, mutable_engine, churn):
+        _, new_vectors, new_ids, _, _ = churn
+        # First placement, then an upsert of the same id elsewhere.
+        mutable_engine.add(new_vectors[:1], new_ids[:1])
+        mutable_engine.add(new_vectors[1:2], new_ids[:1])
+        result = mutable_engine.search(new_vectors[1], k=20, nprobe=4)
+        assert new_ids[0] in result.ids
+        # The id appears at most once in any deep scan.
+        deep = mutable_engine.search(new_vectors[0], k=100, nprobe=8)
+        assert int(np.sum(deep.ids == new_ids[0])) <= 1
+
+    def test_compaction_preserves_every_answer(
+        self, mutable_engine, churn, dataset
+    ):
+        _, new_vectors, new_ids, delete_ids, _ = churn
+        mutable_engine.add(new_vectors, new_ids)
+        mutable_engine.delete(delete_ids)
+        before = mutable_engine.search(dataset.queries, k=20, nprobe=4)
+        assert mutable_engine.n_pending_writes > 0
+        report = mutable_engine.compact()
+        assert report.generation == 1
+        assert mutable_engine.generation == 1
+        assert mutable_engine.n_pending_writes == 0
+        after = mutable_engine.search(dataset.queries, k=20, nprobe=4)
+        assert _same_answers(before, after)
+
+    def test_empty_compact_is_noop(self, mutable_engine):
+        report = mutable_engine.compact()
+        assert report.noop
+        assert report.generation == 0
+        assert mutable_engine.generation == 0
+
+    def test_delete_then_add_across_compaction_boundary(
+        self, mutable_engine, churn
+    ):
+        _, new_vectors, new_ids, delete_ids, _ = churn
+        victim = int(delete_ids[0])
+        mutable_engine.delete(np.array([victim], dtype=np.int64))
+        report = mutable_engine.compact()
+        assert report.n_dropped >= 1
+        # Re-add the same id as a brand-new row after the fold.
+        mutable_engine.add(new_vectors[:1], np.array([victim], np.int64))
+        result = mutable_engine.search(new_vectors[0], k=10)
+        assert victim in result.ids
+        report2 = mutable_engine.compact()
+        assert report2.generation == 2
+        again = mutable_engine.search(new_vectors[0], k=10)
+        assert victim in again.ids
+        deep = mutable_engine.search(new_vectors[0], k=100, nprobe=8)
+        assert int(np.sum(deep.ids == victim)) == 1
+
+    def test_rerank_refused_on_mutable(self, mutable_engine, dataset):
+        with pytest.raises(ConfigurationError, match="rerank"):
+            mutable_engine.search(dataset.queries, k=5, rerank=20)
+
+    def test_save_refuses_dirty_then_roundtrips_after_compact(
+        self, mutable_engine, churn, tmp_path
+    ):
+        _, new_vectors, new_ids, _, _ = churn
+        mutable_engine.add(new_vectors, new_ids)
+        with pytest.raises(ConfigurationError, match="compact"):
+            mutable_engine.save(tmp_path / "dirty.idx")
+        mutable_engine.compact()
+        out = tmp_path / "clean.idx"
+        mutable_engine.save(out)
+        reloaded = load_index(out)
+        assert reloaded.generation == 1
+        ids = np.concatenate([p.ids for p in reloaded.partitions])
+        assert np.isin(new_ids, ids).all()
+
+
+class TestImmutableEngineRefusesWrites:
+    def test_write_api_requires_mutable(self, artifact, dataset):
+        with Engine.load(artifact) as engine:
+            row = dataset.base[:1]
+            ids = np.array([10**6], dtype=np.int64)
+            for call in (
+                lambda: engine.add(row, ids),
+                lambda: engine.delete(ids),
+                lambda: engine.compact(),
+            ):
+                with pytest.raises(ConfigurationError, match="mutable=True"):
+                    call()
+
+    def test_mutable_excludes_keep_vectors(self):
+        with pytest.raises(ConfigurationError, match="keep_vectors"):
+            EngineConfig(mutable=True, keep_vectors=True)
+
+
+class TestGenerationPersistence:
+    def test_compact_persists_generation_to_artifact(
+        self, artifact, churn, tmp_path
+    ):
+        _, new_vectors, new_ids, delete_ids, _ = churn
+        copy = _copy_artifact(artifact, tmp_path)
+        with Engine.load(copy, mutable=True, executor="thread") as engine:
+            engine.add(new_vectors, new_ids)
+            engine.delete(delete_ids)
+            engine.compact()
+            live = engine.search(new_vectors[0], k=5, nprobe=4)
+        # The artifact was re-saved in place: a cold read-only load sees
+        # the folded generation and the same answers.
+        with Engine.load(copy) as reloaded:
+            assert reloaded.generation == 1
+            cold = reloaded.search(new_vectors[0], k=5, nprobe=4)
+            assert live.ids.tobytes() == cold.ids.tobytes()
+            assert live.distances.tobytes() == cold.distances.tobytes()
+
+    def test_sharded_mutable_compacts_file_artifact(
+        self, artifact, churn, tmp_path
+    ):
+        _, new_vectors, new_ids, delete_ids, _ = churn
+        copy = _copy_artifact(artifact, tmp_path)
+        with Engine.load(
+            copy, mutable=True, n_shards=2, executor="thread"
+        ) as engine:
+            engine.add(new_vectors, new_ids)
+            engine.delete(delete_ids)
+            report = engine.compact()
+            assert report.generation == 1
+            assert engine.generation == 1
+        with Engine.load(copy) as reloaded:
+            assert reloaded.generation == 1
+
+
+class TestDeltaPrimitives:
+    """Unit-level guards on the delta package's invariants."""
+
+    def test_fold_index_rejects_id_collision(self, index):
+        pid = 0
+        part = index.partitions[pid]
+        colliding_id = int(part.ids[0])
+        codes = np.asarray(part.codes[:1])
+        additions = {
+            pid: (codes, np.array([colliding_id], dtype=np.int64))
+        }
+        with pytest.raises(SimulationError, match="tombstone barrier"):
+            fold_index(index, np.array([], dtype=np.int64), additions)
+
+    def test_store_masks_only_base_hits(self, index):
+        store = DeltaStore()
+        store.apply_delete(np.array([10**9], dtype=np.int64))
+        view = store.view(index)
+        assert view is not None
+        assert not view.masked  # no base row carries that id
+        assert 10**9 in view.tombstone_ids
+
+    def test_commit_drops_only_drained_state(self, index):
+        store = DeltaStore()
+        part = index.partitions[0]
+        store.apply_delete(part.ids[:1])
+        snap = store.snapshot()
+        store.apply_delete(part.ids[1:2])  # races the "compaction"
+        store.commit(snap.seq, generation=1)
+        assert store.generation == 1
+        assert store.n_tombstones == 1  # the post-snapshot delete survives
+        view = store.view(index)
+        assert int(part.ids[1]) in view.tombstone_ids
+        assert int(part.ids[0]) not in view.tombstone_ids
+
+
+class TestServingDuringCompaction:
+    """S4: the serving layer across a background generation swap."""
+
+    def test_served_reads_identical_across_generation_swap(
+        self, artifact, churn, tmp_path
+    ):
+        _, new_vectors, new_ids, delete_ids, clean_queries = churn
+        copy = _copy_artifact(artifact, tmp_path)
+        with Engine.load(
+            artifact, nprobe=2, executor="thread"
+        ) as readonly, Engine.load(
+            copy, nprobe=2, executor="thread", mutable=True
+        ) as mutable:
+            expected = readonly.search(clean_queries, k=10)
+            mutable.add(new_vectors, new_ids)
+            mutable.delete(delete_ids)
+            server = MicroBatchServer.for_engine(mutable, k=10)
+            compaction_error: list[BaseException] = []
+
+            def compact_in_background() -> None:
+                try:
+                    mutable.compact()
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    compaction_error.append(exc)
+
+            async def serve_through_swap() -> list:
+                served = []
+                async with server:
+                    thread = threading.Thread(target=compact_in_background)
+                    thread.start()
+                    try:
+                        while thread.is_alive():
+                            for q in clean_queries:
+                                result = await server.search(q)
+                                assert result.ok
+                                served.append(result.result)
+                    finally:
+                        thread.join()
+                    for q in clean_queries:  # post-swap flushes too
+                        result = await server.search(q)
+                        assert result.ok
+                        served.append(result.result)
+                return served
+
+            served = asyncio.run(serve_through_swap())
+            assert not compaction_error
+            assert mutable.generation == 1
+            n = len(clean_queries)
+            assert len(served) >= 2 * n
+            for i, result in enumerate(served):
+                want = expected[i % n]
+                assert result.ids.tobytes() == want.ids.tobytes()
+                assert (
+                    result.distances.tobytes() == want.distances.tobytes()
+                )
+            server.close()
+
+    def test_served_write_then_read_your_write(self, artifact, churn, tmp_path):
+        _, new_vectors, new_ids, delete_ids, _ = churn
+        copy = _copy_artifact(artifact, tmp_path)
+        with Engine.load(
+            copy, scanner="naive", nprobe=4, executor="thread", mutable=True
+        ) as mutable:
+            server = MicroBatchServer.for_engine(mutable, k=10)
+
+            async def scenario() -> None:
+                async with server:
+                    added = await server.add(
+                        new_vectors[0], int(new_ids[0])
+                    )
+                    assert added.ok and added.result is None
+                    found = await server.search(new_vectors[0])
+                    assert new_ids[0] in found.result.ids
+                    deleted = await server.delete(int(new_ids[0]))
+                    assert deleted.ok
+                    gone = await server.search(new_vectors[0])
+                    assert new_ids[0] not in gone.result.ids
+
+            asyncio.run(scenario())
+            server.close()
+
+    def test_read_only_server_refuses_writes(self, artifact, churn):
+        _, new_vectors, new_ids, _, _ = churn
+        with Engine.load(artifact) as readonly:
+            server = MicroBatchServer.for_engine(readonly, k=5)
+
+            async def attempt() -> None:
+                with pytest.raises(ConfigurationError, match="writable"):
+                    await server.add(new_vectors[0], int(new_ids[0]))
+
+            asyncio.run(attempt())
+            server.close()

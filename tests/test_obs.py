@@ -271,7 +271,7 @@ class TestPipelineIntegration:
     def test_batch_stages_all_traced(self, index, pq, dataset):
         searcher = self._searcher(index, pq, PQFastScanner)
         with observability_session() as obs:
-            searcher.search_batch(
+            searcher.search(
                 dataset.queries, topk=10, nprobe=2, n_workers=2
             )
         stages = set(obs.tracer.stage_summary())
@@ -292,7 +292,7 @@ class TestPipelineIntegration:
     ):
         searcher = self._searcher(index, pq, scanner_cls)
         with observability_session() as obs:
-            results = searcher.search_batch(
+            results = searcher.search(
                 dataset.queries, topk=10, nprobe=2, n_workers=1
             )
         name = searcher.scanner.name
@@ -309,7 +309,7 @@ class TestPipelineIntegration:
         scanner = PQFastScanner(pq, keep=0.01, seed=0)
         searcher = ANNSearcher(index, scanner)
         with observability_session() as obs:
-            searcher.search_batch(dataset.queries, topk=5, nprobe=2)
+            searcher.search(dataset.queries, topk=5, nprobe=2)
         hits = obs.metrics.get("repro_prepared_cache_hits_total").value()
         misses = obs.metrics.get("repro_prepared_cache_misses_total").value()
         assert misses == index.n_partitions  # one build per probed partition
@@ -321,11 +321,11 @@ class TestPipelineIntegration:
         self, index, pq, dataset
     ):
         searcher = self._searcher(index, pq, PQFastScanner)
-        baseline = searcher.search_batch(
+        baseline = searcher.search(
             dataset.queries, topk=10, nprobe=2, n_workers=2
         )
         with observability_session():
-            instrumented = searcher.search_batch(
+            instrumented = searcher.search(
                 dataset.queries, topk=10, nprobe=2, n_workers=2
             )
         for a, b in zip(baseline, instrumented):
@@ -336,7 +336,7 @@ class TestPipelineIntegration:
     def test_worker_metrics_from_batch_report(self, index, pq, dataset):
         searcher = self._searcher(index, pq, NaiveScanner)
         with observability_session() as obs:
-            searcher.search_batch(
+            searcher.search(
                 dataset.queries, topk=10, nprobe=2, n_workers=2
             )
         samples = obs.metrics.get("repro_worker_scan_speed_vps").samples()
@@ -367,7 +367,7 @@ class TestPipelineIntegration:
     def test_prometheus_export_of_live_run_parses(self, index, pq, dataset):
         searcher = self._searcher(index, pq, PQFastScanner)
         with observability_session() as obs:
-            searcher.search_batch(dataset.queries, topk=10, nprobe=2)
+            searcher.search(dataset.queries, topk=10, nprobe=2)
         samples = parse_prometheus(obs.export_prometheus())
         assert any(k.startswith("repro_pruning_rate{") for k in samples)
         assert any(

@@ -281,10 +281,10 @@ class TestRoundTripSearchParity:
         loaded = load_index(path)
         original = ANNSearcher(index, self._scanner_for(scanner_name, index))
         restored = ANNSearcher(loaded, self._scanner_for(scanner_name, loaded))
-        a = original.search_batch(
+        a = original.search(
             dataset.queries, topk=10, nprobe=2, n_workers=2
         )
-        b = restored.search_batch(
+        b = restored.search(
             dataset.queries, topk=10, nprobe=2, n_workers=2
         )
         assert len(a) == len(b) == len(dataset.queries)
@@ -302,11 +302,11 @@ class TestRoundTripSearchParity:
         save_index(index, path)
         n = len(dataset.queries)
         with observability_session() as obs:
-            ANNSearcher(index, NaiveScanner()).search_batch(
+            ANNSearcher(index, NaiveScanner()).search(
                 dataset.queries, topk=10, nprobe=2
             )
             loaded = load_index(path)
-            ANNSearcher(loaded, NaiveScanner()).search_batch(
+            ANNSearcher(loaded, NaiveScanner()).search(
                 dataset.queries, topk=10, nprobe=2
             )
         # One metrics session spans the reload: totals keep accumulating.

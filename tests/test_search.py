@@ -76,7 +76,7 @@ class TestANNSearcher:
         assert 0 <= result.pruned_fraction <= 1
 
     def test_batch_search(self, searcher, dataset):
-        results = searcher.search_batch(dataset.queries[:3], topk=5)
+        results = searcher.search(dataset.queries[:3], topk=5)
         assert len(results) == 3
         for r in results:
             assert len(r.ids) == 5

@@ -28,6 +28,7 @@ PUBLIC_MODULES = (
     "repro",
     "repro.core",
     "repro.data",
+    "repro.delta",
     "repro.engine",
     "repro.exceptions",
     "repro.ivf",

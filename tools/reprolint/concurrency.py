@@ -87,6 +87,7 @@ SANCTIONED_PICKLABLE = frozenset(
     {
         "WorkerTask",
         "ScannerSpec",
+        "EncodeTask",
         "for_scanner",
         "Path",
         "PurePath",
@@ -113,6 +114,7 @@ _SANCTIONED_ANNOTATIONS = frozenset(
     {
         "WorkerTask",
         "ScannerSpec",
+        "EncodeTask",
         "Path",
         "str",
         "bytes",
