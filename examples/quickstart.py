@@ -6,6 +6,10 @@ neighbor queries with PQ Fast Scan — verifying that the results are
 *exactly* those of plain PQ Scan while most distance computations are
 pruned.
 
+A second pass shows the Quick ADC 4-bit variant at the same 64-bit
+code budget: ``EngineConfig(scanner="quickadc")`` with a PQ 16x4
+quantizer (two sub-indexes per byte, 16-entry in-register tables).
+
 Run:  python examples/quickstart.py
 """
 
@@ -14,6 +18,8 @@ import time
 import numpy as np
 
 from repro import (
+    Engine,
+    EngineConfig,
     IVFADCIndex,
     NaiveScanner,
     PQFastScanner,
@@ -61,9 +67,32 @@ def main() -> None:
             f"{result.same_neighbors(exact)}"
         )
 
+    print("\n5. The 4-bit variant: Quick ADC at the same 64-bit code budget.")
+    print("   16 sub-quantizers x 4 bits = 64-bit codes, same as the 8x8")
+    print("   above; the 16-entry tables fit a SIMD register directly, so")
+    print("   every lookup is an exact in-register shuffle.")
+    config = EngineConfig(
+        m=16, bits=4, scanner="quickadc",
+        n_partitions=2, nprobe=2, max_iter=10, seed=0,
+    )
+    with Engine.build(dataset.base, config) as engine:
+        t0 = time.perf_counter()
+        results = engine.search(dataset.queries, k=10)
+        elapsed = time.perf_counter() - t0
+        for qi, result in enumerate(results):
+            print(
+                f"   query {qi}: nearest id {result.ids[0]} "
+                f"(d^2={result.distances[0]:.0f}), "
+                f"pruned {result.pruned_fraction:.1%}"
+            )
+        print(f"   batch of {len(results)} queries in {elapsed * 1e3:.0f} ms")
+
     print("\nDone. PQ Fast Scan returned byte-identical neighbors while")
     print("skipping the exact distance computation for the vast majority")
-    print("of database vectors.")
+    print("of database vectors. The quickadc pass answered the same")
+    print("queries from 4-bit codes with direct in-register lookups —")
+    print("fewer simulated cycles per code at a small recall cost")
+    print("(python -m repro.bench.quickadc quantifies the trade).")
 
 
 if __name__ == "__main__":

@@ -68,6 +68,8 @@ from .scan import (
     GatherScanner,
     LibpqScanner,
     NaiveScanner,
+    QuickADCResult,
+    QuickADCScanner,
     ScanResult,
 )
 from .persistence import (
@@ -108,7 +110,7 @@ from .delta import (
 )
 from .simd import WorkerStats, aggregate_worker_stats, combine_worker_stats
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ANNSearcher",
@@ -146,6 +148,8 @@ __all__ = [
     "ProcessBatchExecutor",
     "ProductQuantizer",
     "QuantizationOnlyScanner",
+    "QuickADCResult",
+    "QuickADCScanner",
     "ReproError",
     "SCANNERS",
     "SCANNER_KINDS",

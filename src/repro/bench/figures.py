@@ -82,7 +82,7 @@ def render_report(directory: Path | None = None) -> str:
         "table3_partitions", "fig20_large_scale", "table5_platforms",
         "ablation_assignment", "ablation_grouping", "ablation_qmax",
         "ablation_pq_config", "section58_bandwidth", "section6_compressed",
-        "extension_simd_width",
+        "extension_simd_width", "quickadc",
     ]
     seen = set()
     for name in order:

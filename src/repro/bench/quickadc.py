@@ -1,0 +1,406 @@
+"""Quick ADC vs PQ Fast Scan at an equal code budget (4-bit extension).
+
+The Quick ADC family (arXiv 1704.07355) spends its 64-bit code budget on
+``m=16`` 4-bit sub-quantizers instead of Fast Scan's ``m=8`` 8-bit ones:
+the full distance tables then fit the SIMD registers and every lookup is
+a plain in-register ``pshufb`` — no grouping, no minimum tables, but a
+coarser quantizer (16 centroids per sub-space instead of 256).
+
+This benchmark puts a number on both sides of that trade:
+
+* **recall@k** for the two configurations on the same clustered
+  synthetic workload, searched through the real index stack, and
+* **simulated cycles per code** for the two kernels on the AVX-512 cost
+  model (Quicker ADC, arXiv 1812.09162) — the platform whose 512-bit
+  byte shuffles amortize the 4-bit kernel's table lookups.
+
+It also re-checks the executor equivalence contract for the new
+scanner: sequential, threaded batch, process pool and sharded
+scatter-gather must return byte-identical results.
+
+Run with ``python -m repro.bench.quickadc``; the committed
+``BENCH_quickadc.json`` at the repository root is this module's output
+(``--output``). The process exits non-zero if any executor path
+diverges or if ``quickadc`` fails to beat ``fastpq`` on simulated
+cycles per code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..core.fast_scan import PQFastScanner
+from ..ivf.inverted_index import IVFADCIndex
+from ..pq.product_quantizer import ProductQuantizer
+from ..scan.quickadc import QuickADCScanner
+from ..search import ANNSearcher
+from ..shard import ScatterGatherExecutor, ShardedIndex
+from ..simd import fastscan_kernel, get_platform, quickadc_kernel
+from .reporting import format_table, save_report
+from .throughput import _results_equal
+
+__all__ = ["build_vectors", "measure_config", "run_benchmark", "main"]
+
+#: The two configurations under test: one 64-bit code budget, split two
+#: ways (paper Table 1 of Quick ADC: m x 4 vs m/2 x 8).
+CONFIGS = (
+    {"name": "quickadc", "m": 16, "bits": 4},
+    {"name": "fastpq", "m": 8, "bits": 8},
+)
+
+
+def build_vectors(
+    n: int, d: int, *, n_clusters: int = 16, seed: int = 0
+) -> np.ndarray:
+    """Clustered Gaussian vectors — IVF routing needs real structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(n_clusters, d))
+    assign = rng.integers(0, n_clusters, size=n)
+    return centers[assign] + rng.normal(size=(n, d))
+
+
+def _exact_neighbors(
+    base: np.ndarray, queries: np.ndarray, topk: int
+) -> np.ndarray:
+    """Brute-force L2 ground truth, ``(b, topk)`` ids."""
+    truth = np.empty((len(queries), topk), dtype=np.int64)
+    for i, q in enumerate(queries):
+        d2 = np.einsum("nd,nd->n", base - q, base - q)
+        shortlist = np.argpartition(d2, topk - 1)[:topk]
+        truth[i] = shortlist[np.argsort(d2[shortlist], kind="stable")]
+    return truth
+
+
+def _recall(results: list, truth: np.ndarray) -> float:
+    hits = sum(
+        len(np.intersect1d(res.ids, truth[i], assume_unique=False))
+        for i, res in enumerate(results)
+    )
+    return hits / float(truth.size)
+
+
+def measure_config(
+    config: dict,
+    base: np.ndarray,
+    queries: np.ndarray,
+    truth: np.ndarray,
+    *,
+    platform: str,
+    n_partitions: int,
+    topk: int,
+    nprobe: int,
+    keep: float,
+    kernel_queries: int,
+    seed: int,
+) -> dict:
+    """Recall through the index stack + simulated kernel cycles.
+
+    Both configurations share the coarse quantizer training (same data,
+    same seed, same ``n_partitions``) so their partitions are identical;
+    only the code representation differs.
+    """
+    pq = ProductQuantizer(
+        m=config["m"], bits=config["bits"], seed=seed
+    ).fit(base)
+    index = IVFADCIndex(pq, n_partitions=n_partitions, seed=seed)
+    index.add(base)
+
+    if config["name"] == "quickadc":
+        scanner = QuickADCScanner(pq, keep=keep)
+    else:
+        scanner = PQFastScanner(pq, keep=keep, seed=0)
+
+    searcher = ANNSearcher(index, scanner=scanner)
+    try:
+        results = searcher.search(
+            queries, topk=topk, nprobe=nprobe, executor="sequential"
+        )
+    finally:
+        searcher.close()
+    recall = _recall(results, truth)
+
+    # Kernel cycle measurement: each query scans its best-routed
+    # partition on the simulated CPU. The keep-phase rows are host-side
+    # in both kernels and excluded from the normalization, so
+    # cycles-per-code compares the SIMD sweep + pruning/rerank paths.
+    cpu = get_platform(platform)
+    cycles = instructions = vectors = pruned = 0.0
+    for q in queries[:kernel_queries]:
+        pid = index.route(q, nprobe=1)[0]
+        partition = index.partitions[pid]
+        tables = index.distance_tables_for(q, pid)
+        if config["name"] == "quickadc":
+            run = quickadc_kernel(
+                get_platform(platform),
+                tables,
+                partition.codes,
+                partition.ids,
+                topk=topk,
+                keep=keep,
+            )
+        else:
+            fast = PQFastScanner(pq, keep=keep, seed=0)
+            grouped = fast.prepare(partition)
+            tables_r = fast.assignment.remap_tables(tables)
+            run = fastscan_kernel(
+                get_platform(platform), tables_r, grouped, topk=topk, keep=keep
+            )
+        cycles += run.counters.cycles
+        instructions += run.counters.instructions
+        vectors += run.n_vectors
+        pruned += run.n_pruned
+
+    cycles_per_code = cycles / vectors if vectors else float("inf")
+    return {
+        "scanner": config["name"],
+        "m": config["m"],
+        "bits": config["bits"],
+        "code_bits": config["m"] * config["bits"],
+        "recall": recall,
+        "cycles_per_code": cycles_per_code,
+        "instructions_per_code": instructions / vectors if vectors else 0.0,
+        "pruned_fraction": pruned / vectors if vectors else 0.0,
+        "codes_per_second": cpu.scan_speed(cycles_per_code),
+        "kernel_queries": kernel_queries,
+        "index": index,
+        "scanner_obj": scanner,
+    }
+
+
+def check_executor_identity(
+    index: IVFADCIndex,
+    pq: ProductQuantizer,
+    queries: np.ndarray,
+    *,
+    topk: int,
+    nprobe: int,
+    keep: float,
+    shard_backend: str = "thread",
+) -> dict[str, bool]:
+    """Byte-identity of every execution path against the sequential loop."""
+    searcher = ANNSearcher(index, scanner=QuickADCScanner(pq, keep=keep))
+    sharded_executor = None
+    try:
+        baseline = searcher.search(
+            queries, topk=topk, nprobe=nprobe, executor="sequential"
+        )
+        checks: dict[str, bool] = {}
+        for label, kwargs in (
+            ("batch_w1", {"executor": "batch", "n_workers": 1}),
+            ("batch_w2", {"executor": "batch", "n_workers": 2}),
+            ("process_w2", {"executor": "process", "n_workers": 2}),
+        ):
+            results = searcher.search(
+                queries, topk=topk, nprobe=nprobe, **kwargs
+            )
+            checks[label] = _results_equal(baseline, results)
+
+        n_shards = min(2, index.n_partitions)
+        sharded = ShardedIndex.from_index(index, n_shards=n_shards)
+        sharded_executor = ScatterGatherExecutor(
+            sharded,
+            lambda: QuickADCScanner(pq, keep=keep),
+            n_workers=2,
+            backend=shard_backend,
+        )
+        response = sharded_executor.run(queries, topk=topk, nprobe=nprobe)
+        checks[f"sharded_{n_shards}shards_w2"] = (
+            not response.partial
+            and _results_equal(baseline, response.results)
+        )
+        return checks
+    finally:
+        if sharded_executor is not None:
+            sharded_executor.close()
+        searcher.close()
+
+
+def run_benchmark(
+    *,
+    n_base: int = 8192,
+    n_queries: int = 8,
+    d: int = 32,
+    n_partitions: int = 8,
+    topk: int = 100,
+    nprobe: int = 4,
+    keep: float = 0.005,
+    kernel_queries: int = 4,
+    platform: str = "avx512",
+    shard_backend: str = "thread",
+    seed: int = 7,
+) -> dict:
+    """Build both configurations, measure, and return the report payload."""
+    base = build_vectors(n_base, d, seed=seed)
+    queries = build_vectors(max(n_queries, 4), d, seed=seed + 1)[:n_queries]
+    topk = min(topk, n_base)
+    truth = _exact_neighbors(base, queries, topk)
+    kernel_queries = max(1, min(kernel_queries, n_queries))
+
+    measured = {}
+    for config in CONFIGS:
+        measured[config["name"]] = measure_config(
+            config,
+            base,
+            queries,
+            truth,
+            platform=platform,
+            n_partitions=n_partitions,
+            topk=topk,
+            nprobe=nprobe,
+            keep=keep,
+            kernel_queries=kernel_queries,
+            seed=seed,
+        )
+
+    quick = measured["quickadc"]
+    fast = measured["fastpq"]
+    identity = check_executor_identity(
+        quick["index"],
+        quick["scanner_obj"].pq,
+        queries,
+        topk=topk,
+        nprobe=nprobe,
+        keep=keep,
+        shard_backend=shard_backend,
+    )
+
+    cpu = get_platform(platform)
+    configs_payload = {
+        name: {k: v for k, v in stats.items() if k not in ("index", "scanner_obj")}
+        for name, stats in measured.items()
+    }
+    return {
+        "dataset": {
+            "n_base": n_base,
+            "n_queries": n_queries,
+            "d": d,
+            "n_partitions": n_partitions,
+            "seed": seed,
+        },
+        "platform": cpu.name,
+        "platform_description": cpu.description,
+        "topk": topk,
+        "nprobe": nprobe,
+        "keep": keep,
+        "configs": configs_payload,
+        "cycle_advantage": (
+            fast["cycles_per_code"] / quick["cycles_per_code"]
+            if quick["cycles_per_code"] > 0
+            else float("inf")
+        ),
+        "quickadc_wins_cycles": (
+            quick["cycles_per_code"] < fast["cycles_per_code"]
+        ),
+        "identity": identity,
+        "all_identical": all(identity.values()),
+    }
+
+
+def render_report(data: dict) -> str:
+    headers = (
+        "scanner", "budget", f"recall@{data['topk']}", "cycles/code",
+        "instr/code", "pruned", "Mcodes/s",
+    )
+    rows = []
+    for name in ("quickadc", "fastpq"):
+        stats = data["configs"][name]
+        rows.append(
+            (
+                name,
+                f"{stats['m']}x{stats['bits']}b",
+                stats["recall"],
+                stats["cycles_per_code"],
+                stats["instructions_per_code"],
+                f"{stats['pruned_fraction']:.1%}",
+                stats["codes_per_second"] / 1e6,
+            )
+        )
+    title = (
+        f"Quick ADC vs PQ Fast Scan — equal 64-bit code budget on "
+        f"{data['platform']}"
+    )
+    table = format_table(headers, rows, title=title)
+    identity_line = ", ".join(
+        f"{label}={'ok' if ok else 'DIVERGED'}"
+        for label, ok in data["identity"].items()
+    )
+    return (
+        f"{table}\n"
+        f"cycle advantage (fastpq/quickadc): {data['cycle_advantage']:.2f}x\n"
+        f"executor identity: {identity_line}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Quick ADC vs PQ Fast Scan at an equal code budget"
+    )
+    parser.add_argument("--n-base", type=int, default=8192)
+    parser.add_argument("--n-queries", type=int, default=8)
+    parser.add_argument("--d", type=int, default=32)
+    parser.add_argument("--n-partitions", type=int, default=8)
+    parser.add_argument("--topk", type=int, default=100)
+    parser.add_argument("--nprobe", type=int, default=4)
+    parser.add_argument("--keep", type=float, default=0.005)
+    parser.add_argument(
+        "--kernel-queries", type=int, default=4,
+        help="queries simulated on the cycle-level kernels",
+    )
+    parser.add_argument(
+        "--platform", default="avx512",
+        help="cost model for the kernel comparison (default: avx512)",
+    )
+    parser.add_argument(
+        "--shard-backend", default="thread", choices=("thread", "process"),
+        help="scatter-gather backend for the identity check",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_quickadc.json"),
+        help="where to write the JSON payload",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="report only; do not exit non-zero on a failed gate",
+    )
+    args = parser.parse_args(argv)
+
+    data = run_benchmark(
+        n_base=args.n_base,
+        n_queries=args.n_queries,
+        d=args.d,
+        n_partitions=args.n_partitions,
+        topk=args.topk,
+        nprobe=args.nprobe,
+        keep=args.keep,
+        kernel_queries=args.kernel_queries,
+        platform=args.platform,
+        shard_backend=args.shard_backend,
+        seed=args.seed,
+    )
+    report = render_report(data)
+    save_report("quickadc", report, data)
+    args.output.write_text(json.dumps(data, indent=2))
+    print(f"[payload written to {args.output}]")
+
+    if args.no_gate:
+        return 0
+    failures = []
+    if not data["all_identical"]:
+        failures.append("executor paths diverged")
+    if not data["quickadc_wins_cycles"]:
+        failures.append(
+            "quickadc did not beat fastpq on simulated cycles per code"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

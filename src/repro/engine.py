@@ -68,14 +68,14 @@ from .persistence import (
     save_sharded_index,
 )
 from .pq.product_quantizer import ProductQuantizer
-from .scan import SCANNERS, PartitionScanner
+from .scan import SCANNERS, PartitionScanner, QuickADCScanner
 from .search import GATHER_TIMEOUT_S, ANNSearcher, SearchResult
 from .shard import ScatterGatherExecutor, ShardedIndex, ShardedResponse
 
 __all__ = ["Engine", "EngineConfig", "SCANNER_KINDS"]
 
 #: Scanner kinds accepted by :attr:`EngineConfig.scanner`.
-SCANNER_KINDS = ("naive", "libpq", "avx", "gather", "fastpq", "qonly")
+SCANNER_KINDS = ("naive", "libpq", "avx", "gather", "fastpq", "qonly", "quickadc")
 
 
 @dataclass(frozen=True)
@@ -109,7 +109,10 @@ class EngineConfig:
             probing only unmutated partitions stay byte-identical to a
             read-only engine on the same data.
         scanner: Step-3 scanner kind, one of :data:`SCANNER_KINDS`.
-        keep: PQ Fast Scan's keep fraction (ignored by baselines).
+            ``"quickadc"`` (4-bit in-register lookups) requires
+            ``bits=4``.
+        keep: keep/sample fraction of PQ Fast Scan and Quick ADC
+            (ignored by baselines).
         nprobe: default partitions probed per query.
         n_workers: workers (per shard, when sharded) — threads for
             ``executor="thread"``, processes for ``executor="process"``;
@@ -175,6 +178,11 @@ class EngineConfig:
             raise ConfigurationError(
                 f"unknown scanner {self.scanner!r}; choose from {SCANNER_KINDS}"
             )
+        if self.scanner == "quickadc" and self.bits != 4:
+            raise ConfigurationError(
+                "scanner='quickadc' requires bits=4 (nibble codes whose "
+                f"16-entry tables fit one SIMD register), got bits={self.bits}"
+            )
         if not 0.0 <= self.keep <= 1.0:
             raise ConfigurationError(f"keep must be in [0, 1], got {self.keep}")
         if not 1 <= self.nprobe <= self.n_partitions:
@@ -232,6 +240,8 @@ class EngineConfig:
             return lambda: PQFastScanner(pq, keep=self.keep)
         if self.scanner == "qonly":
             return lambda: QuantizationOnlyScanner(pq, keep=self.keep)
+        if self.scanner == "quickadc":
+            return lambda: QuickADCScanner(pq, keep=self.keep)
         cls = SCANNERS[self.scanner]
         return lambda: cls()
 

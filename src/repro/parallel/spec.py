@@ -22,6 +22,7 @@ from ..exceptions import ConfigurationError
 from ..pq.product_quantizer import ProductQuantizer
 from ..scan import SCANNERS
 from ..scan.base import PartitionScanner
+from ..scan.quickadc import QuickADCScanner
 
 __all__ = ["ScannerSpec"]
 
@@ -32,14 +33,15 @@ class ScannerSpec:
 
     Attributes:
         kind: scanner name — a :data:`~repro.scan.SCANNERS` key,
-            ``"fastpq"`` or ``"quantization-only"``.
-        keep: keep fraction (fastpq / quantization-only).
+            ``"fastpq"``, ``"quickadc"`` or ``"quantization-only"``.
+        keep: keep/sample fraction (fastpq / quickadc /
+            quantization-only).
         group_components: explicit grouping components (fastpq).
         assignment: assignment mode (fastpq).
         qmax_bound: qmax bound mode (fastpq).
         seed: assignment clustering seed (fastpq).
         chunk: scan chunk size (quantization-only).
-        prepared_cache_size: prepared-layout LRU cap (fastpq).
+        prepared_cache_size: prepared-layout LRU cap (fastpq / quickadc).
     """
 
     kind: str
@@ -75,12 +77,18 @@ class ScannerSpec:
                 keep=scanner.keep,
                 chunk=scanner.chunk,
             )
+        if isinstance(scanner, QuickADCScanner):
+            return cls(
+                kind="quickadc",
+                keep=scanner.keep,
+                prepared_cache_size=scanner.prepared_cache_size,
+            )
         if type(scanner) is SCANNERS.get(scanner.name):
             return cls(kind=scanner.name)
         raise ConfigurationError(
             f"scanner {type(scanner).__name__!r} cannot be reconstructed in "
             "worker processes; the process backend supports the built-in "
-            f"scanners ({', '.join(sorted(SCANNERS))}, fastpq, "
+            f"scanners ({', '.join(sorted(SCANNERS))}, fastpq, quickadc, "
             "quantization-only)"
         )
 
@@ -98,6 +106,12 @@ class ScannerSpec:
             )
         if self.kind == "quantization-only":
             return QuantizationOnlyScanner(pq, keep=self.keep, chunk=self.chunk)
+        if self.kind == "quickadc":
+            return QuickADCScanner(
+                pq,
+                keep=self.keep,
+                prepared_cache_size=self.prepared_cache_size,
+            )
         scanner_cls = SCANNERS.get(self.kind)
         if scanner_cls is None:
             raise ConfigurationError(f"unknown scanner kind {self.kind!r}")

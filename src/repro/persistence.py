@@ -484,6 +484,17 @@ def _validate_partition(
             f"{path}: codes_{pid} has {codes.shape[1]} components per code, "
             f"expected m={pq.n_subquantizers}"
         )
+    if pq.bits < 8:
+        # Sub-byte codes occupy a full byte each on disk, so the dtype
+        # check above cannot catch an out-of-range sub-index (a 4-bit
+        # artifact with a byte >= 16 would silently read past its
+        # 16-entry distance table at scan time).
+        top = int(codes.max(initial=0))
+        if top >= pq.ksub:
+            raise DatasetError(
+                f"{path}: codes_{pid} has sub-index {top} out of range for "
+                f"{pq.bits}-bit codes (must be < {pq.ksub})"
+            )
     if ids.ndim != 1:
         raise DatasetError(
             f"{path}: ids_{pid} must be 1-D, got shape {ids.shape}"

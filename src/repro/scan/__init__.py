@@ -5,16 +5,24 @@ from .base import InstructionProfile, PartitionScanner, ScanResult
 from .gather import GatherScanner
 from .layout import (
     extract_component,
+    nibble_block_layout,
+    nibble_lower_bounds,
     pack_codes_words,
+    pack_nibbles,
     transpose_codes,
     unpack_codes_words,
+    unpack_nibbles,
     untranspose_codes,
 )
 from .libpq import LibpqScanner
 from .naive import NaiveScanner
+from .quickadc import QuickADCResult, QuickADCScanner
 from .topk import TopKAccumulator, select_topk
 
 #: All baseline scanner classes keyed by their paper name.
+#: (QuickADCScanner, like PQFastScanner, is constructor-parameterized on
+#: a fitted ProductQuantizer and therefore registered via EngineConfig,
+#: not here.)
 SCANNERS = {
     cls.name: cls
     for cls in (NaiveScanner, LibpqScanner, AVXScanner, GatherScanner)
@@ -27,13 +35,19 @@ __all__ = [
     "LibpqScanner",
     "NaiveScanner",
     "PartitionScanner",
+    "QuickADCResult",
+    "QuickADCScanner",
     "SCANNERS",
     "ScanResult",
     "TopKAccumulator",
     "extract_component",
+    "nibble_block_layout",
+    "nibble_lower_bounds",
     "pack_codes_words",
+    "pack_nibbles",
     "select_topk",
     "transpose_codes",
     "unpack_codes_words",
+    "unpack_nibbles",
     "untranspose_codes",
 ]

@@ -11,6 +11,11 @@ mainly in how pqcodes are laid out and loaded:
 * **transposed layout** — the j-th components of 8 consecutive vectors
   stored contiguously so one SIMD load fetches ``a[j] .. h[j]`` (the AVX
   and gather implementations, Figure 5).
+* **nibble-packed layout** — the Quick ADC successor layout (arXiv
+  1704.07355, Figure 2) for 4-bit sub-quantizers: two 4-bit centroid
+  indexes share one byte, and the j-th nibbles of 16 consecutive vectors
+  form one 128-bit block, so a single SIMD load feeds an in-register
+  ``pshufb`` lookup with no grouping or minimum tables.
 
 These layouts are implemented for real here — packing, shifting and
 transposition are performed with genuine integer manipulation so tests
@@ -29,6 +34,10 @@ __all__ = [
     "extract_component",
     "transpose_codes",
     "untranspose_codes",
+    "pack_nibbles",
+    "unpack_nibbles",
+    "nibble_block_layout",
+    "nibble_lower_bounds",
 ]
 
 
@@ -96,3 +105,116 @@ def untranspose_codes(blocks: np.ndarray, n: int) -> np.ndarray:
     n_blocks, m, lanes = blocks.shape
     codes = blocks.transpose(0, 2, 1).reshape(n_blocks * lanes, m)
     return codes[:n].copy()
+
+
+# -- Quick ADC nibble-packed layout (4-bit sub-quantizers) ---------------------
+
+#: Vectors per 128-bit block of the nibble layout (one SIMD register).
+NIBBLE_BLOCK = 16
+
+
+def _checked_nibbles(codes: np.ndarray) -> np.ndarray:
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ConfigurationError("nibble packing expects (n, m) codes")
+    if codes.dtype != np.uint8:
+        raise ConfigurationError(
+            f"4-bit codes must be uint8 sub-indexes, got dtype {codes.dtype}"
+        )
+    if codes.size and int(codes.max()) > 0x0F:
+        raise ConfigurationError(
+            "4-bit codes must have sub-indexes in [0, 16), found "
+            f"{int(codes.max())}"
+        )
+    return codes
+
+
+def pack_nibbles(codes: np.ndarray) -> np.ndarray:
+    """Pack ``(n, m)`` 4-bit sub-indexes into ``(n, ceil(m/2))`` bytes.
+
+    Component ``2s`` occupies the low nibble of byte ``s`` and component
+    ``2s+1`` its high nibble — the extraction order of the SIMD kernel
+    (``pand`` for even components, ``psrlw``+``pand`` for odd ones).
+    With odd ``m`` the final high nibble is zero padding.
+    """
+    codes = _checked_nibbles(codes)
+    n, m = codes.shape
+    n_slices = (m + 1) // 2
+    padded = np.zeros((n, n_slices * 2), dtype=np.uint8)
+    padded[:, :m] = codes
+    low = padded[:, 0::2]
+    high = padded[:, 1::2]
+    # Both nibbles are < 16, so the OR of low | high<<4 stays a byte.
+    return (low | (high << 4)).astype(np.uint8)  # reprolint: narrowing=exact
+
+
+def unpack_nibbles(packed: np.ndarray, m: int) -> np.ndarray:
+    """Inverse of :func:`pack_nibbles`: ``(n, ceil(m/2))`` bytes → ``(n, m)``."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ConfigurationError("unpack_nibbles expects (n, slices) bytes")
+    if m < 1 or (m + 1) // 2 != packed.shape[1]:
+        raise ConfigurationError(
+            f"m={m} does not match {packed.shape[1]} packed byte slices"
+        )
+    out = np.empty((packed.shape[0], packed.shape[1] * 2), dtype=np.uint8)
+    # Masking/shifting nibbles out of bytes cannot leave the uint8 range.
+    out[:, 0::2] = packed & 0x0F
+    out[:, 1::2] = packed >> 4
+    return out[:, :m].copy()
+
+
+def nibble_block_layout(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    """Quick ADC Figure-2 block layout of ``(n, m)`` 4-bit codes.
+
+    Returns ``(blocks, n)`` where ``blocks`` has shape
+    ``(n_blocks, ceil(m/2), 16)`` uint8: slice ``s`` of block ``b`` holds
+    packed byte ``s`` (components ``2s`` and ``2s+1``) of vectors
+    ``b*16 .. b*16+15``, so one 128-bit load brings one nibble pair of 16
+    vectors. The tail block is padded by repeating the last vector;
+    padding lanes must be masked out by the consumer.
+    """
+    codes = _checked_nibbles(codes)
+    n, m = codes.shape
+    packed = pack_nibbles(codes)
+    n_slices = packed.shape[1]
+    if n == 0:
+        return np.empty((0, n_slices, NIBBLE_BLOCK), dtype=np.uint8), 0
+    n_blocks = (n + NIBBLE_BLOCK - 1) // NIBBLE_BLOCK
+    padded = np.empty((n_blocks * NIBBLE_BLOCK, n_slices), dtype=np.uint8)
+    padded[:n] = packed
+    padded[n:] = packed[-1]
+    blocks = padded.reshape(n_blocks, NIBBLE_BLOCK, n_slices).transpose(0, 2, 1)
+    return np.ascontiguousarray(blocks), n
+
+
+def nibble_lower_bounds(packed: np.ndarray, q_tables: np.ndarray) -> np.ndarray:
+    """Saturating int8 lower bounds from a nibble-packed code array.
+
+    ``packed`` is the ``(n, ceil(m/2))`` output of :func:`pack_nibbles`;
+    ``q_tables`` the ``(m, 16)`` floor-quantized int8 distance tables
+    (entries 0..127). The returned int16 bounds equal a left-fold of
+    saturating ``paddsb`` adds over the per-component lookups: all
+    entries are non-negative, so the fold equals ``min(sum, 127)`` (see
+    :mod:`repro.core.quantization`) — which is what is computed here,
+    vectorized.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    q_tables = np.asarray(q_tables)
+    if packed.ndim != 2 or q_tables.ndim != 2 or q_tables.shape[1] != 16:
+        raise ConfigurationError(
+            "nibble_lower_bounds expects (n, slices) packed codes and "
+            "(m, 16) quantized tables"
+        )
+    m = q_tables.shape[0]
+    if (m + 1) // 2 != packed.shape[1]:
+        raise ConfigurationError(
+            f"m={m} tables do not match {packed.shape[1]} packed byte slices"
+        )
+    total = np.zeros(packed.shape[0], dtype=np.int16)
+    for j in range(m):
+        byte, half = divmod(j, 2)
+        column = packed[:, byte]
+        idx = (column & 0x0F) if half == 0 else (column >> 4)
+        total += q_tables[j].astype(np.int16)[idx]
+    return np.minimum(total, 127)

@@ -1,0 +1,384 @@
+"""Quick ADC scan: exact in-register lookups over 4-bit sub-quantizers.
+
+Quick ADC (arXiv 1704.07355) is the successor move to the paper's PQ
+Fast Scan: instead of squeezing 256-entry 8-bit tables into registers
+via vector grouping and minimum tables, it halves the sub-quantizer
+width. A PQ m×4 code has 16-entry distance tables, and a 16-entry int8
+table *is* one 128-bit register — so every lookup is an exact
+``pshufb``, with no grouping, no minimum tables and no per-group
+bookkeeping. Quicker ADC (arXiv 1812.09162) and the ARM 4-bit PQ paper
+(arXiv 2203.02505) extend the same layout to AVX-512 (``vpshufb`` over
+512-bit lanes, 4 blocks per instruction) and NEON (``tbl``); the
+:mod:`repro.simd` cost models for both live in
+:mod:`repro.simd.arch`.
+
+Scan pipeline implemented by :class:`QuickADCScanner` (mirrored
+instruction-for-instruction by
+:func:`repro.simd.kernels.quickadc_kernel`):
+
+1. **sample phase** — the first ``keep`` fraction of the database
+   (smallest ids, exactly the keep-phase rule of
+   :class:`~repro.core.fast_scan.PQFastScanner`) is scanned with exact
+   ADC; the temporary topk-th distance becomes the quantization bound
+   ``qmax``.
+2. **quantized pass** — the float tables floor-quantize to ``(m, 16)``
+   int8 (:class:`~repro.core.quantization.DistanceQuantizer`); every
+   vector's lower bound is the saturating ``paddsb`` fold of its ``m``
+   in-register lookups.
+3. **candidate selection** — rows whose bound does not exceed the
+   *smaller* of the ceil-quantized sample threshold and the topk-th
+   smallest bound are kept as candidates.
+4. **exact rerank** — candidates (and only candidates) get exact float
+   ADC distances; the topk accumulator merges them with the sample
+   phase.
+
+Unlike PQ Fast Scan, Quick ADC is **approximate at the margin**: two
+vectors whose true distances straddle the final topk boundary can fall
+into the same quantization bin, in which case selection by the bound
+may keep the wrong one. The paper accepts this (4-bit codes already
+trade recall for speed); the reports quantify it as recall against the
+exhaustive scan. What *is* guaranteed, and what the execution layers
+assert, is determinism: every executor path returns byte-identical
+results to this scanner's own sequential scan.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.quantization import SATURATION, DistanceQuantizer
+from ..core.sanitize import (
+    check_lower_bound_invariant,
+    check_nibble_invariant,
+    sanitizer_enabled,
+)
+from ..exceptions import ConfigurationError, DimensionMismatchError, NotFittedError
+from ..ivf.partition import Partition
+from ..obs import get_observability
+from ..pq.adc import adc_distances
+from ..pq.product_quantizer import ProductQuantizer
+from .base import InstructionProfile, PartitionScanner, ScanResult
+from .layout import nibble_lower_bounds, pack_nibbles
+from .topk import TopKAccumulator
+
+__all__ = ["QuickADCScanner", "QuickADCResult"]
+
+
+@dataclass(frozen=True)
+class QuickADCResult(ScanResult):
+    """ScanResult enriched with Quick ADC statistics.
+
+    Attributes (in addition to :class:`ScanResult`):
+        n_sample: vectors scanned with exact ADC in the sample phase.
+        n_candidates: vectors reranked with exact ADC after the
+            quantized pass.
+        n_saturated: vectors whose quantized bound saturated at 127
+            (their true distance is provably >= qmax).
+        qmin: lower quantization bound used for this query.
+        qmax: upper quantization bound (temporary-NN distance).
+    """
+
+    n_sample: int = 0
+    n_candidates: int = 0
+    n_saturated: int = 0
+    qmin: float = 0.0
+    qmax: float = 0.0
+
+
+class QuickADCScanner(PartitionScanner):
+    """Scanner implementing Quick ADC over PQ m×4 nibble codes.
+
+    Args:
+        pq: the fitted product quantizer of the database (must be m×4:
+            nibble codes; Quick ADC targets 16-entry tables).
+        keep: fraction of the partition scanned with exact ADC to bound
+            ``qmax`` (same role and same row-selection rule as PQ Fast
+            Scan's keep phase, default 0.5%).
+        prepared_cache_size: maximum nibble-packed layouts held by the
+            :meth:`prepared` cache (LRU eviction beyond that;
+            ``None`` = unbounded).
+    """
+
+    name = "quickadc"
+
+    def __init__(
+        self,
+        pq: ProductQuantizer,
+        /,
+        *,
+        keep: float = 0.005,
+        prepared_cache_size: int | None = 256,
+    ) -> None:
+        if not pq.is_fitted:
+            raise NotFittedError("QuickADCScanner requires a fitted ProductQuantizer")
+        if pq.bits != 4:
+            raise ConfigurationError(
+                "Quick ADC requires 4-bit sub-quantizers (nibble codes, "
+                f"16-entry register tables); got bits={pq.bits}"
+            )
+        if not 0.0 <= keep <= 1.0:
+            raise ConfigurationError(f"keep must be in [0, 1], got {keep}")
+        if prepared_cache_size is not None and prepared_cache_size < 1:
+            raise ConfigurationError(
+                "prepared_cache_size must be >= 1 (or None for unbounded), "
+                f"got {prepared_cache_size}"
+            )
+        self.pq = pq
+        self.keep = keep
+        self.prepared_cache_size = prepared_cache_size
+        self._prepared: weakref.WeakKeyDictionary[Partition, np.ndarray] = (
+            weakref.WeakKeyDictionary()
+        )
+        # LRU bookkeeping mirrors PQFastScanner: recency-ordered weak
+        # references keyed by the partition's object id, all mutations
+        # under one lock because scanners are shared across batch
+        # executor worker threads.
+        self._lru: OrderedDict[int, weakref.ref[Partition]] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        #: Times :meth:`prepared` served a cached packed layout.
+        self.prepared_hits: int = 0
+        #: Times :meth:`prepared` had to pack a layout.
+        self.prepared_misses: int = 0
+        #: Live layouts evicted because the cache exceeded its cap.
+        self.prepared_evictions: int = 0
+
+    # -- database-side preparation ---------------------------------------------
+
+    def prepare(self, partition: Partition) -> np.ndarray:
+        """Nibble-pack the partition's codes: ``(n, ceil(m/2))`` bytes.
+
+        This is the build-time step of Quick ADC; the packed array is
+        query-independent and reused for every scan of the partition.
+        """
+        codes = np.ascontiguousarray(partition.codes, dtype=np.uint8)
+        return pack_nibbles(codes)
+
+    def prepared(self, partition: Partition) -> np.ndarray:
+        """Cached :meth:`prepare`, keyed by partition object identity.
+
+        Weak references release packed layouts together with their
+        partitions; beyond ``prepared_cache_size`` the least recently
+        used layout is evicted (:attr:`prepared_evictions`, also
+        exported via
+        :meth:`repro.obs.Observability.record_cache_eviction`).
+        """
+        with self._cache_lock:
+            cached = self._prepared.get(partition)
+            if cached is not None:
+                self.prepared_hits += 1
+                self._touch(partition)
+        if cached is not None:
+            get_observability().record_cache_access(True)
+            return cached
+        # Build outside the lock: packing is pure, and packing a large
+        # partition is exactly the work concurrent callers should not
+        # serialize on.
+        built = self.prepare(partition)
+        with self._cache_lock:
+            cached = self._prepared.get(partition)
+            if cached is None:
+                self.prepared_misses += 1
+                cached = built
+                self._prepared[partition] = cached
+                self._touch(partition)
+                self._evict_over_cap()
+                hit = False
+            else:
+                # A concurrent caller inserted first; adopt its layout.
+                self.prepared_hits += 1
+                self._touch(partition)
+                hit = True
+        get_observability().record_cache_access(hit)
+        return cached
+
+    def _touch(self, partition: Partition) -> None:
+        """Mark ``partition`` most recently used (insert or refresh).
+
+        Caller must hold ``_cache_lock``.
+        """
+        key = id(partition)
+        self._lru.pop(key, None)  # reprolint: disable=R6 (caller holds _cache_lock)
+        self._lru[key] = weakref.ref(partition)  # reprolint: disable=R6 (caller holds _cache_lock)
+
+    def _evict_over_cap(self) -> None:
+        """Drop least-recently-used layouts until the cache fits its cap.
+
+        Caller must hold ``_cache_lock``.
+        """
+        cap = self.prepared_cache_size
+        if cap is None:
+            return
+        while len(self._prepared) > cap and self._lru:
+            _, ref = self._lru.popitem(last=False)  # reprolint: disable=R6 (caller holds _cache_lock)
+            partition = ref()
+            if partition is None:
+                continue
+            if self._prepared.pop(partition, None) is not None:  # reprolint: disable=R6 (caller holds _cache_lock)
+                self.prepared_evictions += 1  # reprolint: disable=R6 (caller holds _cache_lock)
+                get_observability().record_cache_eviction()
+
+    def warm(self, partitions: Iterable[Partition]) -> int:
+        """Pre-pack the nibble layouts from the coordinating thread.
+
+        Called by the batch executor before fanning partition jobs
+        across workers, so the :meth:`prepared` cache is only *read*
+        concurrently. Returns the number of layouts newly built.
+        """
+        before = self.prepared_misses
+        for partition in partitions:
+            self.prepared(partition)
+        return self.prepared_misses - before
+
+    # -- scanning ---------------------------------------------------------------
+
+    def scan(
+        self, tables: np.ndarray, partition: Partition, topk: int = 1
+    ) -> QuickADCResult:
+        """Full Quick ADC scan of ``partition`` for one query."""
+        tables = np.asarray(tables, dtype=np.float64)
+        self._check_tables(tables)
+        return self._scan_packed(tables, partition, self.prepared(partition), topk)
+
+    def scan_batch(
+        self, tables: np.ndarray, partition: Partition, topk: int = 1
+    ) -> list[QuickADCResult]:
+        """Scan one partition for a whole query batch at once.
+
+        ``tables`` is the ``(b, m, 16)`` stack of per-query distance
+        tables. The nibble-packed layout is prepared once for the whole
+        batch; each query then runs the identical per-query pipeline,
+        so result ``i`` is bit-identical to ``scan(tables[i], ...)``.
+        """
+        tables = np.asarray(tables, dtype=np.float64)
+        if tables.ndim != 3:
+            raise DimensionMismatchError(3, tables.ndim, what="array rank")
+        packed = self.prepared(partition)
+        results = []
+        for row in tables:
+            self._check_tables(row)
+            results.append(self._scan_packed(row, partition, packed, topk))
+        return results
+
+    def _check_tables(self, tables: np.ndarray) -> None:
+        if tables.ndim != 2 or tables.shape != (self.pq.m, self.pq.ksub):
+            raise DimensionMismatchError(
+                self.pq.m * self.pq.ksub, int(np.asarray(tables).size), what="table"
+            )
+
+    def _scan_packed(
+        self,
+        tables: np.ndarray,
+        partition: Partition,
+        packed: np.ndarray,
+        topk: int,
+    ) -> QuickADCResult:
+        n = len(partition)
+        if n == 0:
+            return QuickADCResult(
+                ids=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float64),
+                n_scanned=0,
+            )
+        ids = partition.ids
+        codes = partition.codes
+        m = self.pq.m
+        acc = TopKAccumulator(topk)
+        sanitize = sanitizer_enabled()
+        context = f"quickadc partition {partition.partition_id}"
+        if sanitize:
+            # Validate the nibble range before the exact sample phase
+            # indexes any table with these codes: the cached packed
+            # layout may predate in-place corruption of the code array.
+            check_nibble_invariant(codes, context=context)
+
+        # Sample phase: exact ADC over the first keep% of the *database*
+        # (smallest ids) — the same representative-sample rule as the
+        # fast-scan keep phase; needs at least topk rows to bound qmax.
+        n_sample = min(n, max(int(np.ceil(self.keep * n)), topk))
+        sample_rows = np.sort(np.argsort(ids, kind="stable")[:n_sample])
+        sample_dists = adc_distances(tables, codes[sample_rows])
+        acc.offer_many(sample_dists, ids[sample_rows])
+        if n_sample >= n:
+            # The sample was the whole partition: the scan is already
+            # exact and complete, no quantized pass needed.
+            top_ids, top_dists = acc.result()
+            obs = get_observability()
+            if obs.enabled:
+                obs.record_scan(self.name, n_scanned=n, n_pruned=0)
+            return QuickADCResult(
+                ids=top_ids,
+                distances=top_dists,
+                n_scanned=n,
+                n_sample=n_sample,
+            )
+
+        # n_sample >= topk and n_sample < n here, so the accumulator is
+        # full and its threshold (temporary-NN topk-th distance) finite.
+        quantizer = DistanceQuantizer.from_tables(tables, acc.threshold)
+        q_tables = quantizer.quantize_table(tables)
+        if sanitize:
+            check_nibble_invariant(codes, q_tables, context=context)
+
+        # Quantized pass: every vector's lower bound from in-register
+        # lookups. nibble_lower_bounds is the vectorized equivalent of
+        # the kernel's pshufb/paddsb fold (all entries non-negative, so
+        # the saturating fold equals min(sum, 127)).
+        bounds = nibble_lower_bounds(packed, q_tables)
+        if sanitize:
+            check_lower_bound_invariant(
+                bounds, adc_distances(tables, codes), quantizer, m, context=context
+            )
+
+        # Candidate selection: the sample threshold prunes rows provably
+        # worse than the temporary NN set; the topk-th smallest bound
+        # additionally caps the rerank at the rows that could still
+        # matter. This second cut is where Quick ADC is approximate:
+        # ties in quantized space are resolved by the bound, not the
+        # exact distance.
+        sample_cut = quantizer.quantize_threshold(acc.threshold, components=m)
+        kth_bound = int(np.partition(bounds, topk - 1)[topk - 1])
+        cutoff = min(sample_cut, kth_bound)
+        sample_mask = np.zeros(n, dtype=bool)
+        sample_mask[sample_rows] = True
+        candidates = np.flatnonzero((bounds <= cutoff) & ~sample_mask)
+
+        # Exact rerank of candidates only (sample rows already offered).
+        if len(candidates):
+            dists = adc_distances(tables, codes[candidates])
+            acc.offer_many(dists, ids[candidates])
+
+        top_ids, top_dists = acc.result()
+        n_pruned = n - n_sample - len(candidates)
+        obs = get_observability()
+        if obs.enabled:
+            obs.record_scan(self.name, n_scanned=n, n_pruned=n_pruned)
+        return QuickADCResult(
+            ids=top_ids,
+            distances=top_dists,
+            n_scanned=n,
+            n_pruned=n_pruned,
+            n_sample=n_sample,
+            n_candidates=len(candidates),
+            n_saturated=int(np.count_nonzero(bounds >= SATURATION)),
+            qmin=quantizer.qmin,
+            qmax=quantizer.qmax,
+        )
+
+    def profile(self) -> InstructionProfile:
+        # Per vector at m=16: 8 vloads per 16-vector block (0.5), 16
+        # pshufb + 15 paddsb + extraction/compare ops at ~3.5/vector;
+        # exact-path table loads only for the ~topk candidates.
+        return InstructionProfile(
+            name=self.name,
+            mem1_loads=0.5,
+            mem2_loads=0.2,
+            scalar_adds=0.2,
+            simd_adds=1.0,
+            overhead_instructions=2.5,
+        )

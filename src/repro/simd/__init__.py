@@ -37,6 +37,7 @@ from .kernels import (
     gather_kernel,
     libpq_kernel,
     naive_kernel,
+    quickadc_kernel,
     simdscan_kernel,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "get_platform",
     "libpq_kernel",
     "naive_kernel",
+    "quickadc_kernel",
     "simdscan_kernel",
     "simulate_pq_scan",
 ]

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 
 from ..exceptions import ConfigurationError
 from .cache import NEHALEM_HASWELL_CACHE, CacheModel
-from .costs import InstructionCost, cost_table
+from .costs import (
+    AVX512_BYTE_OVERRIDES,
+    NEON_TBL_OVERRIDES,
+    InstructionCost,
+    cost_table,
+)
 
 __all__ = ["CPUModel", "PLATFORMS", "get_platform"]
 
@@ -176,8 +181,54 @@ def _cortex_a72() -> CPUModel:
     )
 
 
+def _skylake_avx512() -> CPUModel:
+    """AVX-512 extension platform (Quicker ADC, arXiv 1812.09162): a
+    512-bit ``vpshufb`` looks up four 128-bit blocks per instruction, so
+    the byte-SIMD overrides amortize each op's throughput across four
+    blocks. This is the platform the Quick ADC vs Fast Scan cycle
+    comparison (``repro.bench.quickadc``) is gated on."""
+    return CPUModel(
+        name="skylake-avx512",
+        description="extension — Xeon Skylake-SP, AVX-512BW, 2017",
+        clock_ghz=3.0,
+        costs=cost_table(AVX512_BYTE_OVERRIDES),
+        cache=NEHALEM_HASWELL_CACHE(
+            l1_latency=4.0, l2_latency=14.0, l3_latency=40.0,
+            l3_size=24 * 1024 * 1024,
+        ),
+        has_gather=True,
+        has_avx=True,
+        year=2017,
+        memory_bandwidth_gbs=115.2,  # 6ch DDR4-2400
+        n_cores=18,
+    )
+
+
+def _graviton2() -> CPUModel:
+    """ARM server extension platform (Neoverse-N1, per the ARM 4-bit PQ
+    paper, arXiv 2203.02505): NEON ``TBL`` serves as the register
+    lookup; wider and faster than the Cortex-A72 mobile core."""
+    return CPUModel(
+        name="graviton2",
+        description="extension — AWS Graviton2, Neoverse-N1 NEON, 2019",
+        clock_ghz=2.5,
+        issue_width=4,
+        costs=cost_table(NEON_TBL_OVERRIDES),
+        cache=NEHALEM_HASWELL_CACHE(
+            l1_latency=4.0, l2_latency=11.0, l3_latency=32.0,
+            l3_size=32 * 1024 * 1024,
+        ),
+        has_gather=False,
+        has_avx=False,
+        year=2019,
+        mispredict_penalty=11.0,
+        memory_bandwidth_gbs=204.8,  # 8ch DDR4-3200
+        n_cores=64,
+    )
+
+
 #: Registered simulated platforms; letters follow Table 5, plus the
-#: Section-6 extension platform ("cortex-a72").
+#: extension platforms ("cortex-a72", "skylake-avx512", "graviton2").
 PLATFORMS: dict[str, CPUModel] = {}
 for _factory, _aliases in (
     (_haswell, ("haswell", "A", "laptop")),
@@ -185,6 +236,8 @@ for _factory, _aliases in (
     (_sandy_bridge, ("sandy-bridge", "C")),
     (_nehalem, ("nehalem", "D")),
     (_cortex_a72, ("cortex-a72", "neon")),
+    (_skylake_avx512, ("skylake-avx512", "avx512")),
+    (_graviton2, ("graviton2", "neoverse-n1")),
 ):
     _model = _factory()
     for _alias in _aliases:

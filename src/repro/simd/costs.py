@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["InstructionCost", "BASE_COSTS", "cost_table"]
+__all__ = [
+    "InstructionCost",
+    "BASE_COSTS",
+    "AVX512_BYTE_OVERRIDES",
+    "NEON_TBL_OVERRIDES",
+    "cost_table",
+]
 
 
 @dataclass(frozen=True)
@@ -31,12 +37,15 @@ class InstructionCost:
         latency: cycles until the result is ready for dependents.
         throughput: minimum cycles between two issues of this opcode
             (reciprocal throughput).
-        uops: micro-operations the instruction decodes into.
+        uops: micro-operations the instruction decodes into. Fractional
+            values model traced 128-bit slices of a wider instruction:
+            one 512-bit op covers four slices, so each traced slice
+            contributes 0.25 dispatch slots (and 0.25 counted µops).
     """
 
     latency: float
     throughput: float
-    uops: int = 1
+    uops: float = 1
 
 
 #: Costs shared by all modeled architectures unless overridden.
@@ -72,6 +81,45 @@ BASE_COSTS: dict[str, InstructionCost] = {
     "vinsert_f32": InstructionCost(3, 1),
     "vextract_f32": InstructionCost(3, 1, uops=2),
     "vgather_f32": InstructionCost(18, 10, uops=34),  # Table 2 (Haswell)
+}
+
+
+#: AVX-512 byte-SIMD overrides (Skylake-SP per Quicker ADC, arXiv
+#: 1812.09162). The instruction streams issue one op per 128-bit block;
+#: a 512-bit ``vpshufb``/``vpaddsb`` covers four such blocks in one
+#: instruction, so the per-block reciprocal throughput is the zmm
+#: throughput divided by 4 — and each traced block is a quarter of one
+#: real instruction, so it also costs 0.25 front-end µops (latencies
+#: stay per-instruction). Compares write AVX-512 mask registers
+#: (``vpcmpgtb k, zmm, zmm``: 3-cycle latency to k), and the movemask
+#: is a plain ``kmov`` off that mask.
+AVX512_BYTE_OVERRIDES: dict[str, InstructionCost] = {
+    "vload_128": InstructionCost(1, 0.25, uops=0.25),  # 2x512-bit loads/cyc
+    "vbroadcast_i8": InstructionCost(1, 0.25, uops=0.25),
+    "pshufb": InstructionCost(1, 0.25, uops=0.25),   # vpshufb zmm: 1/cyc p5
+    "paddsb": InstructionCost(1, 0.125, uops=0.25),  # vpaddsb zmm: 2/cyc p05
+    "pminub": InstructionCost(1, 0.125, uops=0.25),  # vpminub zmm: 2/cyc p05
+    "pand": InstructionCost(1, 0.125, uops=0.25),    # vpandd zmm: 2/cyc p05
+    "psrlw": InstructionCost(1, 0.25, uops=0.25),    # vpsrlw zmm: 1/cyc p0
+    "pcmpgtb": InstructionCost(3, 0.25, uops=0.25),  # vpcmpgtb k,zmm,zmm
+    "pmovmskb": InstructionCost(2, 0.5, uops=0.25),  # kmovq r64,k (per zmm)
+}
+
+#: NEON overrides (Neoverse-N1 per the ARM 4-bit PQ paper, arXiv
+#: 2203.02505). ``TBL`` is the NEON table lookup that plays the role of
+#: ``pshufb``; ``SQADD``/``UMIN``/``CMGT`` map one-to-one onto the
+#: saturating add, byte min and byte compare. NEON has no movemask, so
+#: ``pmovmskb`` models the shift-and-narrow emulation sequence.
+NEON_TBL_OVERRIDES: dict[str, InstructionCost] = {
+    "pshufb": InstructionCost(2, 0.5),             # TBL, single register
+    "paddsb": InstructionCost(2, 0.5),             # SQADD
+    "pminub": InstructionCost(2, 0.5),             # UMIN
+    "pcmpgtb": InstructionCost(2, 0.5),            # CMGT
+    "pand": InstructionCost(1, 0.5),               # AND (vector)
+    "psrlw": InstructionCost(2, 1),                # USHR
+    "pmovmskb": InstructionCost(4, 2, uops=3),     # emulated movemask
+    "vaddps": InstructionCost(4, 2, uops=2),       # 128-bit halves
+    "vinsert_f32": InstructionCost(5, 2, uops=2),
 }
 
 

@@ -26,7 +26,9 @@ class PerfCounters:
     """Counter values accumulated over one simulated kernel run."""
 
     instructions: int = 0
-    uops: int = 0
+    #: Float: fractional per-slice µops model 512-bit instructions
+    #: traced as four 128-bit slices (see InstructionCost.uops).
+    uops: float = 0.0
     cycles: float = 0.0
     cycles_with_load: float = 0.0
     l1_loads: int = 0

@@ -2,6 +2,7 @@
 
 from .base import KernelRun, make_executor
 from .fastscan import build_block_layout, fastscan_kernel
+from .quickadc import quickadc_kernel
 from .scalar import libpq_kernel, naive_kernel
 from .simdscan import avx_kernel, gather_kernel, simdscan_kernel
 
@@ -23,5 +24,6 @@ __all__ = [
     "libpq_kernel",
     "make_executor",
     "naive_kernel",
+    "quickadc_kernel",
     "simdscan_kernel",
 ]

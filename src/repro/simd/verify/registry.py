@@ -25,6 +25,7 @@ from ..kernels import (
     gather_kernel,
     libpq_kernel,
     naive_kernel,
+    quickadc_kernel,
     simdscan_kernel,
 )
 from .interp import VerifierError, verify_stream
@@ -37,8 +38,11 @@ __all__ = [
     "verify_kernel",
 ]
 
-#: All verifiable kernels, in the paper's presentation order.
-KERNEL_NAMES = ("scalar", "libpq", "avx", "gather", "fastscan", "simdscan")
+#: All verifiable kernels, in the paper's presentation order (plus the
+#: Quick ADC successor kernel).
+KERNEL_NAMES = (
+    "scalar", "libpq", "avx", "gather", "fastscan", "simdscan", "quickadc",
+)
 
 #: Rows / components of the synthetic workload: two 16-vector blocks per
 #: populated group with m=8 components — enough to exercise every
@@ -63,6 +67,24 @@ def _workload_grouped() -> GroupedPartition:
     return GroupedPartition(partition, c=2)
 
 
+#: Components of the 4-bit workload: 16 nibbles = a 64-bit code budget.
+_M4 = 16
+
+
+def _workload_tables_4bit() -> FloatArray:
+    values = np.arange(_M4 * 16, dtype=np.float32)
+    return np.asarray(((values * 13.0) % 97.0) / 7.0 + 0.25).reshape(_M4, 16)
+
+
+def _workload_codes_4bit() -> UInt8Array:
+    # The intermediate mod 97 breaks the 16-alignment of the flat index
+    # (with m=16, any pattern linear mod 16 would repeat identically on
+    # every row); the final mod 16 makes the values genuine nibbles.
+    values = ((np.arange(_N * _M4, dtype=np.int64) * 31 + 7) % 97) % 16
+    # Values are 0..15 by construction (mod 16), so the cast is lossless.
+    return values.astype(np.uint8).reshape(_N, _M4)  # reprolint: narrowing=exact
+
+
 def capture(kernel: str, platform: str = "haswell") -> InstructionStream:
     """Run one registered kernel under tracing; return its stream."""
     if kernel not in KERNEL_NAMES:
@@ -81,8 +103,13 @@ def capture(kernel: str, platform: str = "haswell") -> InstructionStream:
         gather_kernel(ex, tables, _workload_codes())
     elif kernel == "fastscan":
         fastscan_kernel(ex, tables, _workload_grouped(), keep=0.05)
-    else:
+    elif kernel == "simdscan":
         simdscan_kernel(ex, tables, _workload_grouped())
+    else:
+        quickadc_kernel(
+            ex, _workload_tables_4bit(), _workload_codes_4bit(),
+            topk=4, keep=0.05,
+        )
     return InstructionStream(
         kernel=kernel,
         platform=platform,

@@ -413,3 +413,62 @@ class TestMmapLoading:
         for ra, rb in zip(a, response.results):
             assert ra.ids.tobytes() == rb.ids.tobytes()
             assert ra.distances.tobytes() == rb.distances.tobytes()
+
+
+class Test4BitSubIndexValidation:
+    """Sub-index range validation for bits<8 artifacts at load time.
+
+    An 8-bit code physically cannot exceed its 256-entry tables, but a
+    4-bit artifact stores nibbles in full bytes: a corrupt byte >= 16
+    would silently read past the 16-entry register tables of the Quick
+    ADC path. The loader must reject it, not the scanner."""
+
+    @pytest.fixture()
+    def saved4(self, dataset, tmp_path):
+        from repro import IVFADCIndex, ProductQuantizer
+
+        pq4 = ProductQuantizer(m=16, bits=4, max_iter=2, seed=5).fit(
+            dataset.learn[:800]
+        )
+        index4 = IVFADCIndex(pq4, n_partitions=2, seed=3).add(
+            dataset.base[:2000]
+        )
+        path = tmp_path / "index4.npz"
+        save_index(index4, path)
+        return path
+
+    def test_4bit_roundtrip_bit_exact(self, saved4):
+        loaded = load_index(saved4)
+        assert loaded.pq.bits == 4
+        for partition in loaded.partitions:
+            assert int(partition.codes.max()) < 16
+
+    def test_4bit_roundtrip_answers_identically(self, saved4, dataset):
+        from repro.scan import QuickADCScanner
+
+        loaded = load_index(saved4)
+        searcher = ANNSearcher(loaded, QuickADCScanner(loaded.pq))
+        result = searcher.search(dataset.queries[0], topk=5, nprobe=2)
+        assert len(result.ids) == 5
+
+    def test_out_of_range_sub_index_rejected(self, saved4):
+        with np.load(saved4) as archive:
+            codes = archive["codes_0"].copy()
+        codes[0, 0] = 16  # smallest value that overruns a 16-entry table
+        _tamper(saved4, codes_0=codes)
+        with pytest.raises(DatasetError, match="out of range"):
+            load_index(saved4)
+
+    def test_grossly_corrupt_sub_index_rejected(self, saved4):
+        with np.load(saved4) as archive:
+            codes = archive["codes_1"].copy()
+        codes[-1, -1] = 255
+        _tamper(saved4, codes_1=codes)
+        with pytest.raises(DatasetError, match="4-bit"):
+            load_index(saved4)
+
+    def test_8bit_codes_unaffected(self, index, tmp_path):
+        # Full-range 8-bit codes load fine: the check only gates bits<8.
+        path = tmp_path / "index8.npz"
+        save_index(index, path)
+        assert load_index(path) is not None

@@ -1,0 +1,443 @@
+"""Tests for the Quick ADC 4-bit scanner family.
+
+Covers the nibble-packed layout, the numpy scanner (sample phase,
+candidate selection, exact rerank, prepared cache), byte-identity
+between the scanner and the simulated kernel, the engine/spec wiring
+and the executor equivalence grid — the same byte-identity contract the
+other scanners are held to, against quickadc's own sequential baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ANNSearcher, IVFADCIndex, NaiveScanner, ProductQuantizer
+from repro.core.quantization import DistanceQuantizer
+from repro.engine import Engine, EngineConfig
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    InvariantViolation,
+    NotFittedError,
+)
+from repro.ivf.partition import Partition
+from repro.parallel import ScannerSpec
+from repro.pq.adc import adc_distances
+from repro.scan import (
+    QuickADCResult,
+    QuickADCScanner,
+    nibble_block_layout,
+    nibble_lower_bounds,
+    pack_nibbles,
+    unpack_nibbles,
+)
+from repro.shard import ScatterGatherExecutor, ShardedIndex
+from repro.simd import quickadc_kernel
+
+
+@pytest.fixture(scope="module")
+def pq4(dataset):
+    """A fitted PQ 16x4 quantizer — the 64-bit nibble-code budget."""
+    return ProductQuantizer(m=16, bits=4, max_iter=4, seed=5).fit(dataset.learn)
+
+
+@pytest.fixture(scope="module")
+def index4bit(dataset, pq4):
+    return IVFADCIndex(pq4, n_partitions=4, seed=3).add(dataset.base)
+
+
+@pytest.fixture(scope="module")
+def scanner4(pq4):
+    return QuickADCScanner(pq4, keep=0.01)
+
+
+@pytest.fixture(scope="module")
+def routed4(index4bit, dataset):
+    query = dataset.queries[0]
+    pid = index4bit.route(query)[0]
+    return index4bit.partitions[pid], index4bit.distance_tables_for(query, pid)
+
+
+@pytest.fixture(scope="module")
+def batch_queries4(dataset):
+    base = np.tile(dataset.queries, (3, 1))
+    jitter = np.random.default_rng(99).normal(scale=2.0, size=base.shape)
+    return np.vstack([dataset.queries, base + jitter])
+
+
+class TestNibbleLayout:
+    def test_pack_unpack_roundtrip(self, rng):
+        codes = rng.integers(0, 16, size=(37, 16), dtype=np.uint8)
+        packed = pack_nibbles(codes)
+        assert packed.shape == (37, 8)
+        np.testing.assert_array_equal(unpack_nibbles(packed, 16), codes)
+
+    def test_roundtrip_odd_m(self, rng):
+        codes = rng.integers(0, 16, size=(10, 5), dtype=np.uint8)
+        packed = pack_nibbles(codes)
+        assert packed.shape == (10, 3)
+        # The padding high nibble of the last byte is zero.
+        assert int((packed[:, -1] >> 4).max()) == 0
+        np.testing.assert_array_equal(unpack_nibbles(packed, 5), codes)
+
+    def test_nibble_order_matches_kernel_extraction(self):
+        codes = np.array([[0x3, 0xA]], dtype=np.uint8)
+        packed = pack_nibbles(codes)
+        # Even component in the low nibble, odd in the high nibble.
+        assert packed[0, 0] == 0x3 | (0xA << 4)
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ConfigurationError):
+            pack_nibbles(np.full((4, 8), 16, dtype=np.uint8))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ConfigurationError):
+            pack_nibbles(np.zeros((4, 8), dtype=np.int64))
+
+    def test_block_layout_pads_tail(self, rng):
+        codes = rng.integers(0, 16, size=(21, 8), dtype=np.uint8)
+        blocks, n = nibble_block_layout(codes)
+        assert n == 21
+        assert blocks.shape == (2, 4, 16)
+        packed = pack_nibbles(codes)
+        # Slice s, lane l of block b is packed byte s of vector b*16+l;
+        # padding lanes repeat the last vector.
+        assert blocks[1, 0, 4] == packed[20, 0]
+        assert blocks[1, 2, 15] == packed[20, 2]
+        assert blocks[0, 3, 7] == packed[7, 3]
+
+    def test_lower_bounds_match_scalar_reference(self, rng):
+        m = 16
+        codes = rng.integers(0, 16, size=(120, m), dtype=np.uint8)
+        tables = rng.uniform(0.1, 8.0, size=(m, 16))
+        quantizer = DistanceQuantizer.from_tables(tables, float(np.median(
+            adc_distances(tables, codes)
+        )))
+        q_tables = quantizer.quantize_table(tables)
+        bounds = nibble_lower_bounds(pack_nibbles(codes), q_tables)
+        reference = np.minimum(
+            sum(
+                q_tables[j].astype(np.int64)[codes[:, j]] for j in range(m)
+            ),
+            127,
+        )
+        np.testing.assert_array_equal(bounds, reference)
+
+    def test_lower_bounds_rejects_mismatched_m(self, rng):
+        packed = pack_nibbles(rng.integers(0, 16, size=(8, 16), dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            nibble_lower_bounds(packed, np.zeros((6, 16), dtype=np.int8))
+
+
+class TestQuickADCScanner:
+    def test_rejects_8bit_quantizer(self, pq):
+        with pytest.raises(ConfigurationError):
+            QuickADCScanner(pq)
+
+    def test_rejects_unfitted_quantizer(self):
+        with pytest.raises(NotFittedError):
+            QuickADCScanner(ProductQuantizer(m=16, bits=4))
+
+    def test_rejects_bad_keep(self, pq4):
+        with pytest.raises(ConfigurationError):
+            QuickADCScanner(pq4, keep=1.5)
+
+    def test_reported_distances_are_exact(self, scanner4, routed4):
+        """Whatever rows Quick ADC selects, their distances are exact ADC."""
+        partition, tables = routed4
+        result = scanner4.scan(tables, partition, topk=10)
+        assert isinstance(result, QuickADCResult)
+        by_id = {int(i): d for i, d in zip(partition.ids, adc_distances(
+            tables, partition.codes
+        ))}
+        for i, d in zip(result.ids, result.distances):
+            assert d == by_id[int(i)]
+
+    def test_recall_against_exhaustive_scan(self, scanner4, routed4):
+        """Approximate at the margin, but not by much on a real workload."""
+        partition, tables = routed4
+        result = scanner4.scan(tables, partition, topk=20)
+        exact = NaiveScanner().scan(tables, partition, topk=20)
+        overlap = len(np.intersect1d(result.ids, exact.ids))
+        assert overlap >= 15
+        # The single nearest neighbor always survives selection: its
+        # bound cannot exceed any cutoff that keeps topk candidates.
+        assert result.ids[0] == exact.ids[0]
+        assert result.distances[0] == exact.distances[0]
+
+    def test_accounting_adds_up(self, scanner4, routed4):
+        partition, tables = routed4
+        result = scanner4.scan(tables, partition, topk=10)
+        n = len(partition)
+        assert result.n_scanned == n
+        assert result.n_sample >= 10
+        assert result.n_candidates >= 0
+        assert result.n_sample + result.n_candidates + result.n_pruned == n
+        assert result.n_pruned > 0  # real pruning on the test workload
+        assert result.qmax > result.qmin
+
+    def test_sample_shortcut_is_exact(self, pq4, routed4):
+        """topk >= partition size: the sample covers everything."""
+        partition, tables = routed4
+        small = Partition(partition.codes[:8], partition.ids[:8], 0)
+        result = QuickADCScanner(pq4).scan(tables, small, topk=8)
+        exact = NaiveScanner().scan(tables, small, topk=8)
+        np.testing.assert_array_equal(result.ids, exact.ids)
+        assert result.distances.tobytes() == exact.distances.tobytes()
+        assert result.n_pruned == 0 and result.n_sample == 8
+
+    def test_scan_batch_matches_scan(self, scanner4, index4bit, dataset):
+        pid = 1
+        partition = index4bit.partitions[pid]
+        tables = index4bit.distance_tables_for_batch(dataset.queries, pid)
+        batch = scanner4.scan_batch(tables, partition, topk=10)
+        for row, result in zip(tables, batch):
+            single = scanner4.scan(row, partition, topk=10)
+            np.testing.assert_array_equal(result.ids, single.ids)
+            assert result.distances.tobytes() == single.distances.tobytes()
+            assert result.n_pruned == single.n_pruned
+
+    def test_scan_batch_rejects_2d_tables(self, scanner4, routed4):
+        partition, tables = routed4
+        with pytest.raises(DimensionMismatchError):
+            scanner4.scan_batch(tables, partition, topk=5)
+
+    def test_empty_partition(self, pq4, routed4):
+        _, tables = routed4
+        empty = Partition(
+            np.empty((0, 16), dtype=np.uint8), np.empty(0, dtype=np.int64), 0
+        )
+        result = QuickADCScanner(pq4).scan(tables, empty, topk=3)
+        assert len(result.ids) == 0 and result.n_scanned == 0
+
+    def test_prepared_cache_hits_and_warm(self, pq4, routed4):
+        partition, _ = routed4
+        scanner = QuickADCScanner(pq4)
+        assert scanner.warm([partition]) == 1
+        assert scanner.prepared_misses == 1
+        scanner.prepared(partition)
+        assert scanner.prepared_hits == 1
+        assert scanner.warm([partition]) == 0  # already cached
+
+    def test_prepared_cache_evicts_lru(self, pq4, rng):
+        scanner = QuickADCScanner(pq4, prepared_cache_size=2)
+        parts = [
+            Partition(
+                rng.integers(0, 16, size=(20, 16), dtype=np.uint8),
+                np.arange(20, dtype=np.int64),
+                i,
+            )
+            for i in range(3)
+        ]
+        for part in parts:
+            scanner.prepared(part)
+        assert scanner.prepared_evictions == 1
+        # The evicted layout (LRU = parts[0]) is rebuilt on demand.
+        scanner.prepared(parts[0])
+        assert scanner.prepared_misses == 4
+
+    def test_prepare_packs_nibbles(self, scanner4, routed4):
+        partition, _ = routed4
+        packed = scanner4.prepare(partition)
+        np.testing.assert_array_equal(
+            unpack_nibbles(packed, 16), partition.codes
+        )
+
+
+class TestKernelScannerIdentity:
+    @pytest.fixture(scope="class")
+    def workload(self, pq4, rng):
+        codes = rng.integers(0, 16, size=(210, 16), dtype=np.uint8)
+        ids = np.arange(210, dtype=np.int64)
+        tables = rng.uniform(0.1, 9.0, size=(16, 16))
+        return tables, Partition(codes, ids, 0)
+
+    def test_kernel_byte_identical_to_scanner(self, pq4, workload):
+        tables, partition = workload
+        scanner = QuickADCScanner(pq4, keep=0.05)
+        result = scanner.scan(tables, partition, topk=10)
+        run = quickadc_kernel(
+            "haswell", tables, partition.codes, partition.ids,
+            topk=10, keep=0.05,
+        )
+        np.testing.assert_array_equal(run.topk_ids, result.ids)
+        assert run.topk_distances.tobytes() == result.distances.tobytes()
+        assert run.n_pruned == result.n_pruned
+
+    def test_kernel_results_platform_independent(self, workload):
+        tables, partition = workload
+        reference = quickadc_kernel(
+            "haswell", tables, partition.codes, partition.ids, topk=5, keep=0.05
+        )
+        for platform in ("avx512", "graviton2", "neon", "nehalem"):
+            run = quickadc_kernel(
+                platform, tables, partition.codes, partition.ids,
+                topk=5, keep=0.05,
+            )
+            np.testing.assert_array_equal(run.topk_ids, reference.topk_ids)
+            assert (
+                run.topk_distances.tobytes()
+                == reference.topk_distances.tobytes()
+            )
+
+    def test_avx512_amortizes_byte_ops(self, workload):
+        """The 512-bit cost model runs the same stream in fewer cycles."""
+        tables, partition = workload
+        haswell = quickadc_kernel(
+            "haswell", tables, partition.codes, partition.ids, topk=5, keep=0.05
+        )
+        avx512 = quickadc_kernel(
+            "avx512", tables, partition.codes, partition.ids, topk=5, keep=0.05
+        )
+        assert avx512.counters.instructions == haswell.counters.instructions
+        assert avx512.counters.cycles < haswell.counters.cycles
+
+    def test_threshold_override_bounds_pruning(self, workload):
+        tables, partition = workload
+        tight = quickadc_kernel(
+            "haswell", tables, partition.codes, partition.ids,
+            keep=0.05, threshold_override=-1,
+        )
+        loose = quickadc_kernel(
+            "haswell", tables, partition.codes, partition.ids,
+            keep=0.05, threshold_override=127,
+        )
+        assert tight.n_pruned == tight.n_vectors
+        assert loose.n_pruned == 0
+        assert loose.counters.cycles > tight.counters.cycles
+
+    def test_kernel_rejects_bad_shapes(self, workload):
+        from repro.exceptions import SimulationError
+
+        tables, partition = workload
+        with pytest.raises(SimulationError):
+            quickadc_kernel("haswell", tables[:, :8], partition.codes)
+        with pytest.raises(SimulationError):
+            quickadc_kernel("haswell", tables, partition.codes[:, :8])
+
+
+class TestEngineAndSpecWiring:
+    def test_config_rejects_quickadc_with_8bit_codes(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(scanner="quickadc", bits=8)
+
+    def test_engine_builds_and_searches(self, dataset):
+        config = EngineConfig(
+            m=16, bits=4, scanner="quickadc", n_partitions=4,
+            max_iter=4, coarse_max_iter=4, nprobe=2, seed=0,
+        )
+        with Engine.build(dataset.base[:4000], config) as engine:
+            results = engine.search(dataset.queries, k=10)
+            assert len(results) == len(dataset.queries)
+            assert all(len(r.ids) == 10 for r in results)
+
+    def test_scanner_spec_roundtrip(self, pq4):
+        scanner = QuickADCScanner(pq4, keep=0.02, prepared_cache_size=7)
+        spec = ScannerSpec.for_scanner(scanner)
+        assert spec.kind == "quickadc"
+        rebuilt = spec.build(pq4)
+        assert isinstance(rebuilt, QuickADCScanner)
+        assert rebuilt.keep == 0.02
+        assert rebuilt.prepared_cache_size == 7
+
+
+class TestExecutorEquivalence:
+    """quickadc through every execution layer, byte-identical to its
+    own sequential baseline (the contract the other scanners obey)."""
+
+    def _assert_identical(self, a, b):
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.ids, rb.ids)
+            assert ra.distances.tobytes() == rb.distances.tobytes()
+            assert ra.n_scanned == rb.n_scanned
+            assert ra.n_pruned == rb.n_pruned
+            assert ra.probed == rb.probed
+
+    @pytest.mark.parametrize("nprobe", [1, 2])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_batch_identical_to_sequential(
+        self, index4bit, pq4, batch_queries4, nprobe, n_workers
+    ):
+        searcher = ANNSearcher(index4bit, scanner=QuickADCScanner(pq4))
+        seq = searcher.search(
+            batch_queries4, topk=10, nprobe=nprobe, executor="sequential"
+        )
+        bat = searcher.search(
+            batch_queries4, topk=10, nprobe=nprobe, n_workers=n_workers
+        )
+        self._assert_identical(seq, bat)
+
+    @pytest.mark.parametrize("nprobe", [1, 2])
+    def test_process_identical_to_sequential(
+        self, index4bit, pq4, batch_queries4, nprobe
+    ):
+        with ANNSearcher(index4bit, scanner=QuickADCScanner(pq4)) as searcher:
+            seq = searcher.search(
+                batch_queries4, topk=10, nprobe=nprobe, executor="sequential"
+            )
+            proc = searcher.search(
+                batch_queries4, topk=10, nprobe=nprobe,
+                executor="process", n_workers=2,
+            )
+            self._assert_identical(seq, proc)
+
+    def test_sharded_identical_to_sequential(
+        self, index4bit, pq4, batch_queries4
+    ):
+        searcher = ANNSearcher(index4bit, scanner=QuickADCScanner(pq4))
+        seq = searcher.search(
+            batch_queries4, topk=10, nprobe=2, executor="sequential"
+        )
+        sharded = ShardedIndex.from_index(index4bit, n_shards=2)
+        executor = ScatterGatherExecutor(
+            sharded,
+            lambda: QuickADCScanner(pq4),
+            n_workers=2,
+            backend="thread",
+        )
+        try:
+            response = executor.run(batch_queries4, topk=10, nprobe=2)
+            assert not response.partial
+            self._assert_identical(seq, response.results)
+        finally:
+            executor.close()
+
+
+class TestSanitizer:
+    def test_corrupt_codes_rejected_at_packing(self, pq4, routed4):
+        """Fresh corruption is caught by the layout's own validation."""
+        partition, tables = routed4
+        corrupt_codes = partition.codes.copy()
+        corrupt_codes[3, 2] = 99  # not a nibble
+        corrupt = Partition(corrupt_codes, partition.ids.copy(), 0)
+        with pytest.raises(ConfigurationError, match="sub-indexes"):
+            QuickADCScanner(pq4, keep=0.01).scan(tables, corrupt, topk=5)
+
+    def test_nibble_invariant_catches_corruption_after_packing(
+        self, pq4, routed4, monkeypatch
+    ):
+        """Codes corrupted *after* the layout was prepared and cached —
+        the scenario only the runtime sanitizer can see."""
+        partition, tables = routed4
+        codes = partition.codes.copy()
+        mutable = Partition(codes, partition.ids.copy(), 0)
+        scanner = QuickADCScanner(pq4, keep=0.01)
+        assert scanner.warm([mutable]) == 1  # packs the still-valid codes
+        codes[3, 2] = 99  # not a nibble
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(InvariantViolation, match="nibble range"):
+            scanner.scan(tables, mutable, topk=5)
+
+    def test_clean_scan_passes_under_sanitizer(
+        self, pq4, routed4, monkeypatch
+    ):
+        partition, tables = routed4
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        scanner = QuickADCScanner(pq4, keep=0.01)
+        result = scanner.scan(tables, partition, topk=5)
+        monkeypatch.delenv("REPRO_SANITIZE")
+        unsanitized = scanner.scan(tables, partition, topk=5)
+        np.testing.assert_array_equal(result.ids, unsanitized.ids)
+        assert result.distances.tobytes() == unsanitized.distances.tobytes()

@@ -167,6 +167,32 @@ class TestSeededDefects:
         errors = verify_stream(bad)
         assert any("out-of-bounds" in e.message for e in errors)
 
+    def test_wrong_width_pshufb_in_quickadc_rejected(self):
+        """Seeded defect in the 4-bit kernel: a pshufb whose index
+        operand is the u16x8 psrlw result (the nibble shift *before*
+        the re-masking pand) must be flagged as a width mismatch."""
+        stream = capture("quickadc")
+        shift = next(
+            i
+            for i, ins in enumerate(stream.instructions)
+            if ins.method == "psrlw"
+        )
+        shifted_reg = stream.instructions[shift].dest
+        index, ins = next(
+            (i, ins)
+            for i, ins in enumerate(stream.instructions[shift:], start=shift)
+            if ins.method == "pshufb"
+        )
+        bad = stream.replaced(index, srcs=(ins.srcs[0], shifted_reg))
+        errors = verify_stream(bad)
+        assert any(e.index == index for e in errors)
+        assert any(
+            "u16x8" in e.message and "needs u8x16" in e.message
+            for e in errors
+        )
+        # The unmutated capture stays clean.
+        assert verify_stream(stream) == []
+
 
 class TestSimdscanKernel:
     def test_simdscan_minimizes_the_quantized_lower_bound(self):
